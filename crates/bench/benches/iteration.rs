@@ -1,0 +1,80 @@
+//! Criterion benchmark of one full tuning iteration per method (Figure 8).
+//!
+//! Figure 8 of the paper plots the per-iteration computation time of each tuning method on
+//! the JOB workload: BO's cost grows cubically with the number of observations while
+//! OnlineTune stays bounded thanks to its clustering strategy. This bench measures one
+//! suggest+observe cycle for each method after a fixed warm-up history, which reproduces
+//! the ordering (OnlineTune bounded, BO most expensive at scale, DDPG/MysqlTuner cheap).
+
+use baselines::{Tuner, TuningInput};
+use bench::tuners::{build_tuner, TunerKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use featurize::ContextFeaturizer;
+use simdb::{InternalMetrics, KnobCatalogue, OptimizerStats, SimDatabase};
+use workloads::job::JobWorkload;
+use workloads::{Objective, WorkloadGenerator};
+
+fn warmed_tuner(kind: TunerKind, history: usize) -> (Box<dyn Tuner>, Vec<f64>, InternalMetrics) {
+    let catalogue = KnobCatalogue::mysql57();
+    let featurizer = ContextFeaturizer::with_defaults();
+    let generator = JobWorkload::new_dynamic(3);
+    let mut tuner = build_tuner(kind, &catalogue, featurizer.dim(), 11);
+    let mut db = SimDatabase::with_catalogue(catalogue.clone(), Default::default(), 11);
+    db.set_deterministic(true);
+    db.set_data_size(generator.initial_data_size_gib());
+    let mut last_metrics = InternalMetrics::zeroed();
+    let mut context = vec![0.0; featurizer.dim()];
+    for i in 0..history {
+        let spec = generator.spec_at(i);
+        let queries = generator.sample_queries(i, 20);
+        let stats = OptimizerStats::estimate(&spec);
+        context = featurizer.featurize(&queries, spec.arrival_rate_qps, &stats);
+        let input = TuningInput {
+            context: &context,
+            metrics: Some(&last_metrics),
+            safety_threshold: -1.0e4,
+            clients: spec.clients,
+        };
+        let cfg = tuner.suggest(&input);
+        db.apply_config(&cfg);
+        let eval = db.run_interval(&spec, 180.0);
+        let score = Objective::ExecutionTime.score(&eval.outcome);
+        tuner.observe(&input, &cfg, score, &eval.metrics, true);
+        last_metrics = eval.metrics;
+    }
+    (tuner, context, last_metrics)
+}
+
+fn bench_iteration_per_method(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_iteration_computation_time");
+    group.sample_size(10);
+    for (kind, history) in [
+        (TunerKind::OnlineTune, 60),
+        (TunerKind::Bo, 60),
+        (TunerKind::Ddpg, 60),
+        (TunerKind::ResTune, 60),
+        (TunerKind::Qtune, 60),
+        (TunerKind::MysqlTuner, 60),
+    ] {
+        let (mut tuner, context, metrics) = warmed_tuner(kind, history);
+        group.bench_with_input(
+            BenchmarkId::new("suggest", kind.label()),
+            &history,
+            |b, _| {
+                b.iter(|| {
+                    let input = TuningInput {
+                        context: &context,
+                        metrics: Some(&metrics),
+                        safety_threshold: -1.0e4,
+                        clients: 8,
+                    };
+                    tuner.suggest(&input)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(iteration, bench_iteration_per_method);
+criterion_main!(iteration);

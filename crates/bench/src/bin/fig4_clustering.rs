@@ -1,0 +1,105 @@
+//! Figure 4 — DBSCAN clustering of contexts and the SVM decision boundary used for model
+//! selection.
+//!
+//! Contexts from three workload regimes are clustered; the SVM learned on the cluster
+//! labels then routes held-out contexts to the right per-cluster model.
+//!
+//! Run with `cargo run --release -p bench --bin fig4_clustering`.
+
+use bench::report::{print_table, section};
+use featurize::ContextFeaturizer;
+use mlkit::dbscan::{cluster_count, dbscan, DbscanParams};
+use mlkit::svm::{LinearSvm, SvmOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simdb::OptimizerStats;
+use workloads::job::JobWorkload;
+use workloads::tpcc::TpccWorkload;
+use workloads::twitter::TwitterWorkload;
+use workloads::WorkloadGenerator;
+
+fn main() {
+    section("Figure 4: context clustering (DBSCAN) and model-selection boundary (SVM)");
+
+    let featurizer = ContextFeaturizer::with_defaults();
+    let generators: Vec<(&str, Box<dyn WorkloadGenerator>)> = vec![
+        ("tpcc", Box::new(TpccWorkload::new_dynamic(1))),
+        ("twitter", Box::new(TwitterWorkload::new_dynamic(1))),
+        ("job", Box::new(JobWorkload::new_dynamic(1))),
+    ];
+
+    let mut contexts = Vec::new();
+    let mut truth = Vec::new();
+    let mut held_out = Vec::new();
+    for (gid, (_, generator)) in generators.iter().enumerate() {
+        for it in 0..40 {
+            let spec = generator.spec_at(it);
+            let stats = OptimizerStats::estimate(&spec);
+            let queries = generator.sample_queries(it, 25);
+            let c = featurizer.featurize(&queries, spec.arrival_rate_qps, &stats);
+            if it % 5 == 4 {
+                held_out.push((c, gid));
+            } else {
+                contexts.push(c);
+                truth.push(gid);
+            }
+        }
+    }
+
+    let labels = dbscan(
+        &contexts,
+        &DbscanParams {
+            eps: 0.25,
+            min_points: 4,
+        },
+    );
+    let k = cluster_count(&labels);
+    println!("  DBSCAN found {k} clusters over {} contexts from 3 workloads", contexts.len());
+
+    // Cluster purity: the dominant workload per cluster.
+    let mut rows = Vec::new();
+    for cluster in 0..k {
+        let members: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == cluster as i32).collect();
+        let mut counts = [0usize; 3];
+        for &m in &members {
+            counts[truth[m]] += 1;
+        }
+        let dominant = counts.iter().enumerate().max_by_key(|(_, c)| **c).unwrap();
+        rows.push(vec![
+            format!("cluster {cluster}"),
+            members.len().to_string(),
+            ["tpcc", "twitter", "job"][dominant.0].to_string(),
+            format!("{:.0}%", 100.0 * *dominant.1 as f64 / members.len().max(1) as f64),
+        ]);
+    }
+    print_table(&["Cluster", "Size", "DominantWorkload", "Purity"], &rows);
+
+    // Train the routing SVM and evaluate it on held-out contexts.
+    let train_labels: Vec<usize> = labels.iter().map(|&l| l.max(0) as usize).collect();
+    let mut rng = StdRng::seed_from_u64(7);
+    let svm = LinearSvm::train(&contexts, &train_labels, &SvmOptions::default(), &mut rng)
+        .expect("non-empty training set");
+    // Routing consistency: held-out contexts of the same workload should land in the same
+    // cluster as the majority of that workload's training contexts.
+    let mut majority = vec![0usize; 3];
+    for g in 0..3 {
+        let mut counts = vec![0usize; k.max(1)];
+        for (i, &t) in truth.iter().enumerate() {
+            if t == g && labels[i] >= 0 {
+                counts[labels[i] as usize] += 1;
+            }
+        }
+        majority[g] = counts.iter().enumerate().max_by_key(|(_, c)| **c).map(|(i, _)| i).unwrap_or(0);
+    }
+    let correct = held_out
+        .iter()
+        .filter(|(c, g)| svm.predict(c) == majority[*g])
+        .count();
+    println!(
+        "  SVM routes {}/{} held-out contexts to their workload's majority cluster ({:.0}%)",
+        correct,
+        held_out.len(),
+        100.0 * correct as f64 / held_out.len().max(1) as f64
+    );
+    println!("\nExpected shape: ≥2 clusters, each dominated by one workload, and the SVM boundary routes unseen contexts of a workload to that workload's cluster.");
+}

@@ -1,0 +1,160 @@
+//! Prediction of the default-configuration performance for a given context.
+//!
+//! The safety threshold `τ` is "the database performance under the default configuration"
+//! (§3). Under a dynamic workload that value fluctuates, so the paper assumes the default
+//! performance for any given workload can be acquired — e.g. by training a regression model
+//! from context to default performance on a historical knowledge base, or by occasionally
+//! observing the default.
+//!
+//! [`DefaultPerformancePredictor`] implements that regression model as a distance-weighted
+//! nearest-neighbour estimator over observed `(context, default performance)` pairs. It is
+//! intentionally simple: it must be monotone-consistent with its observations, cheap to
+//! update online, and conservative (falls back to the most pessimistic observation when far
+//! from everything it has seen).
+
+/// Distance-weighted k-NN regressor from context vectors to default performance.
+#[derive(Debug, Clone)]
+pub struct DefaultPerformancePredictor {
+    observations: Vec<(Vec<f64>, f64)>,
+    k: usize,
+}
+
+impl DefaultPerformancePredictor {
+    /// Creates an empty predictor using the `k` nearest observations (k = 5 by default via
+    /// [`Default`]).
+    pub fn new(k: usize) -> Self {
+        DefaultPerformancePredictor {
+            observations: Vec::new(),
+            k: k.max(1),
+        }
+    }
+
+    /// Number of stored observations.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Whether the predictor has no observations yet.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// Records the measured default performance under a context.
+    pub fn observe(&mut self, context: Vec<f64>, default_performance: f64) {
+        self.observations.push((context, default_performance));
+    }
+
+    /// Predicts the default performance for a context. Returns `None` when no observation
+    /// has been recorded yet.
+    pub fn predict(&self, context: &[f64]) -> Option<f64> {
+        if self.observations.is_empty() {
+            return None;
+        }
+        let k = self.k.max(1);
+        let mut dists: Vec<(f64, f64)> = self
+            .observations
+            .iter()
+            .map(|(c, y)| (linalg::vecops::euclidean_distance(c, context), *y))
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        dists.truncate(k);
+
+        // Exact (or near-exact) match short-circuits to that observation.
+        if dists[0].0 < 1e-9 {
+            return Some(dists[0].1);
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (d, y) in &dists {
+            let w = 1.0 / (d * d + 1e-9);
+            num += w * y;
+            den += w;
+        }
+        Some(num / den)
+    }
+
+    /// Conservative prediction: the minimum of the k-NN estimate and the most pessimistic
+    /// nearby observation. Useful when the threshold must never be over-estimated (an
+    /// over-estimated threshold would let genuinely unsafe configurations pass).
+    pub fn predict_conservative(&self, context: &[f64]) -> Option<f64> {
+        let base = self.predict(context)?;
+        let nearest_min = self
+            .observations
+            .iter()
+            .map(|(c, y)| (linalg::vecops::euclidean_distance(c, context), *y))
+            .filter(|(d, _)| *d < 0.5)
+            .map(|(_, y)| y)
+            .fold(f64::INFINITY, f64::min);
+        if nearest_min.is_finite() {
+            Some(base.min(nearest_min))
+        } else {
+            Some(base)
+        }
+    }
+}
+
+impl DefaultPerformancePredictor {
+    /// Default k used by `Default::default()`.
+    const DEFAULT_K: usize = 5;
+}
+
+impl std::default::Default for DefaultPerformancePredictor {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_K)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_predictor_returns_none() {
+        let p = DefaultPerformancePredictor::new(3);
+        assert!(p.predict(&[0.0, 0.0]).is_none());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn exact_match_returns_the_observation() {
+        let mut p = DefaultPerformancePredictor::new(3);
+        p.observe(vec![0.0, 0.0], 100.0);
+        p.observe(vec![1.0, 1.0], 200.0);
+        assert_eq!(p.predict(&[0.0, 0.0]), Some(100.0));
+        assert_eq!(p.predict(&[1.0, 1.0]), Some(200.0));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn interpolation_lies_between_neighbours() {
+        let mut p = DefaultPerformancePredictor::new(5);
+        p.observe(vec![0.0], 100.0);
+        p.observe(vec![1.0], 200.0);
+        let mid = p.predict(&[0.5]).unwrap();
+        assert!(mid > 100.0 && mid < 200.0, "mid = {mid}");
+        // Closer to the left neighbour → closer to its value.
+        let near_left = p.predict(&[0.1]).unwrap();
+        assert!(near_left < mid);
+    }
+
+    #[test]
+    fn conservative_prediction_never_exceeds_nearby_minimum() {
+        let mut p = DefaultPerformancePredictor::new(5);
+        p.observe(vec![0.0], 100.0);
+        p.observe(vec![0.1], 60.0);
+        p.observe(vec![0.2], 120.0);
+        let conservative = p.predict_conservative(&[0.05]).unwrap();
+        assert!(conservative <= 60.0 + 1e-9);
+        let plain = p.predict(&[0.05]).unwrap();
+        assert!(plain >= conservative);
+    }
+
+    #[test]
+    fn far_away_context_still_gets_a_prediction() {
+        let mut p = DefaultPerformancePredictor::new(2);
+        p.observe(vec![0.0, 0.0], 50.0);
+        let far = p.predict(&[100.0, 100.0]).unwrap();
+        assert!((far - 50.0).abs() < 1e-9);
+        assert_eq!(p.predict_conservative(&[100.0, 100.0]), Some(50.0));
+    }
+}

@@ -1,0 +1,135 @@
+//! Acquisition functions for Bayesian optimization.
+//!
+//! * **Expected Improvement (EI)** — used by the OtterTune-style BO baseline (§7 Baselines)
+//!   and by the stopping/triggering extension sketched in the paper's conclusion.
+//! * **GP-UCB / GP-LCB** — OnlineTune selects candidates by maximizing the upper confidence
+//!   bound within the safety set (Eq. 4) and assesses safety with the lower confidence
+//!   bound (Eq. 3). The exploration weight `β_t` follows the schedule of Srinivas et al.,
+//!   as cited in §6.2.1 and §6.3.
+
+use crate::regression::Posterior;
+use linalg::stats::{normal_cdf, normal_pdf};
+
+/// Expected improvement of a maximization problem over the incumbent `best_so_far`.
+///
+/// `xi` is the usual exploration jitter (0.0 for pure exploitation; 0.01 is a common
+/// default).
+pub fn expected_improvement(posterior: &Posterior, best_so_far: f64, xi: f64) -> f64 {
+    let sigma = posterior.std_dev.max(1e-12);
+    let improvement = posterior.mean - best_so_far - xi;
+    let z = improvement / sigma;
+    let ei = improvement * normal_cdf(z) + sigma * normal_pdf(z);
+    ei.max(0.0)
+}
+
+/// GP-UCB acquisition value `μ + β σ` (Eq. 4 of the paper).
+pub fn upper_confidence_bound(posterior: &Posterior, beta: f64) -> f64 {
+    posterior.mean + beta * posterior.std_dev
+}
+
+/// GP-LCB value `μ - β σ` (Eq. 3): the pessimistic performance estimate used for the
+/// black-box safety assessment. A configuration is deemed safe when this exceeds the safety
+/// threshold.
+pub fn lower_confidence_bound(posterior: &Posterior, beta: f64) -> f64 {
+    posterior.mean - beta * posterior.std_dev
+}
+
+/// The `β_t` schedule from Srinivas et al. (GP-UCB): `β_t = 2 log(d t² π² / (6 δ))`,
+/// returned as the multiplier of the standard deviation (i.e. `sqrt(β_t)`), clamped to a
+/// practical range.
+///
+/// * `t` — 1-based iteration counter.
+/// * `dim` — dimensionality of the search space (configuration + context).
+/// * `delta` — confidence parameter; the paper follows the common `δ = 0.1`.
+pub fn ucb_beta(t: usize, dim: usize, delta: f64) -> f64 {
+    let t = t.max(1) as f64;
+    let dim = dim.max(1) as f64;
+    let delta = delta.clamp(1e-6, 0.5);
+    let beta_sq = 2.0 * (dim * t * t * std::f64::consts::PI.powi(2) / (6.0 * delta)).ln();
+    // The theoretical schedule is notoriously conservative; like most practical GP-UCB /
+    // SafeOpt implementations we cap the multiplier at a moderate value so the safety set
+    // does not collapse to the already-evaluated points.
+    beta_sq.max(1.0).sqrt().min(3.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn post(mean: f64, std_dev: f64) -> Posterior {
+        Posterior { mean, std_dev }
+    }
+
+    #[test]
+    fn ei_is_zero_when_confidently_worse() {
+        let p = post(0.0, 1e-9);
+        assert_eq!(expected_improvement(&p, 10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn ei_positive_when_mean_exceeds_incumbent() {
+        let p = post(5.0, 0.5);
+        assert!(expected_improvement(&p, 4.0, 0.0) > 0.9);
+    }
+
+    #[test]
+    fn ei_grows_with_uncertainty_for_equal_means() {
+        let low = expected_improvement(&post(1.0, 0.1), 1.0, 0.0);
+        let high = expected_improvement(&post(1.0, 2.0), 1.0, 0.0);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn ucb_and_lcb_bracket_the_mean() {
+        let p = post(3.0, 0.7);
+        assert!(upper_confidence_bound(&p, 2.0) > p.mean);
+        assert!(lower_confidence_bound(&p, 2.0) < p.mean);
+        assert!(
+            (upper_confidence_bound(&p, 2.0) + lower_confidence_bound(&p, 2.0)) / 2.0 - p.mean
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn beta_schedule_is_increasing_in_t_and_bounded() {
+        let b1 = ucb_beta(1, 40, 0.1);
+        let b10 = ucb_beta(10, 40, 0.1);
+        let b400 = ucb_beta(400, 40, 0.1);
+        assert!(b1 <= b10 && b10 <= b400);
+        assert!(b1 >= 1.0);
+        assert!(b400 <= 3.0);
+    }
+
+    #[test]
+    fn beta_schedule_tolerates_degenerate_inputs() {
+        assert!(ucb_beta(0, 0, 0.0).is_finite());
+        assert!(ucb_beta(0, 0, 1.0).is_finite());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_ei_nonnegative(mean in -100.0f64..100.0, sd in 0.0f64..50.0, best in -100.0f64..100.0) {
+                let p = post(mean, sd);
+                prop_assert!(expected_improvement(&p, best, 0.01) >= 0.0);
+            }
+
+            #[test]
+            fn prop_lcb_below_ucb(mean in -100.0f64..100.0, sd in 0.0f64..50.0, beta in 0.0f64..6.0) {
+                let p = post(mean, sd);
+                prop_assert!(lower_confidence_bound(&p, beta) <= upper_confidence_bound(&p, beta) + 1e-12);
+            }
+
+            #[test]
+            fn prop_ei_monotone_in_mean(sd in 0.01f64..10.0, best in -10.0f64..10.0, m1 in -10.0f64..10.0, m2 in -10.0f64..10.0) {
+                let (lo, hi) = if m1 < m2 { (m1, m2) } else { (m2, m1) };
+                let ei_lo = expected_improvement(&post(lo, sd), best, 0.0);
+                let ei_hi = expected_improvement(&post(hi, sd), best, 0.0);
+                prop_assert!(ei_hi + 1e-9 >= ei_lo);
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Contextual Gaussian process: a GP over the joint `(configuration, context)` space.
+//!
+//! This is the surrogate model of §5.2. The configuration is expected to be normalized into
+//! the unit hypercube (see [`crate::normalize::MinMaxScaler`]); the context is the feature
+//! vector produced by the `featurize` crate. Internally the model simply concatenates
+//! `[θ, c]` and uses the additive contextual kernel.
+
+use crate::hyperopt::{optimize_hyperparameters, HyperOptOptions, HyperOptReport};
+use crate::kernels::AdditiveContextKernel;
+use crate::regression::{GaussianProcess, GpError, Posterior};
+use rand::Rng;
+
+/// One `(context, configuration, performance)` observation, in the units used by the tuner
+/// (normalized configuration, raw context feature, raw performance).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContextObservation {
+    /// Context feature vector `c_t`.
+    pub context: Vec<f64>,
+    /// Normalized configuration vector `θ_t ∈ [0, 1]^m`.
+    pub config: Vec<f64>,
+    /// Observed performance `y_t` (higher is better; latency objectives are negated by the
+    /// caller).
+    pub performance: f64,
+}
+
+/// A Gaussian process over the joint context–configuration space.
+pub struct ContextualGp {
+    gp: GaussianProcess,
+    config_dim: usize,
+    context_dim: usize,
+    observations: Vec<ContextObservation>,
+}
+
+impl ContextualGp {
+    /// Creates an empty contextual GP for the given dimensions.
+    pub fn new(config_dim: usize, context_dim: usize) -> Self {
+        let kernel = AdditiveContextKernel::new(config_dim);
+        ContextualGp {
+            gp: GaussianProcess::new(Box::new(kernel), 1e-2),
+            config_dim,
+            context_dim,
+            observations: Vec::new(),
+        }
+    }
+
+    /// Number of configuration dimensions.
+    pub fn config_dim(&self) -> usize {
+        self.config_dim
+    }
+
+    /// Number of context dimensions.
+    pub fn context_dim(&self) -> usize {
+        self.context_dim
+    }
+
+    /// The stored observations.
+    pub fn observations(&self) -> &[ContextObservation] {
+        &self.observations
+    }
+
+    /// Number of stored observations.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Whether the model has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    fn joint(&self, config: &[f64], context: &[f64]) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.config_dim + self.context_dim);
+        v.extend_from_slice(config);
+        v.extend_from_slice(context);
+        v
+    }
+
+    /// Adds an observation without refitting (call [`ContextualGp::refit`] afterwards).
+    pub fn add_observation(&mut self, obs: ContextObservation) {
+        debug_assert_eq!(obs.config.len(), self.config_dim);
+        debug_assert_eq!(obs.context.len(), self.context_dim);
+        self.observations.push(obs);
+    }
+
+    /// Replaces all observations (used when re-clustering reassigns observations to models).
+    pub fn set_observations(&mut self, obs: Vec<ContextObservation>) {
+        self.observations = obs;
+    }
+
+    /// Refits the underlying GP on the stored observations.
+    pub fn refit(&mut self) -> Result<(), GpError> {
+        if self.observations.is_empty() {
+            return Err(GpError::EmptyTrainingSet);
+        }
+        let x: Vec<Vec<f64>> = self
+            .observations
+            .iter()
+            .map(|o| self.joint(&o.config, &o.context))
+            .collect();
+        let y: Vec<f64> = self.observations.iter().map(|o| o.performance).collect();
+        self.gp.fit(&x, &y)
+    }
+
+    /// Refits and additionally optimizes the kernel hyper-parameters.
+    pub fn refit_with_hyperopt<R: Rng>(
+        &mut self,
+        options: &HyperOptOptions,
+        rng: &mut R,
+    ) -> Result<HyperOptReport, GpError> {
+        if self.observations.is_empty() {
+            return Err(GpError::EmptyTrainingSet);
+        }
+        let x: Vec<Vec<f64>> = self
+            .observations
+            .iter()
+            .map(|o| self.joint(&o.config, &o.context))
+            .collect();
+        let y: Vec<f64> = self.observations.iter().map(|o| o.performance).collect();
+        let report = optimize_hyperparameters(&mut self.gp, &x, &y, options, rng);
+        // optimize_hyperparameters refits internally; make sure the fit succeeded.
+        if !self.gp.is_fitted() {
+            self.gp.fit(&x, &y)?;
+        }
+        Ok(report)
+    }
+
+    /// Predicts the performance of `config` under `context`.
+    pub fn predict(&self, config: &[f64], context: &[f64]) -> Result<Posterior, GpError> {
+        self.gp.predict(&self.joint(config, context))
+    }
+
+    /// Whether the model has been fitted.
+    pub fn is_fitted(&self) -> bool {
+        self.gp.is_fitted()
+    }
+
+    /// The best observed performance (and the corresponding configuration) under *any*
+    /// context, or `None` when empty. OnlineTune centers its subspace on this configuration.
+    pub fn best_observation(&self) -> Option<&ContextObservation> {
+        self.observations
+            .iter()
+            .max_by(|a, b| a.performance.partial_cmp(&b.performance).unwrap_or(std::cmp::Ordering::Equal))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy objective with a context-dependent optimum: f(θ, c) = -(θ - c)² so the best
+    /// configuration equals the context value.
+    fn toy(theta: f64, c: f64) -> f64 {
+        -(theta - c).powi(2)
+    }
+
+    fn build_model() -> ContextualGp {
+        let mut model = ContextualGp::new(1, 1);
+        for i in 0..10 {
+            let theta = i as f64 / 9.0;
+            for &c in &[0.2, 0.4] {
+                model.add_observation(ContextObservation {
+                    context: vec![c],
+                    config: vec![theta],
+                    performance: toy(theta, c),
+                });
+            }
+        }
+        model.refit().unwrap();
+        model
+    }
+
+    #[test]
+    fn predicts_context_dependent_optimum() {
+        let model = build_model();
+        // Under context 0.2 the best configuration is near 0.2, under 0.4 near 0.4.
+        let near_02 = model.predict(&[0.2], &[0.2]).unwrap().mean;
+        let off_02 = model.predict(&[0.8], &[0.2]).unwrap().mean;
+        assert!(near_02 > off_02);
+        let near_04 = model.predict(&[0.4], &[0.4]).unwrap().mean;
+        let off_04 = model.predict(&[0.9], &[0.4]).unwrap().mean;
+        assert!(near_04 > off_04);
+    }
+
+    #[test]
+    fn transfers_knowledge_to_nearby_context() {
+        // Figure 3 of the paper: observations only under context 0.2; the posterior under a
+        // nearby context (0.25) should still be informative (lower uncertainty than under a
+        // distant context far outside the observed range).
+        let mut model = ContextualGp::new(1, 1);
+        for i in 0..8 {
+            let theta = i as f64 / 7.0;
+            model.add_observation(ContextObservation {
+                context: vec![0.2],
+                config: vec![theta],
+                performance: toy(theta, 0.2),
+            });
+        }
+        model.refit().unwrap();
+        let near = model.predict(&[0.5], &[0.25]).unwrap();
+        let far = model.predict(&[0.5], &[5.0]).unwrap();
+        assert!(near.std_dev < far.std_dev);
+    }
+
+    #[test]
+    fn best_observation_returns_maximum() {
+        let model = build_model();
+        let best = model.best_observation().unwrap();
+        let max = model
+            .observations()
+            .iter()
+            .map(|o| o.performance)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(best.performance, max);
+    }
+
+    #[test]
+    fn empty_model_refit_is_an_error() {
+        let mut model = ContextualGp::new(2, 3);
+        assert!(model.refit().is_err());
+        assert!(model.is_empty());
+        assert!(model.best_observation().is_none());
+    }
+
+    #[test]
+    fn hyperopt_path_produces_a_fitted_model() {
+        let mut model = build_model();
+        let mut rng = rand::rngs::mock::StepRng::new(42, 13);
+        let report = model
+            .refit_with_hyperopt(&HyperOptOptions { restarts: 1, max_iters: 20, ..Default::default() }, &mut rng)
+            .unwrap();
+        assert!(model.is_fitted());
+        assert!(report.best_lml.is_finite());
+    }
+}

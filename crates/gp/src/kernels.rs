@@ -1,0 +1,422 @@
+//! Covariance functions (kernels) for Gaussian-process regression.
+//!
+//! OnlineTune's contextual surrogate (paper §5.2) uses an **additive kernel**
+//! `k((θ, c), (θ', c')) = k_Θ(θ, θ') + k_C(c, c')` with a Matérn kernel over
+//! configurations and a linear kernel over contexts, so that the model captures an overall
+//! trend driven by the context plus a configuration-specific deviation from that trend.
+//!
+//! All kernels expose their hyper-parameters in **log space** through [`Kernel::params`] /
+//! [`Kernel::set_params`], which makes the marginal-likelihood optimization in
+//! [`crate::hyperopt`] an unconstrained problem.
+
+use linalg::vecops::{dot, squared_distance};
+
+/// A positive semi-definite covariance function over `R^d`.
+pub trait Kernel: Send + Sync {
+    /// Evaluates the kernel at a pair of points.
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64;
+
+    /// Returns the hyper-parameters in log space (empty when the kernel has none).
+    fn params(&self) -> Vec<f64>;
+
+    /// Sets the hyper-parameters from log-space values produced by [`Kernel::params`].
+    fn set_params(&mut self, p: &[f64]);
+
+    /// Number of hyper-parameters.
+    fn n_params(&self) -> usize {
+        self.params().len()
+    }
+
+    /// Clones the kernel behind a `Box`, preserving the concrete type.
+    fn clone_box(&self) -> Box<dyn Kernel>;
+
+    /// A short human-readable name used in diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+impl Clone for Box<dyn Kernel> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Matérn-5/2 kernel with a single (isotropic) lengthscale and unit variance.
+///
+/// `k(a, b) = (1 + √5 r / ℓ + 5 r² / (3 ℓ²)) · exp(-√5 r / ℓ)`
+///
+/// The Matérn-5/2 kernel is the standard choice for configuration-tuning surrogates
+/// (OtterTune, ResTune, and the "Martin kernel" referenced by the paper): it is twice
+/// differentiable but does not impose the unrealistic infinite smoothness of the RBF.
+#[derive(Debug, Clone)]
+pub struct Matern52Kernel {
+    lengthscale: f64,
+}
+
+impl Matern52Kernel {
+    /// Creates the kernel with the given lengthscale (must be positive).
+    pub fn new(lengthscale: f64) -> Self {
+        assert!(lengthscale > 0.0, "lengthscale must be positive");
+        Matern52Kernel { lengthscale }
+    }
+
+    /// Current lengthscale.
+    pub fn lengthscale(&self) -> f64 {
+        self.lengthscale
+    }
+}
+
+impl Kernel for Matern52Kernel {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        let r = squared_distance(a, b).sqrt();
+        let s = 5f64.sqrt() * r / self.lengthscale;
+        (1.0 + s + s * s / 3.0) * (-s).exp()
+    }
+
+    fn params(&self) -> Vec<f64> {
+        vec![self.lengthscale.ln()]
+    }
+
+    fn set_params(&mut self, p: &[f64]) {
+        if let Some(&l) = p.first() {
+            self.lengthscale = l.exp().clamp(1e-4, 1e4);
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Kernel> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "matern52"
+    }
+}
+
+/// Squared-exponential (RBF) kernel with a single lengthscale and unit variance.
+#[derive(Debug, Clone)]
+pub struct RbfKernel {
+    lengthscale: f64,
+}
+
+impl RbfKernel {
+    /// Creates the kernel with the given lengthscale (must be positive).
+    pub fn new(lengthscale: f64) -> Self {
+        assert!(lengthscale > 0.0, "lengthscale must be positive");
+        RbfKernel { lengthscale }
+    }
+}
+
+impl Kernel for RbfKernel {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        let d2 = squared_distance(a, b);
+        (-0.5 * d2 / (self.lengthscale * self.lengthscale)).exp()
+    }
+
+    fn params(&self) -> Vec<f64> {
+        vec![self.lengthscale.ln()]
+    }
+
+    fn set_params(&mut self, p: &[f64]) {
+        if let Some(&l) = p.first() {
+            self.lengthscale = l.exp().clamp(1e-4, 1e4);
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Kernel> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "rbf"
+    }
+}
+
+/// Linear (dot-product) kernel `k(a, b) = σ² (aᵀb + c)`.
+///
+/// Used over the context dimensions: the paper models the context-driven trend linearly so
+/// knowledge transfers smoothly between nearby contexts.
+#[derive(Debug, Clone)]
+pub struct LinearKernel {
+    variance: f64,
+    bias: f64,
+}
+
+impl LinearKernel {
+    /// Creates the kernel with the given variance and bias (both must be positive).
+    pub fn new(variance: f64, bias: f64) -> Self {
+        assert!(variance > 0.0 && bias >= 0.0);
+        LinearKernel { variance, bias }
+    }
+}
+
+impl Kernel for LinearKernel {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.variance * (dot(a, b) + self.bias)
+    }
+
+    fn params(&self) -> Vec<f64> {
+        vec![self.variance.ln()]
+    }
+
+    fn set_params(&mut self, p: &[f64]) {
+        if let Some(&v) = p.first() {
+            self.variance = v.exp().clamp(1e-6, 1e4);
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Kernel> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+}
+
+/// Multiplies an inner kernel by a signal variance: `k(a, b) = σ_f² · k_inner(a, b)`.
+#[derive(Clone)]
+pub struct ScaledKernel {
+    inner: Box<dyn Kernel>,
+    signal_variance: f64,
+}
+
+impl ScaledKernel {
+    /// Wraps `inner` with a signal variance.
+    pub fn new(inner: Box<dyn Kernel>, signal_variance: f64) -> Self {
+        assert!(signal_variance > 0.0);
+        ScaledKernel {
+            inner,
+            signal_variance,
+        }
+    }
+
+    /// Current signal variance.
+    pub fn signal_variance(&self) -> f64 {
+        self.signal_variance
+    }
+}
+
+impl Kernel for ScaledKernel {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.signal_variance * self.inner.eval(a, b)
+    }
+
+    fn params(&self) -> Vec<f64> {
+        let mut p = vec![self.signal_variance.ln()];
+        p.extend(self.inner.params());
+        p
+    }
+
+    fn set_params(&mut self, p: &[f64]) {
+        if let Some(&v) = p.first() {
+            self.signal_variance = v.exp().clamp(1e-6, 1e6);
+        }
+        if p.len() > 1 {
+            self.inner.set_params(&p[1..]);
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Kernel> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "scaled"
+    }
+}
+
+/// The additive contextual kernel from §5.2 of the paper.
+///
+/// Inputs are joint vectors `[θ_1..θ_m, c_1..c_k]` where the first `config_dim` entries are
+/// the (normalized) configuration and the remainder is the context feature. The kernel is
+/// `σ_Θ² · Matérn52(θ, θ') + σ_C² · Linear(c, c')`.
+#[derive(Clone)]
+pub struct AdditiveContextKernel {
+    config_dim: usize,
+    config_kernel: ScaledKernel,
+    context_kernel: LinearKernel,
+}
+
+impl AdditiveContextKernel {
+    /// Creates the kernel for `config_dim` configuration dimensions. Any further dimensions
+    /// of the input vectors are treated as context.
+    pub fn new(config_dim: usize) -> Self {
+        AdditiveContextKernel {
+            config_dim,
+            config_kernel: ScaledKernel::new(Box::new(Matern52Kernel::new(0.3)), 1.0),
+            context_kernel: LinearKernel::new(0.5, 0.1),
+        }
+    }
+
+    /// Number of configuration dimensions expected at the front of each input vector.
+    pub fn config_dim(&self) -> usize {
+        self.config_dim
+    }
+
+    fn split<'a>(&self, x: &'a [f64]) -> (&'a [f64], &'a [f64]) {
+        let d = self.config_dim.min(x.len());
+        x.split_at(d)
+    }
+}
+
+impl Kernel for AdditiveContextKernel {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        let (ta, ca) = self.split(a);
+        let (tb, cb) = self.split(b);
+        let config_part = self.config_kernel.eval(ta, tb);
+        let context_part = if ca.is_empty() {
+            0.0
+        } else {
+            self.context_kernel.eval(ca, cb)
+        };
+        config_part + context_part
+    }
+
+    fn params(&self) -> Vec<f64> {
+        let mut p = self.config_kernel.params();
+        p.extend(self.context_kernel.params());
+        p
+    }
+
+    fn set_params(&mut self, p: &[f64]) {
+        let nc = self.config_kernel.n_params();
+        self.config_kernel.set_params(&p[..nc.min(p.len())]);
+        if p.len() > nc {
+            self.context_kernel.set_params(&p[nc..]);
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Kernel> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "additive-context"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matern_is_one_at_zero_distance_and_decays() {
+        let k = Matern52Kernel::new(0.5);
+        let a = [0.1, 0.2];
+        assert!((k.eval(&a, &a) - 1.0).abs() < 1e-12);
+        let near = k.eval(&a, &[0.15, 0.2]);
+        let far = k.eval(&a, &[0.9, 0.9]);
+        assert!(near > far);
+        assert!(far > 0.0);
+    }
+
+    #[test]
+    fn matern_symmetry() {
+        let k = Matern52Kernel::new(0.7);
+        let a = [0.3, 0.9, 0.1];
+        let b = [0.5, 0.2, 0.8];
+        assert!((k.eval(&a, &b) - k.eval(&b, &a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rbf_matches_closed_form() {
+        let k = RbfKernel::new(1.0);
+        let v = k.eval(&[0.0], &[1.0]);
+        assert!((v - (-0.5f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_kernel_uses_dot_product() {
+        let k = LinearKernel::new(2.0, 0.5);
+        assert!((k.eval(&[1.0, 2.0], &[3.0, 4.0]) - 2.0 * (11.0 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_kernel_scales() {
+        let base = Matern52Kernel::new(0.5);
+        let a = [0.1, 0.9];
+        let b = [0.4, 0.2];
+        let scaled = ScaledKernel::new(Box::new(base.clone()), 3.0);
+        assert!((scaled.eval(&a, &b) - 3.0 * base.eval(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn params_roundtrip_for_all_kernels() {
+        let mut kernels: Vec<Box<dyn Kernel>> = vec![
+            Box::new(Matern52Kernel::new(0.42)),
+            Box::new(RbfKernel::new(1.7)),
+            Box::new(LinearKernel::new(0.9, 0.1)),
+            Box::new(ScaledKernel::new(Box::new(Matern52Kernel::new(0.3)), 2.0)),
+            Box::new(AdditiveContextKernel::new(3)),
+        ];
+        for k in kernels.iter_mut() {
+            let p = k.params();
+            assert_eq!(p.len(), k.n_params());
+            let before = k.eval(&[0.1, 0.2, 0.3, 0.4], &[0.5, 0.6, 0.7, 0.8]);
+            let p2 = p.clone();
+            k.set_params(&p2);
+            let after = k.eval(&[0.1, 0.2, 0.3, 0.4], &[0.5, 0.6, 0.7, 0.8]);
+            assert!(
+                (before - after).abs() < 1e-9,
+                "{} changed value after no-op param roundtrip",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn additive_kernel_adds_context_similarity() {
+        let k = AdditiveContextKernel::new(2);
+        // Same configuration, different context: contextual part differs.
+        let a = [0.5, 0.5, 1.0];
+        let b_same_ctx = [0.5, 0.5, 1.0];
+        let b_diff_ctx = [0.5, 0.5, 0.0];
+        assert!(k.eval(&a, &b_same_ctx) > k.eval(&a, &b_diff_ctx));
+        // Same context, different configuration: configuration part differs.
+        let c_near = [0.5, 0.5, 1.0];
+        let c_far = [0.0, 1.0, 1.0];
+        assert!(k.eval(&a, &c_near) > k.eval(&a, &c_far));
+    }
+
+    #[test]
+    fn additive_kernel_without_context_dims_is_config_only() {
+        let k = AdditiveContextKernel::new(2);
+        let a = [0.5, 0.5];
+        let b = [0.2, 0.8];
+        let cfg_only = ScaledKernel::new(Box::new(Matern52Kernel::new(0.3)), 1.0);
+        assert!((k.eval(&a, &b) - cfg_only.eval(&a, &b)).abs() < 1e-12);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_matern_bounded_and_symmetric(
+                a in proptest::collection::vec(-3.0f64..3.0, 4),
+                b in proptest::collection::vec(-3.0f64..3.0, 4),
+                ls in 0.05f64..5.0,
+            ) {
+                let k = Matern52Kernel::new(ls);
+                let kab = k.eval(&a, &b);
+                prop_assert!(kab <= 1.0 + 1e-12);
+                prop_assert!(kab >= 0.0);
+                prop_assert!((kab - k.eval(&b, &a)).abs() < 1e-12);
+            }
+
+            #[test]
+            fn prop_gram_matrix_is_psd(
+                xs in proptest::collection::vec(proptest::collection::vec(-2.0f64..2.0, 3), 2..8),
+                ls in 0.1f64..3.0,
+            ) {
+                // A valid kernel must produce a positive semi-definite Gram matrix; adding a
+                // small diagonal makes it positive definite, so Cholesky must succeed.
+                let k = Matern52Kernel::new(ls);
+                let n = xs.len();
+                let mut gram = linalg::Matrix::from_fn(n, n, |i, j| k.eval(&xs[i], &xs[j]));
+                gram.add_diagonal(1e-8).unwrap();
+                prop_assert!(linalg::Cholesky::decompose_with_jitter(&gram, 1e-3).is_ok());
+            }
+        }
+    }
+}

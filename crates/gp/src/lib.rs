@@ -1,0 +1,36 @@
+//! # gp — Gaussian-process regression for configuration tuning
+//!
+//! This crate implements the surrogate-model machinery used by OnlineTune and the
+//! Bayesian-optimization baselines of the SIGMOD 2022 paper:
+//!
+//! * [`kernels`] — Matérn-5/2, RBF and linear kernels, a scaled wrapper and the **additive
+//!   contextual kernel** `k_Θ(θ, θ') + k_C(c, c')` from §5.2 of the paper.
+//! * [`regression`] — exact GP regression via Cholesky factorization (posterior mean,
+//!   variance, log marginal likelihood) on top of the [`linalg`] crate.
+//! * [`hyperopt`] — log-marginal-likelihood hyper-parameter fitting with a multi-start
+//!   Nelder–Mead simplex optimizer (no gradients needed).
+//! * [`acquisition`] — Expected Improvement (used by the OtterTune-style baseline),
+//!   GP-UCB and the lower confidence bound used for black-box safety assessment,
+//!   including the `β_t` schedule of Srinivas et al. referenced by the paper.
+//! * [`normalize`] — input min–max scaling and output standardization helpers.
+//! * [`contextual`] — a convenience wrapper that manages the `(context, configuration)`
+//!   joint input space.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acquisition;
+pub mod contextual;
+pub mod hyperopt;
+pub mod kernels;
+pub mod normalize;
+pub mod regression;
+
+pub use acquisition::{
+    expected_improvement, lower_confidence_bound, ucb_beta, upper_confidence_bound,
+};
+pub use contextual::ContextualGp;
+pub use kernels::{
+    AdditiveContextKernel, Kernel, LinearKernel, Matern52Kernel, RbfKernel, ScaledKernel,
+};
+pub use regression::{GaussianProcess, GpError, Posterior};

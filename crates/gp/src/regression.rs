@@ -1,0 +1,422 @@
+//! Exact Gaussian-process regression (Eq. 2 of the paper).
+//!
+//! The model is `y = f(x) + ε`, `ε ~ N(0, σ²)`, with `f ~ GP(0, k)`. Training amounts to a
+//! single Cholesky factorization of `K + σ²I`; prediction of mean and variance at a query
+//! point costs one triangular solve. Outputs are standardized internally so the zero-mean
+//! prior is reasonable regardless of the metric being tuned (throughput, latency, ...).
+
+use crate::kernels::Kernel;
+use crate::normalize::Standardizer;
+use linalg::{Cholesky, Matrix};
+
+/// Errors produced by GP fitting or prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpError {
+    /// `fit` was called with no observations.
+    EmptyTrainingSet,
+    /// The number of targets does not match the number of inputs.
+    LengthMismatch {
+        /// Number of input rows provided.
+        inputs: usize,
+        /// Number of target values provided.
+        targets: usize,
+    },
+    /// The kernel matrix could not be factorized even with jitter.
+    KernelNotPositiveDefinite,
+    /// Prediction was requested before the model was fitted.
+    NotFitted,
+    /// A query point has a different dimension than the training data.
+    DimensionMismatch {
+        /// Dimension of the training inputs.
+        expected: usize,
+        /// Dimension of the query point.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for GpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpError::EmptyTrainingSet => write!(f, "cannot fit a GP with zero observations"),
+            GpError::LengthMismatch { inputs, targets } => {
+                write!(f, "{inputs} inputs but {targets} targets")
+            }
+            GpError::KernelNotPositiveDefinite => {
+                write!(f, "kernel matrix is not positive definite")
+            }
+            GpError::NotFitted => write!(f, "the GP has not been fitted yet"),
+            GpError::DimensionMismatch { expected, actual } => {
+                write!(f, "query dimension {actual} does not match training dimension {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GpError {}
+
+/// Posterior prediction at a single point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Posterior {
+    /// Posterior mean in the original (un-standardized) output units.
+    pub mean: f64,
+    /// Posterior standard deviation in the original output units.
+    pub std_dev: f64,
+}
+
+impl Posterior {
+    /// Posterior variance.
+    pub fn variance(&self) -> f64 {
+        self.std_dev * self.std_dev
+    }
+}
+
+struct FittedState {
+    chol: Cholesky,
+    /// `(K + σ²I)^{-1} y` in standardized output space.
+    alpha: Vec<f64>,
+    x: Vec<Vec<f64>>,
+    standardizer: Standardizer,
+    dim: usize,
+}
+
+/// An exact Gaussian-process regressor.
+pub struct GaussianProcess {
+    kernel: Box<dyn Kernel>,
+    noise_variance: f64,
+    fitted: Option<FittedState>,
+}
+
+impl Clone for GaussianProcess {
+    fn clone(&self) -> Self {
+        // Refitting is cheap relative to cloning the factorization state, and cloning is only
+        // used when spawning per-cluster models, which are refitted immediately anyway.
+        GaussianProcess {
+            kernel: self.kernel.clone(),
+            noise_variance: self.noise_variance,
+            fitted: None,
+        }
+    }
+}
+
+impl GaussianProcess {
+    /// Creates an unfitted GP with the given kernel and observation-noise variance
+    /// (in standardized output units).
+    pub fn new(kernel: Box<dyn Kernel>, noise_variance: f64) -> Self {
+        assert!(noise_variance > 0.0, "noise variance must be positive");
+        GaussianProcess {
+            kernel,
+            noise_variance,
+            fitted: None,
+        }
+    }
+
+    /// Observation-noise variance.
+    pub fn noise_variance(&self) -> f64 {
+        self.noise_variance
+    }
+
+    /// Sets the observation-noise variance (clamped to a small positive floor) and
+    /// invalidates any previous fit.
+    pub fn set_noise_variance(&mut self, v: f64) {
+        self.noise_variance = v.max(1e-8);
+        self.fitted = None;
+    }
+
+    /// Immutable access to the kernel.
+    pub fn kernel(&self) -> &dyn Kernel {
+        self.kernel.as_ref()
+    }
+
+    /// Mutable access to the kernel (invalidates the fit).
+    pub fn kernel_mut(&mut self) -> &mut Box<dyn Kernel> {
+        self.fitted = None;
+        &mut self.kernel
+    }
+
+    /// Number of training observations in the current fit (0 when unfitted).
+    pub fn n_observations(&self) -> usize {
+        self.fitted.as_ref().map_or(0, |s| s.x.len())
+    }
+
+    /// Whether `fit` has been called successfully.
+    pub fn is_fitted(&self) -> bool {
+        self.fitted.is_some()
+    }
+
+    /// Fits the GP to the given inputs and targets.
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), GpError> {
+        if x.is_empty() {
+            return Err(GpError::EmptyTrainingSet);
+        }
+        if x.len() != y.len() {
+            return Err(GpError::LengthMismatch {
+                inputs: x.len(),
+                targets: y.len(),
+            });
+        }
+        let dim = x[0].len();
+        let standardizer = Standardizer::fit(y);
+        let y_std: Vec<f64> = y.iter().map(|&v| standardizer.transform(v)).collect();
+
+        let n = x.len();
+        let mut k = Matrix::from_fn(n, n, |i, j| self.kernel.eval(&x[i], &x[j]));
+        k.add_diagonal(self.noise_variance)
+            .expect("gram matrix is square by construction");
+        let chol = Cholesky::decompose_with_jitter(&k, 1e-3)
+            .map_err(|_| GpError::KernelNotPositiveDefinite)?;
+        let alpha = chol
+            .solve(&y_std)
+            .map_err(|_| GpError::KernelNotPositiveDefinite)?;
+
+        self.fitted = Some(FittedState {
+            chol,
+            alpha,
+            x: x.to_vec(),
+            standardizer,
+            dim,
+        });
+        Ok(())
+    }
+
+    /// Predicts the posterior mean and standard deviation at a query point.
+    pub fn predict(&self, x_star: &[f64]) -> Result<Posterior, GpError> {
+        let state = self.fitted.as_ref().ok_or(GpError::NotFitted)?;
+        if x_star.len() != state.dim {
+            return Err(GpError::DimensionMismatch {
+                expected: state.dim,
+                actual: x_star.len(),
+            });
+        }
+        let n = state.x.len();
+        let k_star: Vec<f64> = (0..n)
+            .map(|i| self.kernel.eval(&state.x[i], x_star))
+            .collect();
+
+        let mean_std = k_star
+            .iter()
+            .zip(state.alpha.iter())
+            .map(|(k, a)| k * a)
+            .sum::<f64>();
+
+        // var = k(x*, x*) - k_*^T (K + σ²I)^{-1} k_*  computed via v = L^{-1} k_*.
+        let v = state
+            .chol
+            .solve_lower(&k_star)
+            .map_err(|_| GpError::KernelNotPositiveDefinite)?;
+        let prior = self.kernel.eval(x_star, x_star);
+        let var_std = (prior - v.iter().map(|vi| vi * vi).sum::<f64>()).max(1e-12);
+
+        Ok(Posterior {
+            mean: state.standardizer.inverse(mean_std),
+            std_dev: var_std.sqrt() * state.standardizer.scale(),
+        })
+    }
+
+    /// Predicts at many points at once.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<Posterior>, GpError> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Log marginal likelihood of the given data under the current hyper-parameters.
+    ///
+    /// Computed in standardized output space; only relative values matter for
+    /// hyper-parameter selection.
+    pub fn log_marginal_likelihood(&self, x: &[Vec<f64>], y: &[f64]) -> Result<f64, GpError> {
+        if x.is_empty() {
+            return Err(GpError::EmptyTrainingSet);
+        }
+        if x.len() != y.len() {
+            return Err(GpError::LengthMismatch {
+                inputs: x.len(),
+                targets: y.len(),
+            });
+        }
+        let standardizer = Standardizer::fit(y);
+        let y_std: Vec<f64> = y.iter().map(|&v| standardizer.transform(v)).collect();
+        let n = x.len();
+        let mut k = Matrix::from_fn(n, n, |i, j| self.kernel.eval(&x[i], &x[j]));
+        k.add_diagonal(self.noise_variance)
+            .expect("gram matrix is square by construction");
+        let chol = Cholesky::decompose_with_jitter(&k, 1e-3)
+            .map_err(|_| GpError::KernelNotPositiveDefinite)?;
+        let alpha = chol
+            .solve(&y_std)
+            .map_err(|_| GpError::KernelNotPositiveDefinite)?;
+        let data_fit: f64 = y_std.iter().zip(alpha.iter()).map(|(a, b)| a * b).sum();
+        let lml = -0.5 * data_fit
+            - 0.5 * chol.log_det()
+            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+        Ok(lml)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{Matern52Kernel, RbfKernel, ScaledKernel};
+
+    fn sample_problem() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = sin(3x) on [0, 1], 12 evenly spaced points.
+        let xs: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 / 11.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (3.0 * x[0]).sin()).collect();
+        (xs, ys)
+    }
+
+    fn default_gp() -> GaussianProcess {
+        GaussianProcess::new(
+            Box::new(ScaledKernel::new(Box::new(Matern52Kernel::new(0.3)), 1.0)),
+            1e-4,
+        )
+    }
+
+    #[test]
+    fn fit_then_predict_interpolates_training_points() {
+        let (xs, ys) = sample_problem();
+        let mut gp = default_gp();
+        gp.fit(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            let p = gp.predict(x).unwrap();
+            assert!((p.mean - y).abs() < 0.05, "{} vs {}", p.mean, y);
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let (xs, ys) = sample_problem();
+        let mut gp = default_gp();
+        gp.fit(&xs, &ys).unwrap();
+        let near = gp.predict(&[0.5]).unwrap();
+        let far = gp.predict(&[3.0]).unwrap();
+        assert!(far.std_dev > near.std_dev * 2.0);
+    }
+
+    #[test]
+    fn predict_before_fit_is_an_error() {
+        let gp = default_gp();
+        assert_eq!(gp.predict(&[0.5]).unwrap_err(), GpError::NotFitted);
+    }
+
+    #[test]
+    fn mismatched_lengths_are_rejected() {
+        let mut gp = default_gp();
+        let err = gp.fit(&[vec![0.0], vec![1.0]], &[1.0]).unwrap_err();
+        assert!(matches!(err, GpError::LengthMismatch { .. }));
+        assert_eq!(
+            gp.fit(&[], &[]).unwrap_err(),
+            GpError::EmptyTrainingSet
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_on_predict() {
+        let (xs, ys) = sample_problem();
+        let mut gp = default_gp();
+        gp.fit(&xs, &ys).unwrap();
+        assert!(matches!(
+            gp.predict(&[0.1, 0.2]).unwrap_err(),
+            GpError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_points_are_handled_via_jitter() {
+        let xs = vec![vec![0.5], vec![0.5], vec![0.5], vec![0.9]];
+        let ys = vec![1.0, 1.01, 0.99, 2.0];
+        let mut gp = default_gp();
+        gp.fit(&xs, &ys).unwrap();
+        let p = gp.predict(&[0.5]).unwrap();
+        assert!((p.mean - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn constant_targets_predict_the_constant() {
+        let xs = vec![vec![0.1], vec![0.5], vec![0.9]];
+        let ys = vec![7.0, 7.0, 7.0];
+        let mut gp = default_gp();
+        gp.fit(&xs, &ys).unwrap();
+        let p = gp.predict(&[0.3]).unwrap();
+        assert!((p.mean - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_marginal_likelihood_prefers_sensible_lengthscale() {
+        let (xs, ys) = sample_problem();
+        let good = GaussianProcess::new(
+            Box::new(ScaledKernel::new(Box::new(RbfKernel::new(0.3)), 1.0)),
+            1e-4,
+        );
+        let bad = GaussianProcess::new(
+            Box::new(ScaledKernel::new(Box::new(RbfKernel::new(1e-3)), 1.0)),
+            1e-4,
+        );
+        let lml_good = good.log_marginal_likelihood(&xs, &ys).unwrap();
+        let lml_bad = bad.log_marginal_likelihood(&xs, &ys).unwrap();
+        assert!(lml_good > lml_bad);
+    }
+
+    #[test]
+    fn posterior_variance_is_nonnegative_everywhere() {
+        let (xs, ys) = sample_problem();
+        let mut gp = default_gp();
+        gp.fit(&xs, &ys).unwrap();
+        for i in 0..50 {
+            let x = -1.0 + 4.0 * i as f64 / 49.0;
+            let p = gp.predict(&[x]).unwrap();
+            assert!(p.variance() >= 0.0);
+            assert!(p.mean.is_finite());
+        }
+    }
+
+    #[test]
+    fn batch_prediction_matches_pointwise() {
+        let (xs, ys) = sample_problem();
+        let mut gp = default_gp();
+        gp.fit(&xs, &ys).unwrap();
+        let queries = vec![vec![0.2], vec![0.7]];
+        let batch = gp.predict_batch(&queries).unwrap();
+        for (q, b) in queries.iter().zip(batch.iter()) {
+            let p = gp.predict(q).unwrap();
+            assert_eq!(p, *b);
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+            #[test]
+            fn prop_predictions_finite_for_random_data(
+                raw in proptest::collection::vec((-1.0f64..1.0, -10.0f64..10.0), 3..20),
+                q in -2.0f64..2.0,
+            ) {
+                let xs: Vec<Vec<f64>> = raw.iter().map(|(x, _)| vec![*x]).collect();
+                let ys: Vec<f64> = raw.iter().map(|(_, y)| *y).collect();
+                let mut gp = default_gp();
+                gp.fit(&xs, &ys).unwrap();
+                let p = gp.predict(&[q]).unwrap();
+                prop_assert!(p.mean.is_finite());
+                prop_assert!(p.std_dev.is_finite());
+                prop_assert!(p.std_dev >= 0.0);
+            }
+
+            #[test]
+            fn prop_posterior_mean_within_data_range_at_observed_points(
+                raw in proptest::collection::vec((-1.0f64..1.0, 0.0f64..100.0), 4..16),
+            ) {
+                let xs: Vec<Vec<f64>> = raw.iter().map(|(x, _)| vec![*x]).collect();
+                let ys: Vec<f64> = raw.iter().map(|(_, y)| *y).collect();
+                let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let span = (hi - lo).max(1.0);
+                let mut gp = default_gp();
+                gp.fit(&xs, &ys).unwrap();
+                for x in &xs {
+                    let p = gp.predict(x).unwrap();
+                    prop_assert!(p.mean >= lo - span && p.mean <= hi + span);
+                }
+            }
+        }
+    }
+}

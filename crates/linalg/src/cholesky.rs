@@ -1,0 +1,299 @@
+//! Cholesky factorization of symmetric positive-definite matrices and the associated
+//! solves used by Gaussian-process regression.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// A lower-triangular Cholesky factor `L` such that `A = L * L^T`.
+///
+/// Gaussian-process regression repeatedly needs `(K + σ²I)^{-1} y`,
+/// `(K + σ²I)^{-1} k_*` and `log |K + σ²I|`; all of these are computed from one Cholesky
+/// factorization. When the input matrix is only *numerically* positive definite (a common
+/// situation with nearly-duplicated configurations), [`Cholesky::decompose_with_jitter`]
+/// retries with exponentially growing diagonal jitter before giving up.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+    /// Jitter that had to be added to the diagonal for the factorization to succeed.
+    jitter: f64,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    pub fn decompose(a: &Matrix) -> Result<Self> {
+        Self::decompose_inner(a, 0.0)
+    }
+
+    /// Factorizes `a`, retrying with diagonal jitter `1e-10, 1e-9, ... , max_jitter` if the
+    /// plain factorization fails. Returns the factor and records the jitter used.
+    pub fn decompose_with_jitter(a: &Matrix, max_jitter: f64) -> Result<Self> {
+        match Self::decompose_inner(a, 0.0) {
+            Ok(c) => return Ok(c),
+            Err(_) => {}
+        }
+        let mut jitter = 1e-10;
+        while jitter <= max_jitter {
+            if let Ok(c) = Self::decompose_inner(a, jitter) {
+                return Ok(c);
+            }
+            jitter *= 10.0;
+        }
+        Err(LinalgError::NotPositiveDefinite {
+            pivot: 0,
+            value: f64::NAN,
+        })
+    }
+
+    fn decompose_inner(a: &Matrix, jitter: f64) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                if i == j {
+                    sum += jitter;
+                }
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite {
+                            pivot: i,
+                            value: sum,
+                        });
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(Cholesky { l, jitter })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// The diagonal jitter that was added before factorization (0.0 when none was needed).
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `L x = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "solve_lower",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut x = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for j in 0..i {
+                sum -= self.l.get(i, j) * x[j];
+            }
+            let d = self.l.get(i, i);
+            if d == 0.0 {
+                return Err(LinalgError::Singular);
+            }
+            x[i] = sum / d;
+        }
+        Ok(x)
+    }
+
+    /// Solves `L^T x = b` (backward substitution).
+    pub fn solve_upper(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "solve_upper",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for j in (i + 1)..n {
+                sum -= self.l.get(j, i) * x[j];
+            }
+            let d = self.l.get(i, i);
+            if d == 0.0 {
+                return Err(LinalgError::Singular);
+            }
+            x[i] = sum / d;
+        }
+        Ok(x)
+    }
+
+    /// Solves `A x = b` where `A = L L^T`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let y = self.solve_lower(b)?;
+        self.solve_upper(&y)
+    }
+
+    /// Log-determinant of `A = L L^T`: `2 * Σ log(L_ii)`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim())
+            .map(|i| self.l.get(i, i).ln())
+            .sum::<f64>()
+            * 2.0
+    }
+
+    /// Computes the inverse of the factored matrix. Only used in tests and diagnostics —
+    /// solves should be preferred in hot paths.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            for i in 0..n {
+                inv.set(i, j, col[i]);
+            }
+        }
+        Ok(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = B^T B + I for B with distinct rows, guaranteed SPD.
+        Matrix::from_vec(
+            3,
+            3,
+            vec![4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        let a = spd3();
+        let c = Cholesky::decompose(&a).unwrap();
+        let l = c.factor();
+        let rec = l.matmul(&l.transpose()).unwrap();
+        assert!(rec.max_abs_diff(&a).unwrap() < 1e-10);
+        assert_eq!(c.jitter(), 0.0);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd3();
+        let c = Cholesky::decompose(&a).unwrap();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let x = c.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!((xi - ti).abs() < 1e-10, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn log_det_matches_known_value() {
+        // det of diag(2, 3, 4) is 24.
+        let a = Matrix::from_vec(3, 3, vec![2.0, 0.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0, 4.0]).unwrap();
+        let c = Cholesky::decompose(&a).unwrap();
+        assert!((c.log_det() - 24.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_spd_matrix_is_rejected() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap(); // eigenvalues 3, -1
+        assert!(Cholesky::decompose(&a).is_err());
+    }
+
+    #[test]
+    fn jitter_rescues_near_singular_matrix() {
+        // Rank-deficient Gram matrix of duplicated points.
+        let a = Matrix::from_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        let c = Cholesky::decompose_with_jitter(&a, 1e-2).unwrap();
+        assert!(c.jitter() > 0.0);
+        let x = c.solve(&[1.0, 1.0]).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn rectangular_matrix_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::decompose(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd3();
+        let c = Cholesky::decompose(&a).unwrap();
+        let inv = c.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-9);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Builds a random SPD matrix as `B B^T + n * I`.
+        fn spd_strategy(n: usize) -> impl Strategy<Value = Matrix> {
+            proptest::collection::vec(-2.0f64..2.0, n * n).prop_map(move |vals| {
+                let b = Matrix::from_vec(n, n, vals).unwrap();
+                let mut a = b.matmul(&b.transpose()).unwrap();
+                a.add_diagonal(n as f64).unwrap();
+                a
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn prop_reconstruction(a in spd_strategy(5)) {
+                let c = Cholesky::decompose(&a).unwrap();
+                let l = c.factor();
+                let rec = l.matmul(&l.transpose()).unwrap();
+                prop_assert!(rec.max_abs_diff(&a).unwrap() < 1e-8);
+            }
+
+            #[test]
+            fn prop_solve_roundtrip(a in spd_strategy(4), x in proptest::collection::vec(-5.0f64..5.0, 4)) {
+                let c = Cholesky::decompose(&a).unwrap();
+                let b = a.matvec(&x).unwrap();
+                let solved = c.solve(&b).unwrap();
+                for (s, t) in solved.iter().zip(x.iter()) {
+                    prop_assert!((s - t).abs() < 1e-6, "{} vs {}", s, t);
+                }
+            }
+
+            #[test]
+            fn prop_log_det_is_finite_and_consistent(a in spd_strategy(4)) {
+                let c = Cholesky::decompose(&a).unwrap();
+                let ld = c.log_det();
+                prop_assert!(ld.is_finite());
+                // log det of A must equal -log det of A^{-1}.
+                let inv = c.inverse().unwrap();
+                let c_inv = Cholesky::decompose_with_jitter(&inv, 1e-6).unwrap();
+                prop_assert!((ld + c_inv.log_det()).abs() < 1e-5);
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! # linalg — small dense linear algebra kernel
+//!
+//! The OnlineTune reproduction needs exact, dependency-free dense linear algebra for
+//! Gaussian-process regression: symmetric positive-definite solves via Cholesky
+//! factorization, triangular solves, matrix products and a handful of vector statistics.
+//! Matrices in this workload are small (a few hundred rows at most, because OnlineTune
+//! bounds the per-cluster observation count), so a straightforward row-major `Vec<f64>`
+//! representation with `O(n^3)` textbook algorithms is both simple and fast enough.
+//!
+//! The crate deliberately avoids `unsafe` and external BLAS bindings; every routine is
+//! written so it can be property-tested against algebraic identities (see the test
+//! modules and `tests/` of the workspace).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cholesky;
+pub mod matrix;
+pub mod stats;
+pub mod vecops;
+
+pub use cholesky::Cholesky;
+pub use matrix::Matrix;
+
+/// Error type for linear-algebra operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Matrix dimensions are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left-hand operand.
+        lhs: (usize, usize),
+        /// Dimensions of the right-hand operand (or expected shape).
+        rhs: (usize, usize),
+    },
+    /// The matrix is not positive definite (Cholesky pivot failed even with jitter).
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+        /// Value of the failing pivot.
+        value: f64,
+    },
+    /// The matrix is singular (zero pivot in a triangular solve).
+    Singular,
+    /// The operation requires a square matrix but a rectangular one was supplied.
+    NotSquare {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotPositiveDefinite { pivot, value } => write!(
+                f,
+                "matrix is not positive definite: pivot {pivot} has value {value}"
+            ),
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "expected a square matrix, got {rows}x{cols}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

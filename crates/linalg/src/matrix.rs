@@ -1,0 +1,385 @@
+//! Dense row-major matrix type and basic operations.
+
+use crate::{LinalgError, Result};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// The matrix is intentionally minimal: it supports exactly the operations needed by the
+/// Gaussian-process and baseline code in this workspace (products, transposes, element
+/// access, row extraction and a few constructors).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix of the given shape filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix of the given shape filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n`×`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// Returns an error if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "from_vec",
+                lhs: (rows, cols),
+                rhs: (data.len(), 1),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of rows. All rows must have the same length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Ok(Matrix::zeros(0, 0));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(LinalgError::DimensionMismatch {
+                    op: "from_rows",
+                    lhs: (i, r.len()),
+                    rhs: (0, cols),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a square matrix by evaluating `f(i, j)` for every entry.
+    ///
+    /// This is the main entry point used to build Gram (kernel) matrices.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.set(i, j, f(i, j));
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Returns the element at (`i`, `j`).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets the element at (`i`, `j`).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = value;
+    }
+
+    /// Returns row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Returns column `j` as a freshly allocated vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Returns the underlying row-major data slice.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Returns the transpose of the matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.set(j, i, self.get(i, j));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let v = out.get(i, j) + a * rhs.get(k, j);
+                    out.set(i, j, v);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.cols != v.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matvec",
+                lhs: (self.rows, self.cols),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for j in 0..self.cols {
+                acc += row[j] * v[j];
+            }
+            out[i] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Element-wise sum `self + rhs`.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "add",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Returns `self * scalar`.
+    pub fn scale(&self, scalar: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * scalar).collect(),
+        }
+    }
+
+    /// Adds `value` to every diagonal element in place (used to add observation noise /
+    /// jitter to kernel matrices). Requires a square matrix.
+    pub fn add_diagonal(&mut self, value: f64) -> Result<()> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        for i in 0..self.rows {
+            let v = self.get(i, i) + value;
+            self.set(i, i, v);
+        }
+        Ok(())
+    }
+
+    /// Frobenius norm of the matrix.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute difference between two matrices of equal shape.
+    pub fn max_abs_diff(&self, rhs: &Matrix) -> Result<f64> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "max_abs_diff",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max))
+    }
+
+    /// Returns true if the matrix is symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self.get(i, j) - self.get(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity_shapes() {
+        let z = Matrix::zeros(3, 4);
+        assert_eq!(z.rows(), 3);
+        assert_eq!(z.cols(), 4);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+
+        let i = Matrix::identity(3);
+        assert!(i.is_square());
+        assert_eq!(i.get(0, 0), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+        assert_eq!(i.get(2, 2), 1.0);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn from_rows_checks_ragged_input() {
+        let err = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+        assert!(err.is_err());
+        let ok = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(ok.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn matmul_against_hand_computed_product() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        assert_eq!(c.get(0, 0), 58.0);
+        assert_eq!(c.get(0, 1), 64.0);
+        assert_eq!(c.get(1, 0), 139.0);
+        assert_eq!(c.get(1, 1), 154.0);
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch_is_an_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_matmul_with_column() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let v = vec![5.0, 6.0];
+        let mv = a.matvec(&v).unwrap();
+        assert_eq!(mv, vec![17.0, 39.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn add_diagonal_requires_square() {
+        let mut a = Matrix::zeros(2, 3);
+        assert!(a.add_diagonal(1.0).is_err());
+        let mut b = Matrix::zeros(2, 2);
+        b.add_diagonal(0.5).unwrap();
+        assert_eq!(b.get(0, 0), 0.5);
+        assert_eq!(b.get(1, 1), 0.5);
+        assert_eq!(b.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let s = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 5.0]).unwrap();
+        assert!(s.is_symmetric(1e-12));
+        let ns = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.1, 5.0]).unwrap();
+        assert!(!ns.is_symmetric(1e-3));
+    }
+
+    #[test]
+    fn frobenius_norm_of_identity() {
+        let i = Matrix::identity(4);
+        assert!((i.frobenius_norm() - 2.0).abs() < 1e-12);
+    }
+}

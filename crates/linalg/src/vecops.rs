@@ -1,0 +1,217 @@
+//! Small vector helpers shared by the GP, ML and tuning crates.
+
+/// Dot product of two equally sized slices. Panics in debug builds on length mismatch and
+/// truncates to the shorter slice in release builds (callers are expected to pass matched
+/// lengths; the tuning code always does).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Euclidean distance between two points.
+#[inline]
+pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Squared Euclidean distance (avoids the square root in hot loops such as kernel
+/// evaluation and DBSCAN neighbourhood queries).
+#[inline]
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+}
+
+/// `y += alpha * x` in place.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Element-wise difference `a - b`.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
+}
+
+/// Element-wise sum `a + b`.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x + y).collect()
+}
+
+/// Scales a vector by a constant, returning a new vector.
+pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
+    a.iter().map(|x| x * s).collect()
+}
+
+/// Arithmetic mean. Returns 0.0 for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Population variance. Returns 0.0 for slices with fewer than two elements.
+pub fn variance(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / a.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(a: &[f64]) -> f64 {
+    variance(a).sqrt()
+}
+
+/// Index of the maximum element (first occurrence). Returns `None` for an empty slice or a
+/// slice that contains only NaNs.
+pub fn argmax(a: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in a.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the minimum element (first occurrence). Returns `None` for an empty slice or a
+/// slice that contains only NaNs.
+pub fn argmin(a: &[f64]) -> Option<usize> {
+    argmax(&a.iter().map(|v| -v).collect::<Vec<_>>())
+}
+
+/// Clamps every element of `x` into the inclusive ranges given by `lo`/`hi`.
+pub fn clamp_to_bounds(x: &mut [f64], lo: &[f64], hi: &[f64]) {
+    debug_assert_eq!(x.len(), lo.len());
+    debug_assert_eq!(x.len(), hi.len());
+    for i in 0..x.len() {
+        x[i] = x[i].clamp(lo[i], hi[i]);
+    }
+}
+
+/// Linearly maps `x` from `[from_lo, from_hi]` to `[to_lo, to_hi]`. Degenerate source
+/// ranges map to the midpoint of the target range.
+pub fn remap(x: f64, from_lo: f64, from_hi: f64, to_lo: f64, to_hi: f64) -> f64 {
+    if (from_hi - from_lo).abs() < f64::EPSILON {
+        return 0.5 * (to_lo + to_hi);
+    }
+    to_lo + (x - from_lo) / (from_hi - from_lo) * (to_hi - to_lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distances() {
+        assert!((euclidean_distance(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert!((squared_distance(&[0.0, 0.0], &[3.0, 4.0]) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn mean_variance_std() {
+        let a = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&a) - 5.0).abs() < 1e-12);
+        assert!((variance(&a) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&a) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn argmax_argmin_handle_nan_and_empty() {
+        assert_eq!(argmax(&[1.0, 5.0, 3.0]), Some(1));
+        assert_eq!(argmin(&[1.0, 5.0, 3.0]), Some(0));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[f64::NAN, 2.0]), Some(1));
+        assert_eq!(argmax(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn clamp_and_remap() {
+        let mut x = vec![-1.0, 0.5, 2.0];
+        clamp_to_bounds(&mut x, &[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0]);
+        assert_eq!(x, vec![0.0, 0.5, 1.0]);
+        assert!((remap(5.0, 0.0, 10.0, 0.0, 1.0) - 0.5).abs() < 1e-12);
+        assert!((remap(3.0, 3.0, 3.0, 0.0, 2.0) - 1.0).abs() < 1e-12);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_dot_symmetry(a in proptest::collection::vec(-10.0f64..10.0, 8),
+                                 b in proptest::collection::vec(-10.0f64..10.0, 8)) {
+                prop_assert!((dot(&a, &b) - dot(&b, &a)).abs() < 1e-9);
+            }
+
+            #[test]
+            fn prop_triangle_inequality(a in proptest::collection::vec(-10.0f64..10.0, 5),
+                                        b in proptest::collection::vec(-10.0f64..10.0, 5),
+                                        c in proptest::collection::vec(-10.0f64..10.0, 5)) {
+                let ab = euclidean_distance(&a, &b);
+                let bc = euclidean_distance(&b, &c);
+                let ac = euclidean_distance(&a, &c);
+                prop_assert!(ac <= ab + bc + 1e-9);
+            }
+
+            #[test]
+            fn prop_variance_nonnegative(a in proptest::collection::vec(-100.0f64..100.0, 1..32)) {
+                prop_assert!(variance(&a) >= 0.0);
+            }
+
+            #[test]
+            fn prop_clamp_respects_bounds(x in proptest::collection::vec(-10.0f64..10.0, 6)) {
+                let lo = vec![-1.0; 6];
+                let hi = vec![1.0; 6];
+                let mut y = x.clone();
+                clamp_to_bounds(&mut y, &lo, &hi);
+                for v in y {
+                    prop_assert!((-1.0..=1.0).contains(&v));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! DBSCAN density-based clustering.
+//!
+//! OnlineTune clusters the accumulated context features with DBSCAN (Ester et al., KDD'96)
+//! so that each cluster gets its own contextual GP model, bounding the per-model observation
+//! count and preventing negative transfer between distant contexts (§5.3, Algorithm 1).
+
+use linalg::vecops::euclidean_distance;
+
+/// Cluster label assigned to noise points (points that belong to no dense region).
+pub const NOISE_LABEL: i32 = -1;
+
+/// DBSCAN parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbscanParams {
+    /// Neighbourhood radius.
+    pub eps: f64,
+    /// Minimum number of points (including the point itself) for a dense neighbourhood.
+    pub min_points: usize,
+}
+
+impl Default for DbscanParams {
+    fn default() -> Self {
+        // Context features are normalized to roughly unit scale, so a radius of 0.3 with a
+        // small density requirement gives the coarse workload-phase clusters the paper shows
+        // in Figure 4.
+        DbscanParams {
+            eps: 0.3,
+            min_points: 3,
+        }
+    }
+}
+
+/// Runs DBSCAN over `points`, returning one label per point.
+///
+/// Labels are consecutive integers starting at 0; noise points receive [`NOISE_LABEL`].
+pub fn dbscan(points: &[Vec<f64>], params: &DbscanParams) -> Vec<i32> {
+    let n = points.len();
+    let mut labels = vec![i32::MIN; n]; // MIN = unvisited
+    let mut cluster = 0;
+
+    let neighbours = |i: usize| -> Vec<usize> {
+        (0..n)
+            .filter(|&j| euclidean_distance(&points[i], &points[j]) <= params.eps)
+            .collect()
+    };
+
+    for i in 0..n {
+        if labels[i] != i32::MIN {
+            continue;
+        }
+        let nbrs = neighbours(i);
+        if nbrs.len() < params.min_points {
+            labels[i] = NOISE_LABEL;
+            continue;
+        }
+        labels[i] = cluster;
+        // Expand the cluster with a worklist of density-reachable points.
+        let mut queue: Vec<usize> = nbrs;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let j = queue[qi];
+            qi += 1;
+            if labels[j] == NOISE_LABEL {
+                labels[j] = cluster; // border point
+            }
+            if labels[j] != i32::MIN {
+                continue;
+            }
+            labels[j] = cluster;
+            let jn = neighbours(j);
+            if jn.len() >= params.min_points {
+                queue.extend(jn);
+            }
+        }
+        cluster += 1;
+    }
+    labels
+}
+
+/// Number of clusters (excluding noise) in a labelling produced by [`dbscan`].
+pub fn cluster_count(labels: &[i32]) -> usize {
+    labels
+        .iter()
+        .filter(|&&l| l != NOISE_LABEL)
+        .map(|&l| l)
+        .max()
+        .map_or(0, |m| m as usize + 1)
+}
+
+/// Returns, for each cluster id, the indices of its members (noise points are omitted).
+pub fn cluster_members(labels: &[i32]) -> Vec<Vec<usize>> {
+    let k = cluster_count(labels);
+    let mut groups = vec![Vec::new(); k];
+    for (i, &l) in labels.iter().enumerate() {
+        if l >= 0 {
+            groups[l as usize].push(i);
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: (f64, f64), n: usize, spread: f64) -> Vec<Vec<f64>> {
+        // Deterministic ring of points around the centre — no RNG needed for the test.
+        (0..n)
+            .map(|i| {
+                let angle = i as f64 / n as f64 * std::f64::consts::TAU;
+                vec![
+                    center.0 + spread * angle.cos(),
+                    center.1 + spread * angle.sin(),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_well_separated_blobs_give_two_clusters() {
+        let mut pts = blob((0.0, 0.0), 10, 0.1);
+        pts.extend(blob((5.0, 5.0), 10, 0.1));
+        let labels = dbscan(&pts, &DbscanParams { eps: 0.5, min_points: 3 });
+        assert_eq!(cluster_count(&labels), 2);
+        // Points within a blob must share a label.
+        assert!(labels[..10].iter().all(|&l| l == labels[0]));
+        assert!(labels[10..].iter().all(|&l| l == labels[10]));
+        assert_ne!(labels[0], labels[10]);
+    }
+
+    #[test]
+    fn isolated_points_are_noise() {
+        let mut pts = blob((0.0, 0.0), 8, 0.1);
+        pts.push(vec![100.0, 100.0]);
+        let labels = dbscan(&pts, &DbscanParams { eps: 0.5, min_points: 3 });
+        assert_eq!(*labels.last().unwrap(), NOISE_LABEL);
+        assert_eq!(cluster_count(&labels), 1);
+    }
+
+    #[test]
+    fn all_points_identical_form_one_cluster() {
+        let pts = vec![vec![1.0, 1.0]; 6];
+        let labels = dbscan(&pts, &DbscanParams::default());
+        assert_eq!(cluster_count(&labels), 1);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        let labels = dbscan(&[], &DbscanParams::default());
+        assert!(labels.is_empty());
+        assert_eq!(cluster_count(&labels), 0);
+    }
+
+    #[test]
+    fn min_points_larger_than_dataset_marks_everything_noise() {
+        let pts = blob((0.0, 0.0), 4, 0.05);
+        let labels = dbscan(&pts, &DbscanParams { eps: 0.5, min_points: 10 });
+        assert!(labels.iter().all(|&l| l == NOISE_LABEL));
+    }
+
+    #[test]
+    fn cluster_members_partitions_non_noise_points() {
+        let mut pts = blob((0.0, 0.0), 6, 0.1);
+        pts.extend(blob((3.0, 0.0), 6, 0.1));
+        pts.push(vec![50.0, 50.0]);
+        let labels = dbscan(&pts, &DbscanParams { eps: 0.5, min_points: 3 });
+        let members = cluster_members(&labels);
+        let total: usize = members.iter().map(Vec::len).sum();
+        assert_eq!(total, 12);
+        for (cid, group) in members.iter().enumerate() {
+            for &i in group {
+                assert_eq!(labels[i], cid as i32);
+            }
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            #[test]
+            fn prop_labels_are_valid(pts in proptest::collection::vec(proptest::collection::vec(-5.0f64..5.0, 2), 0..40)) {
+                let labels = dbscan(&pts, &DbscanParams { eps: 1.0, min_points: 3 });
+                prop_assert_eq!(labels.len(), pts.len());
+                let k = cluster_count(&labels) as i32;
+                for &l in &labels {
+                    prop_assert!(l == NOISE_LABEL || (0..k).contains(&l));
+                }
+            }
+
+            #[test]
+            fn prop_permutation_invariance_of_cluster_structure(
+                mut pts in proptest::collection::vec(proptest::collection::vec(-5.0f64..5.0, 2), 2..30),
+            ) {
+                let params = DbscanParams { eps: 1.0, min_points: 3 };
+                let labels = dbscan(&pts, &params);
+                pts.reverse();
+                let labels_rev = dbscan(&pts, &params);
+                // The number of clusters and noise points is invariant under permutation.
+                prop_assert_eq!(cluster_count(&labels), cluster_count(&labels_rev));
+                let noise_a = labels.iter().filter(|&&l| l == NOISE_LABEL).count();
+                let noise_b = labels_rev.iter().filter(|&&l| l == NOISE_LABEL).count();
+                prop_assert_eq!(noise_a, noise_b);
+            }
+        }
+    }
+}

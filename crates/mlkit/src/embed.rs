@@ -1,0 +1,245 @@
+//! Query featurization: SQL tokenizer, hashed bag-of-token features and a small recurrent
+//! encoder producing dense query embeddings.
+//!
+//! The paper (§5.1.1) trains an LSTM encoder–decoder on SQL text and uses the encoder's
+//! final hidden state as the query embedding, averaging embeddings over the queries of an
+//! interval to obtain the workload-composition feature. Training a full LSTM autoencoder is
+//! outside the scope (and the dependency budget) of this reproduction, so the
+//! [`QueryEncoder`] combines two ingredients that provide the same *interface properties*:
+//!
+//! 1. a **hashed bag-of-token** projection — stable, unbounded-vocabulary-safe term
+//!    frequencies folded into a fixed number of buckets, then
+//! 2. a **recurrent mixing pass** (a GRU-style cell with fixed random weights, i.e. an echo
+//!    state encoder) over the token sequence, which makes the embedding order-sensitive the
+//!    way an LSTM encoder is.
+//!
+//! The result is a deterministic dense vector in which similar query mixes land close
+//! together and different query shapes (point lookup vs. multi-join aggregate) land far
+//! apart — which is all the downstream contextual GP needs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Splits SQL text into lowercase alphanumeric tokens, keeping punctuation that carries
+/// structure (`*`, `=`, `<`, `>`, `(`, `)`).
+#[derive(Debug, Clone, Default)]
+pub struct SqlTokenizer;
+
+impl SqlTokenizer {
+    /// Creates a tokenizer.
+    pub fn new() -> Self {
+        SqlTokenizer
+    }
+
+    /// Tokenizes a SQL string.
+    pub fn tokenize(&self, sql: &str) -> Vec<String> {
+        let mut tokens = Vec::new();
+        let mut current = String::new();
+        for ch in sql.chars() {
+            if ch.is_alphanumeric() || ch == '_' {
+                current.push(ch.to_ascii_lowercase());
+            } else {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+                if "*=<>()".contains(ch) {
+                    tokens.push(ch.to_string());
+                }
+            }
+        }
+        if !current.is_empty() {
+            tokens.push(current);
+        }
+        tokens
+    }
+}
+
+/// FNV-1a hash, used to fold tokens into feature buckets deterministically.
+fn fnv1a(token: &str) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for byte in token.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Encodes SQL queries into fixed-size dense vectors.
+#[derive(Debug, Clone)]
+pub struct QueryEncoder {
+    tokenizer: SqlTokenizer,
+    dim: usize,
+    /// Recurrent mixing weights (dim × dim), fixed at construction from the seed.
+    recurrent: Vec<Vec<f64>>,
+    /// Input weights (dim × dim).
+    input: Vec<Vec<f64>>,
+}
+
+impl QueryEncoder {
+    /// Creates an encoder producing `dim`-dimensional embeddings. The seed fixes the random
+    /// projection so embeddings are reproducible across runs.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale = 1.0 / (dim as f64).sqrt();
+        let mk = |rng: &mut StdRng| -> Vec<Vec<f64>> {
+            (0..dim)
+                .map(|_| (0..dim).map(|_| rng.gen_range(-scale..scale)).collect())
+                .collect()
+        };
+        QueryEncoder {
+            tokenizer: SqlTokenizer::new(),
+            dim,
+            recurrent: mk(&mut rng),
+            input: mk(&mut rng),
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Hashed one-hot-ish projection of a single token.
+    fn token_vector(&self, token: &str) -> Vec<f64> {
+        let mut v = vec![0.0; self.dim];
+        let h = fnv1a(token);
+        let idx = (h % self.dim as u64) as usize;
+        let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+        v[idx] = sign;
+        // A second bucket reduces collisions for small dimensions.
+        let idx2 = ((h >> 16) % self.dim as u64) as usize;
+        let sign2 = if (h >> 33) & 1 == 0 { 0.5 } else { -0.5 };
+        v[idx2] += sign2;
+        v
+    }
+
+    /// Encodes a single query into a dense vector with unit L2 norm (zero vector for empty
+    /// input).
+    pub fn encode_query(&self, sql: &str) -> Vec<f64> {
+        let tokens = self.tokenizer.tokenize(sql);
+        let mut state = vec![0.0; self.dim];
+        for token in &tokens {
+            let x = self.token_vector(token);
+            let mut next = vec![0.0; self.dim];
+            for i in 0..self.dim {
+                let mut acc = 0.0;
+                for j in 0..self.dim {
+                    acc += self.recurrent[i][j] * state[j] + self.input[i][j] * x[j];
+                }
+                next[i] = acc.tanh();
+            }
+            state = next;
+        }
+        let norm = linalg::vecops::norm(&state);
+        if norm > 1e-12 {
+            state.iter_mut().for_each(|v| *v /= norm);
+        }
+        state
+    }
+
+    /// Encodes a workload as the mean of its query embeddings (§5.1.1: "we average the
+    /// query encoding, obtaining the queries composition feature of a workload").
+    pub fn encode_workload(&self, queries: &[String]) -> Vec<f64> {
+        let mut mean = vec![0.0; self.dim];
+        if queries.is_empty() {
+            return mean;
+        }
+        for q in queries {
+            let e = self.encode_query(q);
+            for (m, v) in mean.iter_mut().zip(e.iter()) {
+                *m += v;
+            }
+        }
+        mean.iter_mut().for_each(|v| *v /= queries.len() as f64);
+        mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_splits_sql() {
+        let t = SqlTokenizer::new();
+        let toks = t.tokenize("SELECT c_id, c_balance FROM customer WHERE c_w_id = 3");
+        assert!(toks.contains(&"select".to_string()));
+        assert!(toks.contains(&"customer".to_string()));
+        assert!(toks.contains(&"=".to_string()));
+        assert!(toks.contains(&"3".to_string()));
+        assert!(!toks.contains(&"SELECT".to_string()));
+    }
+
+    #[test]
+    fn tokenizer_empty_input() {
+        assert!(SqlTokenizer::new().tokenize("").is_empty());
+        assert!(SqlTokenizer::new().tokenize("   ,,,  ").is_empty());
+    }
+
+    #[test]
+    fn encoding_is_deterministic_for_fixed_seed() {
+        let e1 = QueryEncoder::new(16, 7);
+        let e2 = QueryEncoder::new(16, 7);
+        let q = "UPDATE warehouse SET w_ytd = w_ytd + 10 WHERE w_id = 1";
+        assert_eq!(e1.encode_query(q), e2.encode_query(q));
+    }
+
+    #[test]
+    fn different_seeds_give_different_embeddings() {
+        let e1 = QueryEncoder::new(16, 7);
+        let e2 = QueryEncoder::new(16, 8);
+        let q = "SELECT * FROM item";
+        assert_ne!(e1.encode_query(q), e2.encode_query(q));
+    }
+
+    #[test]
+    fn embeddings_have_unit_norm_and_fixed_dim() {
+        let enc = QueryEncoder::new(12, 3);
+        let v = enc.encode_query("DELETE FROM new_order WHERE no_o_id = 5");
+        assert_eq!(v.len(), 12);
+        assert!((linalg::vecops::norm(&v) - 1.0).abs() < 1e-9);
+        let empty = enc.encode_query("");
+        assert!(empty.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn similar_queries_are_closer_than_dissimilar_ones() {
+        let enc = QueryEncoder::new(24, 42);
+        let a = enc.encode_query("SELECT c_balance FROM customer WHERE c_id = 17");
+        let b = enc.encode_query("SELECT c_balance FROM customer WHERE c_id = 99");
+        let c = enc.encode_query(
+            "SELECT MIN(t.title) FROM title t, movie_info mi, cast_info ci WHERE t.id = mi.movie_id AND ci.movie_id = t.id GROUP BY t.production_year",
+        );
+        let d_ab = linalg::vecops::euclidean_distance(&a, &b);
+        let d_ac = linalg::vecops::euclidean_distance(&a, &c);
+        assert!(d_ab < d_ac, "similar {d_ab} vs dissimilar {d_ac}");
+    }
+
+    #[test]
+    fn workload_embedding_is_average_of_query_embeddings() {
+        let enc = QueryEncoder::new(8, 1);
+        let q1 = "SELECT * FROM a".to_string();
+        let q2 = "INSERT INTO b VALUES (1)".to_string();
+        let w = enc.encode_workload(&[q1.clone(), q2.clone()]);
+        let e1 = enc.encode_query(&q1);
+        let e2 = enc.encode_query(&q2);
+        for i in 0..8 {
+            assert!((w[i] - 0.5 * (e1[i] + e2[i])).abs() < 1e-12);
+        }
+        assert!(enc.encode_workload(&[]).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn workload_embedding_shifts_with_composition() {
+        // The read-heavy and write-heavy mixes must produce different workload features —
+        // this is what allows the contextual GP to distinguish workload phases.
+        let enc = QueryEncoder::new(16, 5);
+        let reads = vec!["SELECT * FROM tweets WHERE id = 1".to_string(); 10];
+        let mut mixed = vec!["SELECT * FROM tweets WHERE id = 1".to_string(); 5];
+        mixed.extend(vec!["INSERT INTO tweets VALUES (2, 'hi')".to_string(); 5]);
+        let wr = enc.encode_workload(&reads);
+        let wm = enc.encode_workload(&mixed);
+        assert!(linalg::vecops::euclidean_distance(&wr, &wm) > 1e-3);
+    }
+}

@@ -1,0 +1,129 @@
+//! Variance-based knob-importance scores.
+//!
+//! The paper's "important direction" oracle (Appendix A3.2) ranks configuration knobs by
+//! importance using fANOVA and samples line-region directions from the top-5 knobs. A full
+//! fANOVA decomposition requires fitting a random forest; this module implements the
+//! simpler, widely used *marginal variance* estimator: bucket each knob's normalized value,
+//! average the observed performance per bucket, and score the knob by the variance of those
+//! bucket means (weighted by bucket occupancy). It produces the same ranking signal —
+//! "which knobs explain most of the performance variation seen so far" — from exactly the
+//! same observation history.
+
+/// Importance score of each configuration dimension, normalized to sum to 1 (all-zero when
+/// there is no signal, e.g. fewer than two observations).
+///
+/// * `configs` — normalized configurations in `[0, 1]^m`.
+/// * `performances` — one performance value per configuration.
+/// * `buckets` — number of buckets per dimension (≥ 2; 4 is a good default for the handful
+///   of observations per cluster that OnlineTune keeps).
+pub fn knob_importance(configs: &[Vec<f64>], performances: &[f64], buckets: usize) -> Vec<f64> {
+    assert_eq!(configs.len(), performances.len());
+    let buckets = buckets.max(2);
+    if configs.len() < 2 {
+        return configs.first().map_or(Vec::new(), |c| vec![0.0; c.len()]);
+    }
+    let dim = configs[0].len();
+    let mut scores = vec![0.0; dim];
+
+    for d in 0..dim {
+        let mut sums = vec![0.0; buckets];
+        let mut counts = vec![0usize; buckets];
+        for (cfg, &y) in configs.iter().zip(performances.iter()) {
+            let b = ((cfg[d].clamp(0.0, 1.0) * buckets as f64) as usize).min(buckets - 1);
+            sums[b] += y;
+            counts[b] += 1;
+        }
+        let overall_mean = linalg::vecops::mean(performances);
+        let n = performances.len() as f64;
+        // Weighted between-bucket variance.
+        let mut between = 0.0;
+        for b in 0..buckets {
+            if counts[b] > 0 {
+                let mean_b = sums[b] / counts[b] as f64;
+                between += counts[b] as f64 / n * (mean_b - overall_mean).powi(2);
+            }
+        }
+        scores[d] = between;
+    }
+
+    let total: f64 = scores.iter().sum();
+    if total > 1e-12 {
+        scores.iter_mut().for_each(|s| *s /= total);
+    }
+    scores
+}
+
+/// Indices of the `k` most important knobs, most important first.
+pub fn top_k_knobs(importance: &[f64], k: usize) -> Vec<usize> {
+    let mut indexed: Vec<(usize, f64)> = importance.iter().copied().enumerate().collect();
+    indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    indexed.into_iter().take(k).map(|(i, _)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn influential_knob_gets_highest_score() {
+        // Performance depends strongly on dim 0, weakly on dim 1, not at all on dim 2.
+        let mut configs = Vec::new();
+        let mut perfs = Vec::new();
+        for i in 0..50 {
+            let a = (i % 10) as f64 / 9.0;
+            let b = (i % 5) as f64 / 4.0;
+            let c = (i % 3) as f64 / 2.0;
+            configs.push(vec![a, b, c]);
+            perfs.push(10.0 * a + 1.0 * b + 0.0 * c);
+        }
+        let imp = knob_importance(&configs, &perfs, 4);
+        assert_eq!(imp.len(), 3);
+        assert!(imp[0] > imp[1]);
+        assert!(imp[1] > imp[2] || imp[2] < 0.05);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(top_k_knobs(&imp, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn constant_performance_gives_zero_scores() {
+        let configs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 9.0, 0.5]).collect();
+        let perfs = vec![3.0; 10];
+        let imp = knob_importance(&configs, &perfs, 4);
+        assert!(imp.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn too_few_observations_are_handled() {
+        assert!(knob_importance(&[], &[], 4).is_empty());
+        let imp = knob_importance(&[vec![0.5, 0.5]], &[1.0], 4);
+        assert_eq!(imp, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn top_k_handles_k_larger_than_dims() {
+        let imp = vec![0.1, 0.7, 0.2];
+        assert_eq!(top_k_knobs(&imp, 10), vec![1, 2, 0]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_scores_normalized_or_zero(
+                raw in proptest::collection::vec((proptest::collection::vec(0.0f64..1.0, 3), -10.0f64..10.0), 2..40),
+            ) {
+                let configs: Vec<Vec<f64>> = raw.iter().map(|(c, _)| c.clone()).collect();
+                let perfs: Vec<f64> = raw.iter().map(|(_, p)| *p).collect();
+                let imp = knob_importance(&configs, &perfs, 4);
+                prop_assert_eq!(imp.len(), 3);
+                let total: f64 = imp.iter().sum();
+                prop_assert!(total.abs() < 1e-9 || (total - 1.0).abs() < 1e-9);
+                for s in imp {
+                    prop_assert!(s >= 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # mlkit — clustering, classification, embeddings and tiny neural networks
+//!
+//! Supporting machine-learning primitives for the OnlineTune reproduction:
+//!
+//! * [`dbscan`] — density-based clustering of context features (Algorithm 1, line 2).
+//! * [`svm`] — a multi-class linear SVM used as the model-selection decision boundary
+//!   (Algorithm 1, line 4).
+//! * [`mutual_info`] — normalized mutual information between two clusterings, used to decide
+//!   when to re-cluster (§5.3).
+//! * [`embed`] — SQL tokenizer, hashed bag-of-token features and a small recurrent encoder,
+//!   standing in for the paper's LSTM encoder–decoder query featurization (§5.1.1).
+//! * [`nn`] — a tiny fully-connected network with Adam, used by the DDPG (CDBTune) and
+//!   QTune baselines.
+//! * [`importance`] — variance-based knob-importance scores (the paper uses fANOVA) that
+//!   drive the "important direction" oracle for line regions (Appendix A3.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dbscan;
+pub mod embed;
+pub mod importance;
+pub mod mutual_info;
+pub mod nn;
+pub mod svm;
+
+pub use dbscan::{dbscan, DbscanParams, NOISE_LABEL};
+pub use embed::{QueryEncoder, SqlTokenizer};
+pub use importance::knob_importance;
+pub use mutual_info::normalized_mutual_information;
+pub use nn::Mlp;
+pub use svm::LinearSvm;

@@ -1,0 +1,162 @@
+//! Normalized mutual information between two clusterings.
+//!
+//! OnlineTune keeps the current clustering of contexts and, periodically, a *simulated*
+//! re-clustering; when the normalized mutual information between the two drops below a
+//! threshold (0.5 in the paper's experiments), the context distribution has shifted enough
+//! that the clusters, decision boundary and per-cluster GP models are re-learned (§5.3).
+
+use std::collections::HashMap;
+
+/// Computes the normalized mutual information (NMI) between two labelings of the same
+/// points. Labels may be arbitrary integers (including the DBSCAN noise label).
+///
+/// The value is in `[0, 1]`: 1 for identical partitions (up to relabeling), near 0 for
+/// independent partitions. NMI of two degenerate single-cluster labelings is defined as 1
+/// (they convey identical — zero — information), matching scikit-learn's convention.
+pub fn normalized_mutual_information(a: &[i32], b: &[i32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must cover the same points");
+    let n = a.len();
+    if n == 0 {
+        return 1.0;
+    }
+
+    let counts_a = label_counts(a);
+    let counts_b = label_counts(b);
+    let mut joint: HashMap<(i32, i32), usize> = HashMap::new();
+    for (&la, &lb) in a.iter().zip(b.iter()) {
+        *joint.entry((la, lb)).or_insert(0) += 1;
+    }
+
+    let n_f = n as f64;
+    let mut mi = 0.0;
+    for (&(la, lb), &nij) in &joint {
+        let pij = nij as f64 / n_f;
+        let pi = counts_a[&la] as f64 / n_f;
+        let pj = counts_b[&lb] as f64 / n_f;
+        if pij > 0.0 {
+            mi += pij * (pij / (pi * pj)).ln();
+        }
+    }
+
+    let ha = entropy(&counts_a, n_f);
+    let hb = entropy(&counts_b, n_f);
+    if ha <= 1e-12 && hb <= 1e-12 {
+        return 1.0;
+    }
+    let denom = (ha * hb).sqrt();
+    if denom <= 1e-12 {
+        return 0.0;
+    }
+    (mi / denom).clamp(0.0, 1.0)
+}
+
+fn label_counts(labels: &[i32]) -> HashMap<i32, usize> {
+    let mut counts = HashMap::new();
+    for &l in labels {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    counts
+}
+
+fn entropy(counts: &HashMap<i32, usize>, n: f64) -> f64 {
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            if p > 0.0 {
+                -p * p.ln()
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_clusterings_have_nmi_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        assert!((normalized_mutual_information(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabeled_clusterings_have_nmi_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let b = vec![5, 5, 3, 3, 9, 9];
+        assert!((normalized_mutual_information(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_clusterings_have_low_nmi() {
+        // a splits first half / second half; b alternates — the partitions share little info.
+        let a = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let b = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let nmi = normalized_mutual_information(&a, &b);
+        assert!(nmi < 0.1, "nmi = {nmi}");
+    }
+
+    #[test]
+    fn partial_agreement_is_between_zero_and_one() {
+        let a = vec![0, 0, 0, 1, 1, 1];
+        let b = vec![0, 0, 1, 1, 1, 1];
+        let nmi = normalized_mutual_information(&a, &b);
+        assert!(nmi > 0.2 && nmi < 1.0, "nmi = {nmi}");
+    }
+
+    #[test]
+    fn degenerate_single_cluster_cases() {
+        let a = vec![0, 0, 0, 0];
+        let b = vec![7, 7, 7, 7];
+        assert_eq!(normalized_mutual_information(&a, &b), 1.0);
+        let c = vec![0, 0, 1, 1];
+        // One informative partition vs. one constant partition → zero shared information.
+        assert!(normalized_mutual_information(&a, &c) < 1e-9);
+    }
+
+    #[test]
+    fn empty_labelings_are_identical() {
+        assert_eq!(normalized_mutual_information(&[], &[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same points")]
+    fn mismatched_lengths_panic() {
+        normalized_mutual_information(&[0, 1], &[0]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_nmi_in_unit_interval(
+                a in proptest::collection::vec(0i32..5, 1..60),
+                seed in 0i32..5,
+            ) {
+                let b: Vec<i32> = a.iter().map(|v| (v + seed) % 3).collect();
+                let nmi = normalized_mutual_information(&a, &b);
+                prop_assert!((0.0..=1.0).contains(&nmi));
+            }
+
+            #[test]
+            fn prop_nmi_symmetric(
+                pairs in proptest::collection::vec((0i32..4, 0i32..4), 1..50),
+            ) {
+                let a: Vec<i32> = pairs.iter().map(|p| p.0).collect();
+                let b: Vec<i32> = pairs.iter().map(|p| p.1).collect();
+                let ab = normalized_mutual_information(&a, &b);
+                let ba = normalized_mutual_information(&b, &a);
+                prop_assert!((ab - ba).abs() < 1e-9);
+            }
+
+            #[test]
+            fn prop_self_nmi_is_one(a in proptest::collection::vec(-1i32..6, 1..50)) {
+                prop_assert!((normalized_mutual_information(&a, &a) - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Candidate selection within the safety set (§6.3).
+//!
+//! With probability `1 − ε` the tuner exploits/localizes by picking the safe candidate with
+//! the maximal GP-UCB value (Eq. 4); with probability `ε` it explicitly tries to *expand*
+//! the safety set by picking the safe candidate on the boundary of the subspace with the
+//! largest predictive uncertainty.
+
+use crate::safety::CandidateAssessment;
+use crate::subspace::Subspace;
+use rand::Rng;
+
+/// Why a particular candidate was selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionReason {
+    /// The candidate maximized the UCB acquisition over the safety set.
+    MaxUcb,
+    /// The candidate was the most uncertain safe point on the subspace boundary.
+    BoundaryExploration,
+    /// No safe candidate existed; the subspace centre (best known configuration) was reused.
+    FallbackToCenter,
+}
+
+/// The outcome of candidate selection.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// Index into the candidate list (0 is always the subspace centre).
+    pub index: usize,
+    /// The reason the candidate was chosen.
+    pub reason: SelectionReason,
+}
+
+/// Selects a configuration index from the assessed candidates.
+///
+/// `assessments` must be aligned with `candidates`. Only candidates with
+/// `black_safe && white_safe[i]` are eligible; when none is eligible the centre (index 0) is
+/// returned with [`SelectionReason::FallbackToCenter`].
+pub fn select_candidate<R: Rng>(
+    candidates: &[Vec<f64>],
+    assessments: &[CandidateAssessment],
+    white_safe: &[bool],
+    subspace: &Subspace,
+    epsilon: f64,
+    rng: &mut R,
+) -> Selection {
+    debug_assert_eq!(candidates.len(), assessments.len());
+    debug_assert_eq!(candidates.len(), white_safe.len());
+
+    let safe_indices: Vec<usize> = assessments
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| a.black_safe && white_safe[*i])
+        .map(|(i, _)| i)
+        .collect();
+
+    if safe_indices.is_empty() {
+        return Selection {
+            index: 0,
+            reason: SelectionReason::FallbackToCenter,
+        };
+    }
+
+    let explore = rng.gen_range(0.0..1.0) < epsilon.clamp(0.0, 1.0);
+    if explore {
+        // Most uncertain safe candidate on the boundary of the subspace.
+        let boundary_best = safe_indices
+            .iter()
+            .copied()
+            .filter(|&i| subspace.is_boundary(&candidates[i]))
+            .max_by(|&a, &b| {
+                let sa = assessments[a].posterior.as_ref().map_or(0.0, |p| p.std_dev);
+                let sb = assessments[b].posterior.as_ref().map_or(0.0, |p| p.std_dev);
+                sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+            });
+        if let Some(index) = boundary_best {
+            return Selection {
+                index,
+                reason: SelectionReason::BoundaryExploration,
+            };
+        }
+        // No safe boundary point: fall through to UCB.
+    }
+
+    let best = safe_indices
+        .into_iter()
+        .max_by(|&a, &b| {
+            assessments[a]
+                .ucb
+                .partial_cmp(&assessments[b].ucb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("safe set is non-empty");
+    Selection {
+        index: best,
+        reason: SelectionReason::MaxUcb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subspace::{Subspace, SubspaceOptions};
+    use gp::regression::Posterior;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assessment(index: usize, mean: f64, std: f64, safe: bool) -> CandidateAssessment {
+        CandidateAssessment {
+            index,
+            posterior: Some(Posterior { mean, std_dev: std }),
+            lcb: mean - 2.0 * std,
+            ucb: mean + 2.0 * std,
+            black_safe: safe,
+        }
+    }
+
+    fn subspace() -> Subspace {
+        Subspace::new(vec![0.5, 0.5], SubspaceOptions::default())
+    }
+
+    #[test]
+    fn picks_the_maximum_ucb_safe_candidate_when_exploiting() {
+        let candidates = vec![vec![0.5, 0.5], vec![0.52, 0.5], vec![0.48, 0.5]];
+        let assessments = vec![
+            assessment(0, 1.0, 0.1, true),
+            assessment(1, 2.0, 0.1, true),
+            assessment(2, 3.0, 0.1, false), // best mean but unsafe
+        ];
+        let white = vec![true, true, true];
+        let mut rng = StdRng::seed_from_u64(0);
+        let sel = select_candidate(&candidates, &assessments, &white, &subspace(), 0.0, &mut rng);
+        assert_eq!(sel.index, 1);
+        assert_eq!(sel.reason, SelectionReason::MaxUcb);
+    }
+
+    #[test]
+    fn white_box_veto_excludes_candidates() {
+        let candidates = vec![vec![0.5, 0.5], vec![0.52, 0.5]];
+        let assessments = vec![assessment(0, 1.0, 0.1, true), assessment(1, 5.0, 0.1, true)];
+        let white = vec![true, false];
+        let mut rng = StdRng::seed_from_u64(0);
+        let sel = select_candidate(&candidates, &assessments, &white, &subspace(), 0.0, &mut rng);
+        assert_eq!(sel.index, 0);
+    }
+
+    #[test]
+    fn falls_back_to_center_when_no_safe_candidate() {
+        let candidates = vec![vec![0.5, 0.5], vec![0.9, 0.9]];
+        let assessments = vec![assessment(0, 1.0, 0.1, false), assessment(1, 2.0, 0.1, false)];
+        let white = vec![true, true];
+        let mut rng = StdRng::seed_from_u64(0);
+        let sel = select_candidate(&candidates, &assessments, &white, &subspace(), 0.5, &mut rng);
+        assert_eq!(sel.index, 0);
+        assert_eq!(sel.reason, SelectionReason::FallbackToCenter);
+    }
+
+    #[test]
+    fn exploration_prefers_uncertain_boundary_points() {
+        let s = subspace();
+        let r = s.radius().unwrap();
+        // One interior candidate, two boundary candidates with different uncertainty.
+        let candidates = vec![
+            vec![0.5, 0.5],
+            vec![0.5 + r * 0.95, 0.5],
+            vec![0.5 - r * 0.95, 0.5],
+        ];
+        let assessments = vec![
+            assessment(0, 10.0, 0.01, true),
+            assessment(1, 1.0, 0.5, true),
+            assessment(2, 1.0, 2.0, true),
+        ];
+        let white = vec![true, true, true];
+        let mut rng = StdRng::seed_from_u64(1);
+        // epsilon = 1.0 forces the exploration branch.
+        let sel = select_candidate(&candidates, &assessments, &white, &s, 1.0, &mut rng);
+        assert_eq!(sel.index, 2);
+        assert_eq!(sel.reason, SelectionReason::BoundaryExploration);
+    }
+
+    #[test]
+    fn exploration_without_boundary_candidates_falls_back_to_ucb() {
+        let s = subspace();
+        let candidates = vec![vec![0.5, 0.5], vec![0.51, 0.5]];
+        let assessments = vec![assessment(0, 1.0, 0.1, true), assessment(1, 2.0, 0.1, true)];
+        let white = vec![true, true];
+        let mut rng = StdRng::seed_from_u64(2);
+        let sel = select_candidate(&candidates, &assessments, &white, &s, 1.0, &mut rng);
+        assert_eq!(sel.index, 1);
+        assert_eq!(sel.reason, SelectionReason::MaxUcb);
+    }
+}

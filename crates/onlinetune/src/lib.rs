@@ -1,0 +1,42 @@
+//! # onlinetune — dynamic and safe configuration tuning for cloud databases
+//!
+//! This crate is the reproduction of the paper's primary contribution: an *online* tuner
+//! that adapts to changing workloads (contextual Bayesian optimization) while respecting a
+//! safety constraint (never — or almost never — applying a configuration that performs
+//! worse than the default).
+//!
+//! The top-level loop lives in [`tuner::OnlineTune`] and follows Algorithm 3 of the paper:
+//!
+//! 1. **Context featurization** happens outside this crate (see the `featurize` crate); the
+//!    tuner receives the context vector `c_t`.
+//! 2. **Model selection** ([`clustering`]) — DBSCAN clusters of contexts, one contextual GP
+//!    per cluster, an SVM decision boundary for routing new contexts, and a normalized-
+//!    mutual-information trigger for re-clustering (Algorithm 1).
+//! 3. **Subspace adaptation** ([`subspace`]) — the optimization is restricted to a hypercube
+//!    or line region centred on the best configuration found so far, expanded on successes
+//!    and shrunk on failures (Algorithm 2).
+//! 4. **Safety assessment** ([`safety`], [`whitebox`]) — candidates are kept only if the GP
+//!    lower confidence bound clears the safety threshold (black box) and no MysqlTuner-style
+//!    heuristic rule rejects them (white box, with conflict-driven rule relaxation).
+//! 5. **Candidate selection** ([`candidate`]) — ε-greedy between the UCB maximizer and the
+//!    most uncertain boundary point of the safety set.
+//! 6. **Apply & evaluate** happens outside this crate (the `simdb` instance).
+//! 7. **Model update** — [`tuner::OnlineTune::observe`] feeds the observation back.
+//!
+//! Every stage records wall-clock timings in [`diagnostics::IterationDiagnostics`] so the
+//! overhead experiment (Figure 8 / Table A1) can be regenerated.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod candidate;
+pub mod clustering;
+pub mod diagnostics;
+pub mod safety;
+pub mod subspace;
+pub mod tuner;
+pub mod whitebox;
+
+pub use diagnostics::IterationDiagnostics;
+pub use tuner::{AblationFlags, OnlineTune, OnlineTuneOptions, Suggestion};
+pub use whitebox::{RuleEngine, WhiteBoxRule};

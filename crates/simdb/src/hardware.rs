@@ -1,0 +1,76 @@
+//! Hardware description of the simulated cloud instance.
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware resources of the database instance.
+///
+/// The paper's experiments run on an 8 vCPU / 16 GB RDS instance; that is the default here.
+/// The OnlineTune design discussion (§5.1.2) notes that hardware changes can be handled by
+/// encoding hardware into the context or re-initializing the tuning task — the experiment
+/// harness keeps hardware fixed, as the paper does.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareSpec {
+    /// Number of virtual CPUs.
+    pub vcpus: usize,
+    /// Physical memory in GiB.
+    pub ram_gib: f64,
+    /// Sustained random IOPS of the attached storage.
+    pub disk_iops: f64,
+    /// Sequential bandwidth of the attached storage in MiB/s.
+    pub disk_mib_per_s: f64,
+    /// Average latency of a single random IO in milliseconds.
+    pub io_latency_ms: f64,
+}
+
+impl Default for HardwareSpec {
+    fn default() -> Self {
+        HardwareSpec {
+            vcpus: 8,
+            ram_gib: 16.0,
+            disk_iops: 8000.0,
+            disk_mib_per_s: 350.0,
+            io_latency_ms: 0.25,
+        }
+    }
+}
+
+impl HardwareSpec {
+    /// Memory available to the DBMS after the OS, monitoring agents and connection overhead
+    /// (the simulator reserves 1.5 GiB, which is typical for a managed cloud instance).
+    pub fn usable_ram_bytes(&self) -> f64 {
+        ((self.ram_gib - 1.5).max(0.5)) * 1024.0 * 1024.0 * 1024.0
+    }
+
+    /// Total physical memory in bytes.
+    pub fn total_ram_bytes(&self) -> f64 {
+        self.ram_gib * 1024.0 * 1024.0 * 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_testbed() {
+        let hw = HardwareSpec::default();
+        assert_eq!(hw.vcpus, 8);
+        assert_eq!(hw.ram_gib, 16.0);
+    }
+
+    #[test]
+    fn usable_ram_is_less_than_total() {
+        let hw = HardwareSpec::default();
+        assert!(hw.usable_ram_bytes() < hw.total_ram_bytes());
+        assert!(hw.usable_ram_bytes() > 0.0);
+    }
+
+    #[test]
+    fn tiny_instance_still_has_positive_usable_ram() {
+        let hw = HardwareSpec {
+            ram_gib: 1.0,
+            ..HardwareSpec::default()
+        };
+        assert!(hw.usable_ram_bytes() > 0.0);
+    }
+}

@@ -1,0 +1,344 @@
+//! The simulated database instance: the stateful object a tuner interacts with.
+//!
+//! A [`SimDatabase`] owns the knob catalogue, the hardware description, the currently
+//! applied configuration and the evolving data size. Each call to
+//! [`SimDatabase::run_interval`] evaluates the analytical performance model for the
+//! supplied workload, applies measurement noise, grows the data according to the write
+//! volume (the TPC-C data-growth effect of Figure 1b), and returns an [`Evaluation`].
+//!
+//! The instance also tracks cumulative statistics that the experiment harness reports:
+//! number of intervals, number of failures, cumulative transactions and cumulative
+//! execution time.
+
+use crate::config::Configuration;
+use crate::hardware::HardwareSpec;
+use crate::knobs::KnobCatalogue;
+use crate::metrics::{InternalMetrics, PerformanceOutcome};
+use crate::noise::NoiseModel;
+use crate::optimizer::OptimizerStats;
+use crate::perfmodel::{self, FAILURE_LATENCY_MS};
+use crate::workload::WorkloadSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Everything observed from one tuning interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Noisy throughput / latency outcome of the interval.
+    pub outcome: PerformanceOutcome,
+    /// Internal metrics snapshot (the DDPG / QTune / MysqlTuner inputs).
+    pub metrics: InternalMetrics,
+    /// Optimizer statistics for the interval's queries (the data-featurization input).
+    pub optimizer_stats: OptimizerStats,
+    /// Data size at the end of the interval, in GiB.
+    pub data_size_gib: f64,
+    /// Length of the interval in seconds.
+    pub interval_s: f64,
+}
+
+impl Evaluation {
+    /// Number of transactions processed during the interval (used for cumulative-performance
+    /// accounting of OLTP workloads).
+    pub fn transactions(&self) -> f64 {
+        self.outcome.throughput_tps * self.interval_s
+    }
+}
+
+/// A simulated MySQL-like cloud database instance.
+pub struct SimDatabase {
+    catalogue: KnobCatalogue,
+    hardware: HardwareSpec,
+    current_config: Configuration,
+    data_size_gib: Option<f64>,
+    noise: NoiseModel,
+    rng: StdRng,
+    intervals_run: usize,
+    failures: usize,
+    /// When true, the performance model is evaluated without noise (useful for tests and
+    /// for computing ground-truth optima in the case study).
+    deterministic: bool,
+}
+
+impl SimDatabase {
+    /// Creates an instance with the full MySQL 5.7 catalogue, the paper's 8 vCPU / 16 GiB
+    /// hardware and the vendor-default configuration applied.
+    pub fn new(seed: u64) -> Self {
+        Self::with_catalogue(KnobCatalogue::mysql57(), HardwareSpec::default(), seed)
+    }
+
+    /// Creates an instance with a custom catalogue / hardware.
+    pub fn with_catalogue(catalogue: KnobCatalogue, hardware: HardwareSpec, seed: u64) -> Self {
+        let current_config = Configuration::vendor_default(&catalogue);
+        SimDatabase {
+            catalogue,
+            hardware,
+            current_config,
+            data_size_gib: None,
+            noise: NoiseModel::default(),
+            rng: StdRng::seed_from_u64(seed),
+            intervals_run: 0,
+            failures: 0,
+            deterministic: false,
+        }
+    }
+
+    /// Disables measurement noise (used to compute ground truths and in unit tests).
+    pub fn set_deterministic(&mut self, deterministic: bool) {
+        self.deterministic = deterministic;
+    }
+
+    /// The knob catalogue of this instance.
+    pub fn catalogue(&self) -> &KnobCatalogue {
+        &self.catalogue
+    }
+
+    /// The hardware of this instance.
+    pub fn hardware(&self) -> &HardwareSpec {
+        &self.hardware
+    }
+
+    /// The currently applied configuration.
+    pub fn current_config(&self) -> &Configuration {
+        &self.current_config
+    }
+
+    /// Number of intervals run so far.
+    pub fn intervals_run(&self) -> usize {
+        self.intervals_run
+    }
+
+    /// Number of system failures (hangs) observed so far.
+    pub fn failures(&self) -> usize {
+        self.failures
+    }
+
+    /// Current data size if the instance has started tracking it (after the first interval
+    /// or an explicit [`SimDatabase::set_data_size`]).
+    pub fn data_size_gib(&self) -> Option<f64> {
+        self.data_size_gib
+    }
+
+    /// Sets the logical data size explicitly (e.g. when loading a benchmark dataset).
+    pub fn set_data_size(&mut self, gib: f64) {
+        self.data_size_gib = Some(gib.max(0.1));
+    }
+
+    /// Applies a configuration to the running instance (no restart — only dynamic knobs are
+    /// in the catalogue, as in the paper). Values are sanitized into their legal domains.
+    pub fn apply_config(&mut self, config: &Configuration) {
+        self.current_config = Configuration::from_values(&self.catalogue, config.values().to_vec());
+    }
+
+    /// Convenience: applies the vendor-default configuration.
+    pub fn apply_vendor_default(&mut self) {
+        self.current_config = Configuration::vendor_default(&self.catalogue);
+    }
+
+    /// Convenience: applies the DBA-default configuration.
+    pub fn apply_dba_default(&mut self) {
+        self.current_config = Configuration::dba_default(&self.catalogue);
+    }
+
+    /// Runs one tuning interval of `interval_s` seconds of the given workload under the
+    /// currently applied configuration.
+    pub fn run_interval(&mut self, workload: &WorkloadSpec, interval_s: f64) -> Evaluation {
+        // The instance's own data-size state overrides the workload's nominal size once the
+        // instance has been running (data grows under write-heavy workloads).
+        let mut effective = workload.clone();
+        let tracked = self.data_size_gib.unwrap_or(workload.data_size_gib);
+        effective.data_size_gib = tracked;
+
+        let model = perfmodel::evaluate(
+            &self.catalogue,
+            &self.current_config,
+            &effective,
+            &self.hardware,
+        );
+
+        let outcome = if model.outcome.failed {
+            self.failures += 1;
+            PerformanceOutcome::failure(FAILURE_LATENCY_MS)
+        } else if self.deterministic {
+            model.outcome
+        } else {
+            let factor = self.noise.sample_factor(interval_s, &mut self.rng);
+            PerformanceOutcome {
+                throughput_tps: model.outcome.throughput_tps * factor,
+                latency_avg_ms: model.outcome.latency_avg_ms / factor,
+                latency_p99_ms: (model.outcome.latency_p99_ms / factor).min(FAILURE_LATENCY_MS),
+                failed: false,
+            }
+        };
+
+        // Data growth: committed write transactions add rows. Calibrated so that a
+        // write-heavy TPC-C-style workload grows from ~18 GiB to ~48 GiB over ~400 three-
+        // minute intervals (Figure 1b / §7.1.1).
+        let write_tps = outcome.throughput_tps * effective.mix.write_fraction();
+        // ~30 bytes of net new data per committed write (inserts add rows, updates mostly
+        // rewrite in place); calibrated so a write-heavy run grows by tens of GiB over 400
+        // three-minute intervals, matching Figure 1b.
+        let growth_gib = write_tps * interval_s * 30.0 / (1024.0 * 1024.0 * 1024.0);
+        let new_size = tracked + growth_gib;
+        self.data_size_gib = Some(new_size);
+
+        let optimizer_stats = OptimizerStats::estimate(&effective);
+        self.intervals_run += 1;
+
+        Evaluation {
+            outcome,
+            metrics: if model.outcome.failed {
+                InternalMetrics::zeroed()
+            } else {
+                model.metrics
+            },
+            optimizer_stats,
+            data_size_gib: new_size,
+            interval_s,
+        }
+    }
+
+    /// Evaluates a configuration *without* applying it or mutating any state (no noise, no
+    /// data growth, no failure accounting). Used to compute ground-truth surfaces (Figure
+    /// 10) and the "Best" reference line (Figure 11).
+    pub fn peek(&self, config: &Configuration, workload: &WorkloadSpec) -> PerformanceOutcome {
+        let mut effective = workload.clone();
+        if let Some(size) = self.data_size_gib {
+            effective.data_size_gib = size;
+        }
+        perfmodel::evaluate(&self.catalogue, config, &effective, &self.hardware).outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadMix;
+
+    fn tpcc_like() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "tpcc-like".into(),
+            mix: WorkloadMix::new([0.26, 0.08, 0.0, 0.04, 0.27, 0.27, 0.08]),
+            arrival_rate_qps: None,
+            clients: 32,
+            data_size_gib: 18.0,
+            skew: 0.4,
+            avg_rows_per_read: 15.0,
+            avg_join_tables: 1.5,
+            avg_selectivity: 0.1,
+            index_coverage: 0.95,
+        }
+    }
+
+    #[test]
+    fn run_interval_produces_positive_throughput() {
+        let mut db = SimDatabase::new(1);
+        db.apply_dba_default();
+        let eval = db.run_interval(&tpcc_like(), 180.0);
+        assert!(!eval.outcome.failed);
+        assert!(eval.outcome.throughput_tps > 0.0);
+        assert!(eval.transactions() > 0.0);
+        assert_eq!(db.intervals_run(), 1);
+        assert_eq!(db.failures(), 0);
+    }
+
+    #[test]
+    fn data_grows_under_write_heavy_workload() {
+        let mut db = SimDatabase::new(2);
+        db.apply_dba_default();
+        db.set_data_size(18.0);
+        let wl = tpcc_like();
+        for _ in 0..50 {
+            db.run_interval(&wl, 180.0);
+        }
+        let size = db.data_size_gib().unwrap();
+        assert!(size > 18.5, "data should grow, got {size}");
+        // Growth over 400 intervals should land in the tens of GiB, not explode.
+        assert!(size < 30.0, "growth too fast after 50 intervals: {size}");
+    }
+
+    #[test]
+    fn read_only_workload_does_not_grow_data() {
+        let mut db = SimDatabase::new(3);
+        db.apply_dba_default();
+        db.set_data_size(9.0);
+        let mut wl = tpcc_like();
+        wl.mix = WorkloadMix::new([1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        db.run_interval(&wl, 180.0);
+        assert!((db.data_size_gib().unwrap() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failure_is_counted_and_returns_zero_throughput() {
+        let mut db = SimDatabase::new(4);
+        let cat = db.catalogue().clone();
+        let mut bad = Configuration::dba_default(&cat);
+        bad.set(&cat, "innodb_buffer_pool_size", 15.0 * 1024.0 * 1024.0 * 1024.0);
+        bad.set(&cat, "sort_buffer_size", 256.0 * 1024.0 * 1024.0);
+        bad.set(&cat, "join_buffer_size", 256.0 * 1024.0 * 1024.0);
+        bad.set(&cat, "tmp_table_size", 1024.0 * 1024.0 * 1024.0);
+        bad.set(&cat, "max_heap_table_size", 1024.0 * 1024.0 * 1024.0);
+        db.apply_config(&bad);
+        let eval = db.run_interval(&tpcc_like(), 180.0);
+        assert!(eval.outcome.failed);
+        assert_eq!(eval.outcome.throughput_tps, 0.0);
+        assert_eq!(db.failures(), 1);
+    }
+
+    #[test]
+    fn deterministic_mode_is_reproducible_and_noise_mode_varies() {
+        let wl = tpcc_like();
+        let mut det = SimDatabase::new(7);
+        det.set_deterministic(true);
+        det.apply_dba_default();
+        det.set_data_size(18.0);
+        let a = det.run_interval(&wl, 180.0).outcome.throughput_tps;
+        let mut det2 = SimDatabase::new(99);
+        det2.set_deterministic(true);
+        det2.apply_dba_default();
+        det2.set_data_size(18.0);
+        let b = det2.run_interval(&wl, 180.0).outcome.throughput_tps;
+        assert_eq!(a, b);
+
+        let mut noisy = SimDatabase::new(7);
+        noisy.apply_dba_default();
+        noisy.set_data_size(18.0);
+        let mut values = Vec::new();
+        for _ in 0..5 {
+            let mut fresh = tpcc_like();
+            fresh.data_size_gib = 18.0;
+            values.push(noisy.run_interval(&fresh, 180.0).outcome.throughput_tps);
+        }
+        let spread = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - values.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 0.0, "noise should produce some spread");
+    }
+
+    #[test]
+    fn peek_does_not_mutate_state() {
+        let mut db = SimDatabase::new(5);
+        db.apply_dba_default();
+        db.set_data_size(18.0);
+        let cat = db.catalogue().clone();
+        let cfg = Configuration::vendor_default(&cat);
+        let before_intervals = db.intervals_run();
+        let before_size = db.data_size_gib();
+        let outcome = db.peek(&cfg, &tpcc_like());
+        assert!(outcome.throughput_tps > 0.0);
+        assert_eq!(db.intervals_run(), before_intervals);
+        assert_eq!(db.data_size_gib(), before_size);
+    }
+
+    #[test]
+    fn apply_config_sanitizes_values() {
+        let mut db = SimDatabase::new(6);
+        let cat = db.catalogue().clone();
+        let mut crazy = Configuration::vendor_default(&cat);
+        // Out-of-domain values must be clamped by apply_config.
+        let values: Vec<f64> = crazy.values().iter().map(|_| 1e20).collect();
+        crazy = Configuration::from_values(&cat, values);
+        db.apply_config(&crazy);
+        for (v, k) in db.current_config().values().iter().zip(cat.knobs()) {
+            assert!(*v <= k.max());
+        }
+    }
+}

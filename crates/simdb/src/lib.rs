@@ -1,0 +1,44 @@
+//! # simdb — a simulated MySQL-like cloud DBMS
+//!
+//! The OnlineTune paper evaluates against RDS MySQL 5.7 running on an 8 vCPU / 16 GB cloud
+//! instance. This crate is the substitute substrate: an analytical, noisy simulator of such
+//! an instance that exposes exactly the interface a configuration tuner interacts with:
+//!
+//! 1. a **knob catalogue** of 40 dynamic configuration knobs ([`knobs`]) with vendor
+//!    defaults and DBA defaults,
+//! 2. **apply a configuration** without restart ([`instance::SimDatabase::apply_config`]),
+//! 3. **run a workload for one tuning interval** and observe throughput / p99 latency,
+//!    internal metrics and optimizer statistics
+//!    ([`instance::SimDatabase::run_interval`]),
+//! 4. **failure semantics** — memory overcommit hangs the instance, exactly the failure
+//!    mode the paper reports for offline tuners (§1, Figure 1c).
+//!
+//! The performance model ([`perfmodel`]) is not a packet-level simulation; it is a
+//! calibrated analytical model whose *response surface* has the properties every
+//! MySQL-tuning paper relies on: diminishing returns of buffer-pool memory, per-connection
+//! buffer overcommit, commit-durability trade-offs, spill-to-disk penalties for sorts /
+//! joins / temp tables, a non-ordinal `thread_concurrency` knob, knob interactions, and
+//! context (workload/data) dependent optima. Measurement noise shrinks with the square root
+//! of the interval length, which is what makes very short tuning intervals unreliable
+//! (paper §7.3.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod hardware;
+pub mod instance;
+pub mod knobs;
+pub mod metrics;
+pub mod noise;
+pub mod optimizer;
+pub mod perfmodel;
+pub mod workload;
+
+pub use config::Configuration;
+pub use hardware::HardwareSpec;
+pub use instance::{Evaluation, SimDatabase};
+pub use knobs::{KnobCatalogue, KnobDef, KnobKind, KnobScale};
+pub use metrics::{InternalMetrics, PerformanceOutcome};
+pub use optimizer::OptimizerStats;
+pub use workload::{QueryClass, WorkloadMix, WorkloadSpec};

@@ -1,0 +1,154 @@
+//! Internal metrics and the per-interval performance outcome.
+
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of DBMS internal metrics for one tuning interval.
+///
+/// These play the role of MySQL's `SHOW GLOBAL STATUS` counters: CDBTune/DDPG consumes them
+/// as its state vector, QTune predicts them from the workload embedding, and MysqlTuner's
+/// heuristic rules read them to produce recommendations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InternalMetrics {
+    /// Buffer-pool hit ratio in `[0, 1]`.
+    pub buffer_pool_hit_ratio: f64,
+    /// Fraction of buffer-pool pages that are dirty.
+    pub dirty_page_ratio: f64,
+    /// Logical reads per second.
+    pub reads_per_sec: f64,
+    /// Row modifications per second.
+    pub writes_per_sec: f64,
+    /// Redo log waits per second (log buffer too small).
+    pub log_waits_per_sec: f64,
+    /// Fraction of sorts that spilled to disk.
+    pub sort_merge_spill_ratio: f64,
+    /// Fraction of temporary tables created on disk.
+    pub tmp_disk_table_ratio: f64,
+    /// Fraction of joins executed without an index.
+    pub joins_without_index_ratio: f64,
+    /// Average number of threads running concurrently.
+    pub threads_running: f64,
+    /// Row-lock waits per second.
+    pub lock_waits_per_sec: f64,
+    /// Checkpoint-stall time fraction of the interval.
+    pub checkpoint_stall_ratio: f64,
+    /// Fraction of the physical memory committed by the DBMS.
+    pub memory_pressure: f64,
+    /// Disk read IOPS consumed.
+    pub disk_reads_per_sec: f64,
+    /// Disk write IOPS consumed.
+    pub disk_writes_per_sec: f64,
+    /// CPU utilization in `[0, 1]`.
+    pub cpu_utilization: f64,
+    /// Number of connection threads created during the interval.
+    pub threads_created: f64,
+}
+
+impl InternalMetrics {
+    /// Names of the metric dimensions, matching [`InternalMetrics::to_vec`].
+    pub const NAMES: [&'static str; 16] = [
+        "buffer_pool_hit_ratio",
+        "dirty_page_ratio",
+        "reads_per_sec",
+        "writes_per_sec",
+        "log_waits_per_sec",
+        "sort_merge_spill_ratio",
+        "tmp_disk_table_ratio",
+        "joins_without_index_ratio",
+        "threads_running",
+        "lock_waits_per_sec",
+        "checkpoint_stall_ratio",
+        "memory_pressure",
+        "disk_reads_per_sec",
+        "disk_writes_per_sec",
+        "cpu_utilization",
+        "threads_created",
+    ];
+
+    /// Flattens the metrics into a vector (the DDPG / QTune state representation).
+    pub fn to_vec(&self) -> Vec<f64> {
+        vec![
+            self.buffer_pool_hit_ratio,
+            self.dirty_page_ratio,
+            self.reads_per_sec,
+            self.writes_per_sec,
+            self.log_waits_per_sec,
+            self.sort_merge_spill_ratio,
+            self.tmp_disk_table_ratio,
+            self.joins_without_index_ratio,
+            self.threads_running,
+            self.lock_waits_per_sec,
+            self.checkpoint_stall_ratio,
+            self.memory_pressure,
+            self.disk_reads_per_sec,
+            self.disk_writes_per_sec,
+            self.cpu_utilization,
+            self.threads_created,
+        ]
+    }
+
+    /// A neutral all-zero metrics snapshot (used when the instance is hung).
+    pub fn zeroed() -> Self {
+        InternalMetrics {
+            buffer_pool_hit_ratio: 0.0,
+            dirty_page_ratio: 0.0,
+            reads_per_sec: 0.0,
+            writes_per_sec: 0.0,
+            log_waits_per_sec: 0.0,
+            sort_merge_spill_ratio: 0.0,
+            tmp_disk_table_ratio: 0.0,
+            joins_without_index_ratio: 0.0,
+            threads_running: 0.0,
+            lock_waits_per_sec: 0.0,
+            checkpoint_stall_ratio: 0.0,
+            memory_pressure: 0.0,
+            disk_reads_per_sec: 0.0,
+            disk_writes_per_sec: 0.0,
+            cpu_utilization: 0.0,
+            threads_created: 0.0,
+        }
+    }
+}
+
+/// Headline performance of one tuning interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerformanceOutcome {
+    /// Committed transactions (or completed queries) per second.
+    pub throughput_tps: f64,
+    /// Average query/transaction latency in milliseconds.
+    pub latency_avg_ms: f64,
+    /// 99th-percentile latency in milliseconds.
+    pub latency_p99_ms: f64,
+    /// Whether the instance failed (hung) during the interval.
+    pub failed: bool,
+}
+
+impl PerformanceOutcome {
+    /// Outcome representing a hung instance: zero throughput, latency pinned at the cap.
+    pub fn failure(latency_cap_ms: f64) -> Self {
+        PerformanceOutcome {
+            throughput_tps: 0.0,
+            latency_avg_ms: latency_cap_ms,
+            latency_p99_ms: latency_cap_ms,
+            failed: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_vector_matches_names() {
+        let m = InternalMetrics::zeroed();
+        assert_eq!(m.to_vec().len(), InternalMetrics::NAMES.len());
+    }
+
+    #[test]
+    fn failure_outcome_is_marked_failed() {
+        let f = PerformanceOutcome::failure(200_000.0);
+        assert!(f.failed);
+        assert_eq!(f.throughput_tps, 0.0);
+        assert_eq!(f.latency_p99_ms, 200_000.0);
+    }
+}

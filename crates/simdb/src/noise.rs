@@ -1,0 +1,88 @@
+//! Measurement-noise model.
+//!
+//! Benchmarking a database for a short interval yields noisy numbers: the shorter the
+//! interval, the higher the variance (warm-up effects, checkpoint timing, client ramping).
+//! The paper's sensitivity analysis (§7.3.3) observes "significant performance variance for
+//! 5-second intervals on a fixed configuration" and worse tuning behaviour at that interval.
+//! We model relative noise whose standard deviation scales with `1/sqrt(interval)` around a
+//! floor, which reproduces exactly that ordering.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// Multiplicative noise model for interval measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Relative standard deviation at the reference interval.
+    pub base_rel_std: f64,
+    /// Reference interval in seconds (the paper's default interval is 180 s).
+    pub reference_interval_s: f64,
+    /// Lower bound on the relative standard deviation for very long intervals.
+    pub floor_rel_std: f64,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel {
+            base_rel_std: 0.02,
+            reference_interval_s: 180.0,
+            floor_rel_std: 0.005,
+        }
+    }
+}
+
+impl NoiseModel {
+    /// Relative standard deviation for a given interval length.
+    pub fn rel_std(&self, interval_s: f64) -> f64 {
+        let interval = interval_s.max(1.0);
+        let scaled = self.base_rel_std * (self.reference_interval_s / interval).sqrt();
+        scaled.max(self.floor_rel_std)
+    }
+
+    /// Draws a multiplicative noise factor (mean 1.0) for an interval of the given length.
+    pub fn sample_factor<R: Rng>(&self, interval_s: f64, rng: &mut R) -> f64 {
+        let std = self.rel_std(interval_s);
+        let normal = Normal::new(1.0, std).expect("std is finite and positive");
+        normal.sample(rng).clamp(0.5, 1.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shorter_intervals_are_noisier() {
+        let nm = NoiseModel::default();
+        assert!(nm.rel_std(5.0) > nm.rel_std(60.0));
+        assert!(nm.rel_std(60.0) > nm.rel_std(180.0));
+        assert!(nm.rel_std(720.0) >= nm.floor_rel_std);
+    }
+
+    #[test]
+    fn factors_are_centred_on_one() {
+        let nm = NoiseModel::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let samples: Vec<f64> = (0..5000).map(|_| nm.sample_factor(180.0, &mut rng)).collect();
+        let mean = linalg::vecops::mean(&samples);
+        assert!((mean - 1.0).abs() < 0.01, "mean = {mean}");
+        assert!(samples.iter().all(|&f| (0.5..=1.5).contains(&f)));
+    }
+
+    #[test]
+    fn five_second_interval_shows_visibly_more_variance() {
+        let nm = NoiseModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let short: Vec<f64> = (0..2000).map(|_| nm.sample_factor(5.0, &mut rng)).collect();
+        let long: Vec<f64> = (0..2000).map(|_| nm.sample_factor(720.0, &mut rng)).collect();
+        assert!(linalg::vecops::std_dev(&short) > 2.0 * linalg::vecops::std_dev(&long));
+    }
+
+    #[test]
+    fn degenerate_interval_is_clamped() {
+        let nm = NoiseModel::default();
+        assert!(nm.rel_std(0.0).is_finite());
+    }
+}

@@ -1,0 +1,116 @@
+//! Simulated query-optimizer statistics.
+//!
+//! OnlineTune's underlying-data featurization (§5.1.2) does not model the data distribution
+//! directly; it reads three cheap signals from the DBMS optimizer for the queries of the
+//! current interval: the estimated rows to examine, the fraction of rows filtered by the
+//! predicates, and whether an index is used. This module derives those signals from the
+//! workload spec and the current data size, which is exactly the information a real
+//! optimizer's cardinality estimator would use.
+
+use crate::workload::{QueryClass, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// The per-interval optimizer statistics exposed to the featurization module.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimizerStats {
+    /// Average estimated number of rows examined per query (log10-friendly magnitude).
+    pub avg_rows_examined: f64,
+    /// Average fraction of examined rows filtered out by predicates, in `[0, 1]`.
+    pub avg_filter_fraction: f64,
+    /// Fraction of queries that use an index, in `[0, 1]`.
+    pub index_usage_fraction: f64,
+}
+
+impl OptimizerStats {
+    /// Derives optimizer statistics for a workload against a given data size.
+    pub fn estimate(workload: &WorkloadSpec) -> Self {
+        let rows_total = workload.data_size_gib * 1.0e7; // ~100-byte rows
+
+        // Rows examined per query class.
+        let per_class_rows = |class: QueryClass| -> f64 {
+            match class {
+                QueryClass::PointSelect => 1.0,
+                QueryClass::RangeSelect => workload.avg_rows_per_read.max(1.0),
+                QueryClass::Join => {
+                    // Join fan-out grows with the number of participating tables and data size.
+                    (rows_total * workload.avg_selectivity).max(1.0)
+                        * workload.avg_join_tables.max(1.0)
+                }
+                QueryClass::Aggregate => (rows_total * workload.avg_selectivity).max(1.0),
+                QueryClass::Insert => 1.0,
+                QueryClass::Update | QueryClass::Delete => workload.avg_rows_per_read.max(1.0),
+            }
+        };
+
+        let mut rows = 0.0;
+        for class in QueryClass::ALL {
+            rows += workload.mix.weight(class) * per_class_rows(class);
+        }
+
+        let filter = (1.0 - workload.avg_selectivity).clamp(0.0, 1.0);
+        OptimizerStats {
+            avg_rows_examined: rows,
+            avg_filter_fraction: filter,
+            index_usage_fraction: workload.index_coverage.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The three-dimensional feature vector used for context featurization. Row counts are
+    /// log10-compressed so that data growth produces a smooth, bounded signal.
+    pub fn to_feature(&self) -> Vec<f64> {
+        vec![
+            (1.0 + self.avg_rows_examined).log10() / 10.0,
+            self.avg_filter_fraction,
+            self.index_usage_fraction,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{WorkloadMix, WorkloadSpec};
+
+    #[test]
+    fn analytical_workloads_examine_more_rows() {
+        let mut oltp = WorkloadSpec::synthetic_oltp();
+        let mut olap = WorkloadSpec::synthetic_oltp();
+        olap.mix = WorkloadMix::new([0.0, 0.0, 0.7, 0.3, 0.0, 0.0, 0.0]);
+        olap.avg_join_tables = 5.0;
+        oltp.avg_join_tables = 1.0;
+        let s_oltp = OptimizerStats::estimate(&oltp);
+        let s_olap = OptimizerStats::estimate(&olap);
+        assert!(s_olap.avg_rows_examined > s_oltp.avg_rows_examined * 10.0);
+    }
+
+    #[test]
+    fn data_growth_increases_rows_examined_for_scans() {
+        let mut small = WorkloadSpec::synthetic_oltp();
+        small.mix = WorkloadMix::new([0.0, 0.0, 0.5, 0.5, 0.0, 0.0, 0.0]);
+        let mut large = small.clone();
+        small.data_size_gib = 10.0;
+        large.data_size_gib = 40.0;
+        let s = OptimizerStats::estimate(&small);
+        let l = OptimizerStats::estimate(&large);
+        assert!(l.avg_rows_examined > s.avg_rows_examined);
+        // ... and the feature encoding reflects it smoothly.
+        assert!(l.to_feature()[0] > s.to_feature()[0]);
+    }
+
+    #[test]
+    fn feature_vector_is_bounded() {
+        let spec = WorkloadSpec::synthetic_oltp();
+        let f = OptimizerStats::estimate(&spec).to_feature();
+        assert_eq!(f.len(), 3);
+        for v in f {
+            assert!((0.0..=1.5).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn index_usage_mirrors_workload_coverage() {
+        let mut spec = WorkloadSpec::synthetic_oltp();
+        spec.index_coverage = 0.3;
+        assert_eq!(OptimizerStats::estimate(&spec).index_usage_fraction, 0.3);
+    }
+}

@@ -1,0 +1,649 @@
+//! The analytical performance model of the simulated MySQL instance.
+//!
+//! Given a configuration, a workload and the hardware, the model computes deterministic
+//! throughput / latency figures plus the internal metrics. The goal is not to predict real
+//! MySQL numbers but to reproduce the *response surface structure* that configuration
+//! tuners experience:
+//!
+//! * the buffer pool exhibits diminishing returns that saturate once the hot set fits;
+//! * per-connection buffers trade session memory against spill-to-disk penalties;
+//! * the sum of all memory consumers can exceed physical RAM — first swapping, then
+//!   hanging the instance (the "system failures" of Figure 1c / Figure 5);
+//! * commit-durability knobs (`innodb_flush_log_at_trx_commit`, `sync_binlog`) only matter
+//!   for write-heavy workloads; sort/join/temp-table knobs only matter for analytical ones;
+//! * `innodb_thread_concurrency` is non-ordinal: 0 means unlimited, small positive values
+//!   strangle an 8-vCPU box (§7.3.2's motivating example for white-box rules);
+//! * redo-log sizing and IO-capacity interact with the write rate (checkpoint stalls).
+//!
+//! The model is pure (no RNG); measurement noise is added by [`crate::instance`].
+
+use crate::config::Configuration;
+use crate::hardware::HardwareSpec;
+use crate::knobs::KnobCatalogue;
+use crate::metrics::{InternalMetrics, PerformanceOutcome};
+use crate::workload::{QueryClass, WorkloadSpec};
+
+const MIB: f64 = 1024.0 * 1024.0;
+#[allow(dead_code)]
+const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// Latency (ms) reported for a hung instance; also the value used when a query is killed
+/// because it exceeded the tuning interval (JOB-style workloads).
+pub const FAILURE_LATENCY_MS: f64 = 200_000.0;
+
+/// Deterministic output of the performance model for one interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelOutput {
+    /// Throughput / latency outcome before measurement noise.
+    pub outcome: PerformanceOutcome,
+    /// Internal metrics snapshot.
+    pub metrics: InternalMetrics,
+    /// Total memory the configuration commits, in bytes.
+    pub committed_memory_bytes: f64,
+}
+
+/// Resolves knob values by name: values present in the (possibly reduced) catalogue come
+/// from the configuration, everything else falls back to the full-catalogue DBA default —
+/// this is how the 5-knob YCSB case study runs on an otherwise DBA-configured instance.
+struct KnobResolver<'a> {
+    catalogue: &'a KnobCatalogue,
+    config: &'a Configuration,
+    full: KnobCatalogue,
+}
+
+impl<'a> KnobResolver<'a> {
+    fn new(catalogue: &'a KnobCatalogue, config: &'a Configuration) -> Self {
+        KnobResolver {
+            catalogue,
+            config,
+            full: KnobCatalogue::mysql57(),
+        }
+    }
+
+    fn get(&self, name: &str) -> f64 {
+        if let Some(v) = self.config.get(self.catalogue, name) {
+            return v;
+        }
+        let idx = self
+            .full
+            .index_of(name)
+            .unwrap_or_else(|| panic!("unknown knob {name}"));
+        self.full.knob(idx).dba_default
+    }
+}
+
+/// Evaluates the performance model.
+pub fn evaluate(
+    catalogue: &KnobCatalogue,
+    config: &Configuration,
+    workload: &WorkloadSpec,
+    hardware: &HardwareSpec,
+) -> ModelOutput {
+    let k = KnobResolver::new(catalogue, config);
+
+    // ---------------------------------------------------------------- memory accounting
+    let buffer_pool = k.get("innodb_buffer_pool_size");
+    let log_buffer = k.get("innodb_log_buffer_size");
+    let key_buffer = k.get("key_buffer_size");
+    let query_cache = k.get("query_cache_size");
+    let sort_buffer = k.get("sort_buffer_size");
+    let join_buffer = k.get("join_buffer_size");
+    let read_buffer = k.get("read_buffer_size");
+    let read_rnd_buffer = k.get("read_rnd_buffer_size");
+    let binlog_cache = k.get("binlog_cache_size");
+    let tmp_table_limit = k.get("tmp_table_size").min(k.get("max_heap_table_size"));
+    let max_connections = k.get("max_connections");
+
+    let active_connections = (workload.clients as f64).min(max_connections);
+    // Roughly half of the connected clients have a statement in flight at any instant.
+    let concurrently_active = (active_connections * 0.5).max(1.0);
+    let per_connection = sort_buffer + join_buffer + read_buffer + read_rnd_buffer + binlog_cache;
+    let analytical = workload.mix.analytical_fraction();
+    let tmp_memory = tmp_table_limit * concurrently_active * (0.15 + 0.5 * analytical);
+    let session_memory = per_connection * concurrently_active + tmp_memory;
+    let global_memory = buffer_pool + key_buffer + query_cache + log_buffer + 300.0 * MIB;
+    let committed = global_memory + session_memory;
+
+    let usable = hardware.usable_ram_bytes();
+    let total_ram = hardware.total_ram_bytes();
+    let memory_pressure = committed / total_ram;
+
+    if committed > total_ram {
+        // Overcommit beyond physical RAM: the OOM killer / swap storm hangs the instance.
+        let mut metrics = InternalMetrics::zeroed();
+        metrics.memory_pressure = memory_pressure;
+        return ModelOutput {
+            outcome: PerformanceOutcome::failure(FAILURE_LATENCY_MS),
+            metrics,
+            committed_memory_bytes: committed,
+        };
+    }
+    // Between "usable" and physical RAM the kernel starts swapping: heavy slowdown.
+    let swap_penalty = if committed > usable {
+        let severity = (committed - usable) / (total_ram - usable).max(1.0);
+        1.0 - 0.65 * severity.clamp(0.0, 1.0)
+    } else {
+        1.0
+    };
+
+    // ---------------------------------------------------------------- buffer pool / reads
+    let hot_bytes = workload.hot_bytes().max(64.0 * MIB);
+    let change_buffer_frac = k.get("innodb_change_buffer_max_size") / 100.0;
+    let write_fraction = workload.mix.write_fraction();
+    // A slice of the pool is occupied by the change buffer when writes are present.
+    let effective_pool = buffer_pool * (1.0 - 0.5 * change_buffer_frac * write_fraction);
+    let coverage = (effective_pool / hot_bytes).min(1.0);
+    let scan_resistance = {
+        // innodb_old_blocks_pct protects the hot set from large scans.
+        let old_pct = k.get("innodb_old_blocks_pct") / 100.0;
+        if analytical > 0.05 && workload.mix.read_fraction() > 0.0 {
+            1.0 - 0.1 * analytical * (old_pct - 0.37).abs()
+        } else {
+            1.0
+        }
+    };
+    let hit_ratio = (0.15 + 0.85 * coverage.powf(0.8)) * scan_resistance;
+    let hit_ratio = hit_ratio.clamp(0.02, 0.998);
+
+    // Pages touched per query, per class.
+    let rows_to_pages = |rows: f64| (rows / 60.0).max(1.0) + 2.0; // ~60 rows per 16K page + index descent
+    let pages_per_class = |class: QueryClass| -> f64 {
+        match class {
+            QueryClass::PointSelect => 3.0,
+            QueryClass::RangeSelect => rows_to_pages(workload.avg_rows_per_read),
+            QueryClass::Join => {
+                rows_to_pages(workload.avg_rows_per_read * workload.avg_join_tables * 40.0)
+            }
+            QueryClass::Aggregate => rows_to_pages(workload.avg_rows_per_read * 25.0),
+            QueryClass::Insert => 3.0,
+            QueryClass::Update => 4.0,
+            QueryClass::Delete => 4.0,
+        }
+    };
+
+    let read_io_threads = k.get("innodb_read_io_threads");
+    let io_parallel = (read_io_threads / 4.0).sqrt().clamp(0.5, 2.0);
+    let adaptive_hash = k.get("innodb_adaptive_hash_index") >= 0.5;
+    let flush_method_odirect = k.get("innodb_flush_method") >= 0.5;
+    // fsync flush method double-buffers through the page cache, wasting a bit of RAM and IO.
+    let flush_method_factor = if flush_method_odirect { 1.0 } else { 0.95 };
+
+    // ---------------------------------------------------------------- per-class service time
+    let cpu_speed = 1.0; // relative units; vcpus scale total capacity below
+    let sort_spill = |required: f64| -> f64 {
+        if sort_buffer >= required {
+            1.0
+        } else {
+            1.0 + 1.8 * (required / sort_buffer.max(1.0)).log2().clamp(0.0, 4.0) / 4.0
+        }
+    };
+    let join_spill = |required: f64| -> f64 {
+        if join_buffer >= required {
+            1.0
+        } else {
+            1.0 + 1.5 * (required / join_buffer.max(1.0)).log2().clamp(0.0, 4.0) / 4.0
+        }
+    };
+    let tmp_spill = |required: f64| -> f64 {
+        if tmp_table_limit >= required {
+            1.0
+        } else {
+            2.2
+        }
+    };
+
+    // Commit path cost (per write transaction, ms).
+    let flush_log = k.get("innodb_flush_log_at_trx_commit").round() as i64;
+    let sync_binlog = k.get("sync_binlog");
+    let group_commit = concurrently_active.sqrt().max(1.0);
+    let redo_sync_ms = match flush_log {
+        1 => 0.45 / group_commit,
+        2 => 0.06,
+        _ => 0.02,
+    };
+    let binlog_sync_ms = if sync_binlog >= 1.0 {
+        0.35 / (sync_binlog * group_commit)
+    } else {
+        0.0
+    };
+    let doublewrite = k.get("innodb_doublewrite") >= 0.5;
+    let doublewrite_factor = if doublewrite { 1.12 } else { 1.0 };
+
+    // Log buffer too small for the write volume produces log waits.
+    let log_waits_factor = if write_fraction > 0.05 && log_buffer < 8.0 * MIB {
+        1.0 + 0.15 * (8.0 * MIB / log_buffer.max(1.0)).log2() / 6.0
+    } else {
+        1.0
+    };
+
+    // Redo log sizing: write-heavy workloads need enough redo capacity or they stall on
+    // sharp checkpoints.
+    let log_file_size = k.get("innodb_log_file_size");
+    let write_intensity = write_fraction * concurrently_active; // rough write pressure
+    let needed_redo = 96.0 * MIB + write_intensity * 48.0 * MIB;
+    let checkpoint_stall = ((needed_redo / (2.0 * log_file_size)) - 1.0).clamp(0.0, 2.0) * 0.18;
+
+    // Background flushing capacity: dirty pages pile up when io_capacity is far below what
+    // the write rate needs.
+    let io_capacity = k.get("innodb_io_capacity");
+    let needed_iocap = 150.0 + write_intensity * 120.0;
+    let flush_lag = ((needed_iocap / io_capacity.max(1.0)) - 1.0).clamp(0.0, 3.0);
+    let flush_stall = flush_lag * 0.06;
+    let max_dirty = k.get("innodb_max_dirty_pages_pct");
+    let dirty_penalty = if max_dirty < 10.0 {
+        0.08 * write_fraction
+    } else if max_dirty > 90.0 {
+        0.04 * write_fraction * flush_lag.min(1.0)
+    } else {
+        0.0
+    };
+
+    // Query cache: mostly harmful under writes (global mutex), mildly useful read-only.
+    let query_cache_on = k.get("query_cache_type") >= 0.5 && query_cache > 0.0;
+    let query_cache_factor = if query_cache_on {
+        if write_fraction > 0.05 {
+            1.0 + 0.10 * write_fraction
+        } else {
+            0.97
+        }
+    } else {
+        1.0
+    };
+
+    // Thread cache: creating threads for every connection costs a little.
+    let thread_cache = k.get("thread_cache_size");
+    let thread_churn_factor = if thread_cache < 16.0 && workload.clients > 64 {
+        1.03
+    } else {
+        1.0
+    };
+
+    // Table cache too small for many tables (JOB has hundreds of table references).
+    let table_cache = k.get("table_open_cache");
+    let table_cache_factor = if analytical > 0.3 && table_cache < 1000.0 {
+        1.05
+    } else {
+        1.0
+    };
+
+    let rows_scan = workload.avg_rows_per_read.max(1.0);
+    let per_row_bytes = 100.0;
+    let mut service_ms = 0.0;
+    let mut spill_ratio_acc = 0.0;
+    let mut tmp_disk_acc = 0.0;
+    for class in QueryClass::ALL {
+        let w = workload.mix.weight(class);
+        if w <= 0.0 {
+            continue;
+        }
+        let pages = pages_per_class(class);
+        let misses = pages * (1.0 - hit_ratio);
+        let io_ms = misses * hardware.io_latency_ms / io_parallel * flush_method_factor;
+        let cpu_ms = match class {
+            QueryClass::PointSelect => {
+                let base = 0.08;
+                if adaptive_hash && workload.skew > 0.4 {
+                    base * 0.88
+                } else {
+                    base
+                }
+            }
+            QueryClass::RangeSelect => 0.15 + rows_scan / 8000.0,
+            QueryClass::Join => {
+                let rows_join = rows_scan * workload.avg_join_tables * 40.0;
+                let required_join_mem = rows_join * per_row_bytes * 0.3;
+                let no_index_frac = 1.0 - workload.index_coverage;
+                let spill = 1.0 + no_index_frac * (join_spill(required_join_mem) - 1.0);
+                spill_ratio_acc += w * no_index_frac * (spill > 1.001) as i32 as f64;
+                let tmp_required = rows_join * per_row_bytes * 0.15;
+                let tmp = tmp_spill(tmp_required);
+                tmp_disk_acc += w * (tmp > 1.001) as i32 as f64;
+                (1.2 + rows_join / 15000.0) * spill * tmp * table_cache_factor
+            }
+            QueryClass::Aggregate => {
+                let rows_agg = rows_scan * 25.0;
+                let required_sort_mem = rows_agg * per_row_bytes * 0.5;
+                let spill = sort_spill(required_sort_mem);
+                spill_ratio_acc += w * (spill > 1.001) as i32 as f64;
+                let tmp_required = rows_agg * per_row_bytes * 0.25;
+                let tmp = tmp_spill(tmp_required);
+                tmp_disk_acc += w * (tmp > 1.001) as i32 as f64;
+                (0.6 + rows_agg / 20000.0) * spill * tmp
+            }
+            QueryClass::Insert => 0.10 * doublewrite_factor * log_waits_factor,
+            QueryClass::Update => 0.13 * doublewrite_factor * log_waits_factor,
+            QueryClass::Delete => 0.13 * doublewrite_factor * log_waits_factor,
+        };
+        let commit_ms = if class.is_write() {
+            redo_sync_ms + binlog_sync_ms
+        } else {
+            0.0
+        };
+        service_ms += w * (cpu_ms / cpu_speed + io_ms + commit_ms);
+    }
+    service_ms *= query_cache_factor * thread_churn_factor;
+
+    // ---------------------------------------------------------------- concurrency scaling
+    let thread_concurrency = k.get("innodb_thread_concurrency");
+    let allowed_threads = if thread_concurrency < 0.5 {
+        workload.clients as f64
+    } else {
+        thread_concurrency.min(workload.clients as f64)
+    };
+    let cpu_bound_parallelism = (hardware.vcpus as f64 * 1.6).min(allowed_threads.max(1.0));
+    // Lock / latch contention reduces scaling, more so for write-heavy and skewed loads.
+    let contention_exponent = 1.0 - 0.22 * write_fraction - 0.12 * workload.skew * write_fraction;
+    let mut effective_parallelism = cpu_bound_parallelism.powf(contention_exponent.clamp(0.5, 1.0));
+
+    // Spin-wait tuning has a mild effect around a broad sweet spot (~6).
+    let spin = k.get("innodb_spin_wait_delay");
+    let spin_dev = ((spin + 1.0).ln() - 7.0f64.ln()).abs() / 1000.0f64.ln();
+    effective_parallelism *= 1.0 - 0.08 * spin_dev * write_fraction.max(0.2);
+
+    // Purge lag for update-heavy workloads with too few purge threads.
+    let purge_threads = k.get("innodb_purge_threads");
+    if workload.mix.weight(QueryClass::Update) > 0.2 && purge_threads < 2.0 {
+        effective_parallelism *= 0.96;
+    }
+
+    let stall_factor = (1.0 - checkpoint_stall - flush_stall - dirty_penalty).clamp(0.2, 1.0);
+    let capacity_tps = 1000.0 / service_ms.max(1e-3) * effective_parallelism * stall_factor
+        * swap_penalty;
+
+    let offered = workload.arrival_rate_qps.unwrap_or(f64::INFINITY);
+    let throughput = capacity_tps.min(offered).max(0.1);
+    let utilization = (throughput / capacity_tps).clamp(0.0, 1.0);
+
+    // Latency: base service time, queueing knee as utilization approaches 1, plus stalls.
+    let queueing = 1.0 + 2.5 * utilization.powi(3);
+    let latency_avg_ms = service_ms * queueing / swap_penalty / stall_factor;
+    let tail_factor = 3.0
+        + 4.0 * write_fraction
+        + 6.0 * (checkpoint_stall + flush_stall)
+        + 2.0 * (1.0 - hit_ratio);
+    let latency_p99_ms = (latency_avg_ms * tail_factor).min(FAILURE_LATENCY_MS);
+
+    // ---------------------------------------------------------------- internal metrics
+    let reads_per_sec = throughput * workload.mix.read_fraction();
+    let writes_per_sec = throughput * write_fraction;
+    let metrics = InternalMetrics {
+        buffer_pool_hit_ratio: hit_ratio,
+        dirty_page_ratio: (0.1 + 0.6 * write_fraction * (1.0 + flush_lag)).clamp(0.0, 0.95),
+        reads_per_sec,
+        writes_per_sec,
+        log_waits_per_sec: (log_waits_factor - 1.0) * writes_per_sec * 10.0,
+        sort_merge_spill_ratio: spill_ratio_acc.clamp(0.0, 1.0),
+        tmp_disk_table_ratio: tmp_disk_acc.clamp(0.0, 1.0),
+        joins_without_index_ratio: (1.0 - workload.index_coverage) * analytical,
+        threads_running: effective_parallelism,
+        lock_waits_per_sec: write_fraction * throughput * 0.02 * workload.skew,
+        checkpoint_stall_ratio: checkpoint_stall + flush_stall,
+        memory_pressure,
+        disk_reads_per_sec: reads_per_sec * (1.0 - hit_ratio) * 3.0,
+        disk_writes_per_sec: writes_per_sec * doublewrite_factor * 2.0,
+        cpu_utilization: (effective_parallelism / hardware.vcpus as f64).clamp(0.05, 1.0),
+        threads_created: if thread_cache < workload.clients as f64 {
+            (workload.clients as f64 - thread_cache).max(0.0)
+        } else {
+            0.0
+        },
+    };
+
+    ModelOutput {
+        outcome: PerformanceOutcome {
+            throughput_tps: throughput,
+            latency_avg_ms,
+            latency_p99_ms,
+            failed: false,
+        },
+        metrics,
+        committed_memory_bytes: committed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadMix;
+
+    fn setup() -> (KnobCatalogue, HardwareSpec, WorkloadSpec) {
+        (
+            KnobCatalogue::mysql57(),
+            HardwareSpec::default(),
+            WorkloadSpec::synthetic_oltp(),
+        )
+    }
+
+    fn olap_workload() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "olap".into(),
+            mix: WorkloadMix::new([0.0, 0.0, 0.6, 0.4, 0.0, 0.0, 0.0]),
+            arrival_rate_qps: None,
+            clients: 8,
+            data_size_gib: 9.0,
+            skew: 0.1,
+            avg_rows_per_read: 5000.0,
+            avg_join_tables: 5.0,
+            avg_selectivity: 0.02,
+            index_coverage: 0.6,
+            ..WorkloadSpec::synthetic_oltp()
+        }
+    }
+
+    #[test]
+    fn dba_default_beats_vendor_default_on_oltp() {
+        let (cat, hw, wl) = setup();
+        let vendor = evaluate(&cat, &Configuration::vendor_default(&cat), &wl, &hw);
+        let dba = evaluate(&cat, &Configuration::dba_default(&cat), &wl, &hw);
+        assert!(!vendor.outcome.failed && !dba.outcome.failed);
+        assert!(
+            dba.outcome.throughput_tps > vendor.outcome.throughput_tps * 1.2,
+            "dba {} vs vendor {}",
+            dba.outcome.throughput_tps,
+            vendor.outcome.throughput_tps
+        );
+    }
+
+    #[test]
+    fn larger_buffer_pool_helps_until_saturation() {
+        let (cat, hw, wl) = setup();
+        let mut small = Configuration::dba_default(&cat);
+        small.set(&cat, "innodb_buffer_pool_size", 512.0 * MIB);
+        let mut medium = Configuration::dba_default(&cat);
+        medium.set(&cat, "innodb_buffer_pool_size", 6.0 * GIB);
+        let mut large = Configuration::dba_default(&cat);
+        large.set(&cat, "innodb_buffer_pool_size", 13.0 * GIB);
+        let t_small = evaluate(&cat, &small, &wl, &hw).outcome.throughput_tps;
+        let t_medium = evaluate(&cat, &medium, &wl, &hw).outcome.throughput_tps;
+        let t_large = evaluate(&cat, &large, &wl, &hw).outcome.throughput_tps;
+        assert!(t_medium > t_small);
+        assert!(t_large >= t_medium * 0.99);
+        // Diminishing returns: the second step helps much less than the first.
+        assert!((t_medium - t_small) > (t_large - t_medium));
+    }
+
+    #[test]
+    fn memory_overcommit_hangs_the_instance() {
+        let (cat, hw, wl) = setup();
+        let mut cfg = Configuration::dba_default(&cat);
+        cfg.set(&cat, "innodb_buffer_pool_size", 15.0 * GIB);
+        cfg.set(&cat, "sort_buffer_size", 256.0 * MIB);
+        cfg.set(&cat, "join_buffer_size", 256.0 * MIB);
+        cfg.set(&cat, "tmp_table_size", 1.0 * GIB);
+        cfg.set(&cat, "max_heap_table_size", 1.0 * GIB);
+        let out = evaluate(&cat, &cfg, &wl, &hw);
+        assert!(out.outcome.failed);
+        assert_eq!(out.outcome.throughput_tps, 0.0);
+        assert!(out.committed_memory_bytes > hw.total_ram_bytes());
+    }
+
+    #[test]
+    fn relaxed_durability_helps_write_heavy_workloads_only() {
+        let (cat, hw, mut wl) = setup();
+        // Write-heavy.
+        wl.mix = WorkloadMix::new([0.2, 0.05, 0.0, 0.0, 0.35, 0.3, 0.1]);
+        let strict = Configuration::dba_default(&cat);
+        let mut relaxed = Configuration::dba_default(&cat);
+        relaxed.set(&cat, "innodb_flush_log_at_trx_commit", 2.0);
+        relaxed.set(&cat, "sync_binlog", 0.0);
+        let t_strict = evaluate(&cat, &strict, &wl, &hw).outcome.throughput_tps;
+        let t_relaxed = evaluate(&cat, &relaxed, &wl, &hw).outcome.throughput_tps;
+        assert!(t_relaxed > t_strict * 1.05);
+
+        // Read-only: the same change should not matter much.
+        let mut ro = wl.clone();
+        ro.mix = WorkloadMix::new([0.9, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let r_strict = evaluate(&cat, &strict, &ro, &hw).outcome.throughput_tps;
+        let r_relaxed = evaluate(&cat, &relaxed, &ro, &hw).outcome.throughput_tps;
+        assert!((r_relaxed - r_strict).abs() / r_strict < 0.02);
+    }
+
+    #[test]
+    fn sort_and_join_buffers_matter_for_analytical_workloads() {
+        let (cat, hw, _) = setup();
+        let wl = olap_workload();
+        let small = Configuration::dba_default(&cat);
+        let mut big = Configuration::dba_default(&cat);
+        // Shrink the pool a little to pay for the large per-session buffers without swapping.
+        big.set(&cat, "innodb_buffer_pool_size", 10.0 * GIB);
+        big.set(&cat, "sort_buffer_size", 64.0 * MIB);
+        big.set(&cat, "join_buffer_size", 64.0 * MIB);
+        big.set(&cat, "tmp_table_size", 256.0 * MIB);
+        big.set(&cat, "max_heap_table_size", 256.0 * MIB);
+        let lat_small = evaluate(&cat, &small, &wl, &hw).outcome.latency_p99_ms;
+        let lat_big = evaluate(&cat, &big, &wl, &hw).outcome.latency_p99_ms;
+        assert!(lat_big < lat_small * 0.9, "{lat_big} vs {lat_small}");
+    }
+
+    #[test]
+    fn thread_concurrency_of_one_strangles_throughput() {
+        let (cat, hw, wl) = setup();
+        let unlimited = Configuration::dba_default(&cat);
+        let mut strangled = Configuration::dba_default(&cat);
+        strangled.set(&cat, "innodb_thread_concurrency", 1.0);
+        let t_unlimited = evaluate(&cat, &unlimited, &wl, &hw).outcome.throughput_tps;
+        let t_strangled = evaluate(&cat, &strangled, &wl, &hw).outcome.throughput_tps;
+        assert!(t_strangled < t_unlimited * 0.4, "{t_strangled} vs {t_unlimited}");
+    }
+
+    #[test]
+    fn tiny_redo_log_hurts_write_heavy_workloads() {
+        let (cat, hw, mut wl) = setup();
+        wl.mix = WorkloadMix::new([0.1, 0.0, 0.0, 0.0, 0.4, 0.4, 0.1]);
+        wl.clients = 64;
+        let mut tiny = Configuration::dba_default(&cat);
+        tiny.set(&cat, "innodb_log_file_size", 48.0 * MIB);
+        let big = Configuration::dba_default(&cat);
+        let t_tiny = evaluate(&cat, &tiny, &wl, &hw).outcome.throughput_tps;
+        let t_big = evaluate(&cat, &big, &wl, &hw).outcome.throughput_tps;
+        assert!(t_big > t_tiny * 1.05, "{t_big} vs {t_tiny}");
+    }
+
+    #[test]
+    fn optimum_location_depends_on_workload_mix() {
+        // The knob trade-off the case study (Figure 10) illustrates: large per-session
+        // buffers help analytical queries but waste memory (hurting the buffer pool budget /
+        // risking swap) for pure OLTP. The best sort_buffer_size therefore differs by mix.
+        let (cat, hw, mut oltp) = setup();
+        // A data set larger than RAM so that buffer-pool size still matters for OLTP.
+        oltp.data_size_gib = 30.0;
+        let olap = olap_workload();
+        let mut small = Configuration::dba_default(&cat);
+        small.set(&cat, "sort_buffer_size", 256.0 * 1024.0);
+        small.set(&cat, "innodb_buffer_pool_size", 13.5 * GIB);
+        let mut large = Configuration::dba_default(&cat);
+        large.set(&cat, "sort_buffer_size", 128.0 * MIB);
+        large.set(&cat, "innodb_buffer_pool_size", 10.0 * GIB);
+
+        let oltp_small = evaluate(&cat, &small, &oltp, &hw).outcome.throughput_tps;
+        let oltp_large = evaluate(&cat, &large, &oltp, &hw).outcome.throughput_tps;
+        let olap_small = 1.0 / evaluate(&cat, &small, &olap, &hw).outcome.latency_p99_ms;
+        let olap_large = 1.0 / evaluate(&cat, &large, &olap, &hw).outcome.latency_p99_ms;
+
+        assert!(oltp_small > oltp_large, "OLTP prefers the memory in the pool");
+        assert!(olap_large > olap_small, "OLAP prefers big sort buffers");
+    }
+
+    #[test]
+    fn query_cache_hurts_under_writes() {
+        let (cat, hw, mut wl) = setup();
+        wl.mix = WorkloadMix::new([0.3, 0.1, 0.0, 0.0, 0.3, 0.2, 0.1]);
+        let off = Configuration::dba_default(&cat);
+        let mut on = Configuration::dba_default(&cat);
+        on.set(&cat, "query_cache_type", 1.0);
+        on.set(&cat, "query_cache_size", 128.0 * MIB);
+        let t_off = evaluate(&cat, &off, &wl, &hw).outcome.throughput_tps;
+        let t_on = evaluate(&cat, &on, &wl, &hw).outcome.throughput_tps;
+        assert!(t_on < t_off);
+    }
+
+    #[test]
+    fn limited_arrival_rate_caps_throughput_and_reduces_latency() {
+        let (cat, hw, mut wl) = setup();
+        let cfg = Configuration::dba_default(&cat);
+        let unlimited = evaluate(&cat, &cfg, &wl, &hw).outcome;
+        wl.arrival_rate_qps = Some(unlimited.throughput_tps * 0.3);
+        let limited = evaluate(&cat, &cfg, &wl, &hw).outcome;
+        assert!(limited.throughput_tps <= unlimited.throughput_tps * 0.31);
+        assert!(limited.latency_avg_ms < unlimited.latency_avg_ms);
+    }
+
+    #[test]
+    fn metrics_are_internally_consistent() {
+        let (cat, hw, wl) = setup();
+        let out = evaluate(&cat, &Configuration::dba_default(&cat), &wl, &hw);
+        let m = &out.metrics;
+        assert!((0.0..=1.0).contains(&m.buffer_pool_hit_ratio));
+        assert!((0.0..=1.0).contains(&m.dirty_page_ratio));
+        assert!((0.0..=1.0).contains(&m.cpu_utilization));
+        assert!(m.reads_per_sec + m.writes_per_sec <= out.outcome.throughput_tps * 1.001);
+        assert!(m.memory_pressure > 0.0 && m.memory_pressure < 1.0);
+    }
+
+    #[test]
+    fn subset_catalogue_falls_back_to_dba_defaults() {
+        let full = KnobCatalogue::mysql57();
+        let sub = full.subset(&["innodb_buffer_pool_size", "max_heap_table_size"]);
+        let hw = HardwareSpec::default();
+        let wl = WorkloadSpec::synthetic_oltp();
+        // Using the DBA value for the two tuned knobs must equal the full DBA default result.
+        let sub_cfg = Configuration::from_values(
+            &sub,
+            vec![13.0 * GIB, 64.0 * MIB],
+        );
+        let full_cfg = Configuration::dba_default(&full);
+        let a = evaluate(&sub, &sub_cfg, &wl, &hw).outcome.throughput_tps;
+        let b = evaluate(&full, &full_cfg, &wl, &hw).outcome.throughput_tps;
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            #[test]
+            fn prop_model_never_panics_and_outputs_are_sane(
+                unit in proptest::collection::vec(0.0f64..1.0, 40),
+                write_w in 0.0f64..1.0,
+                clients in 1usize..256,
+            ) {
+                let cat = KnobCatalogue::mysql57();
+                let hw = HardwareSpec::default();
+                let mut wl = WorkloadSpec::synthetic_oltp();
+                wl.clients = clients;
+                wl.mix = WorkloadMix::new([1.0 - write_w, 0.1, 0.0, 0.0, write_w, write_w * 0.5, 0.1 * write_w]);
+                let cfg = Configuration::from_normalized(&cat, &unit);
+                let out = evaluate(&cat, &cfg, &wl, &hw);
+                prop_assert!(out.outcome.throughput_tps >= 0.0);
+                prop_assert!(out.outcome.latency_p99_ms >= out.outcome.latency_avg_ms * 0.99 || out.outcome.failed);
+                prop_assert!(out.outcome.latency_p99_ms <= FAILURE_LATENCY_MS + 1e-9);
+                prop_assert!(out.committed_memory_bytes > 0.0);
+                if out.outcome.failed {
+                    prop_assert!(out.committed_memory_bytes > hw.total_ram_bytes());
+                }
+            }
+        }
+    }
+}

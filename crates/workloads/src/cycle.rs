@@ -1,0 +1,111 @@
+//! The transactional–analytical daily cycle (§7.1.2): dynamic TPC-C and JOB alternate every
+//! `phase_length` iterations, and the tuner optimizes 99th-percentile latency.
+
+use crate::job::JobWorkload;
+use crate::tpcc::TpccWorkload;
+use crate::{Objective, WorkloadGenerator};
+use simdb::WorkloadSpec;
+
+/// Alternating TPC-C / JOB workload.
+#[derive(Debug, Clone)]
+pub struct TransactionalAnalyticalCycle {
+    tpcc: TpccWorkload,
+    job: JobWorkload,
+    phase_length: usize,
+}
+
+impl TransactionalAnalyticalCycle {
+    /// Creates the cycle with the paper's phase length of 100 iterations.
+    pub fn new(seed: u64) -> Self {
+        Self::with_phase_length(seed, 100)
+    }
+
+    /// Creates the cycle with a custom phase length (useful for shorter tests).
+    pub fn with_phase_length(seed: u64, phase_length: usize) -> Self {
+        assert!(phase_length > 0);
+        TransactionalAnalyticalCycle {
+            tpcc: TpccWorkload::new_dynamic(seed),
+            job: JobWorkload::new_dynamic(seed ^ 0xA17),
+            phase_length,
+        }
+    }
+
+    /// Whether the given iteration is in a TPC-C (transactional) phase.
+    pub fn is_transactional_phase(&self, iteration: usize) -> bool {
+        (iteration / self.phase_length) % 2 == 0
+    }
+}
+
+impl WorkloadGenerator for TransactionalAnalyticalCycle {
+    fn name(&self) -> &str {
+        "tpcc-job-cycle"
+    }
+
+    fn spec_at(&self, iteration: usize) -> WorkloadSpec {
+        if self.is_transactional_phase(iteration) {
+            self.tpcc.spec_at(iteration)
+        } else {
+            self.job.spec_at(iteration)
+        }
+    }
+
+    fn sample_queries(&self, iteration: usize, n: usize) -> Vec<String> {
+        if self.is_transactional_phase(iteration) {
+            self.tpcc.sample_queries(iteration, n)
+        } else {
+            self.job.sample_queries(iteration, n)
+        }
+    }
+
+    fn objective(&self) -> Objective {
+        // The paper uses 99th-percentile latency for this experiment because it is
+        // meaningful for both the OLTP and the OLAP phase.
+        Objective::P99Latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_alternate_every_hundred_iterations() {
+        let c = TransactionalAnalyticalCycle::new(1);
+        assert!(c.is_transactional_phase(0));
+        assert!(c.is_transactional_phase(99));
+        assert!(!c.is_transactional_phase(100));
+        assert!(!c.is_transactional_phase(199));
+        assert!(c.is_transactional_phase(200));
+        assert_eq!(c.spec_at(50).name, "tpcc-dynamic");
+        assert_eq!(c.spec_at(150).name, "job-dynamic");
+    }
+
+    #[test]
+    fn phase_workloads_differ_sharply() {
+        let c = TransactionalAnalyticalCycle::new(1);
+        let oltp = c.spec_at(10);
+        let olap = c.spec_at(110);
+        assert!(oltp.mix.write_fraction() > 0.4);
+        assert_eq!(olap.mix.write_fraction(), 0.0);
+        assert!(olap.mix.analytical_fraction() > 0.9);
+    }
+
+    #[test]
+    fn custom_phase_length_is_respected() {
+        let c = TransactionalAnalyticalCycle::with_phase_length(2, 10);
+        assert!(c.is_transactional_phase(9));
+        assert!(!c.is_transactional_phase(10));
+        assert!(c.is_transactional_phase(20));
+    }
+
+    #[test]
+    fn objective_is_latency() {
+        assert_eq!(TransactionalAnalyticalCycle::new(0).objective(), Objective::P99Latency);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_phase_length_is_rejected() {
+        TransactionalAnalyticalCycle::with_phase_length(0, 0);
+    }
+}

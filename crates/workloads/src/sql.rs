@@ -1,0 +1,144 @@
+//! SQL text synthesis for featurization.
+//!
+//! The context featurization of §5.1.1 operates on the plain SQL of the interval's queries.
+//! The simulator does not execute SQL, but the featurizer still needs realistic query text
+//! whose *shape* follows the workload mix, so each workload generator synthesizes SQL from
+//! per-class templates over its own schema. Literal values vary with the iteration so that
+//! the encoder sees the natural diversity of parameters without changing the query shape.
+
+use crate::hash_noise;
+use simdb::{QueryClass, WorkloadMix};
+
+/// A template set: table names and per-class SQL patterns for one benchmark schema.
+#[derive(Debug, Clone)]
+pub struct SqlTemplates {
+    /// Tables of the schema (used to vary the touched table per query).
+    pub tables: Vec<&'static str>,
+    /// Seed that decorrelates literal values across workloads.
+    pub seed: u64,
+}
+
+impl SqlTemplates {
+    /// Creates a template set for a schema.
+    pub fn new(tables: Vec<&'static str>, seed: u64) -> Self {
+        assert!(!tables.is_empty(), "a schema needs at least one table");
+        SqlTemplates { tables, seed }
+    }
+
+    fn table(&self, iteration: usize, stream: u64) -> &'static str {
+        let idx = ((hash_noise(self.seed, iteration, stream) + 1.0) / 2.0
+            * self.tables.len() as f64) as usize;
+        self.tables[idx.min(self.tables.len() - 1)]
+    }
+
+    fn literal(&self, iteration: usize, stream: u64) -> i64 {
+        ((hash_noise(self.seed, iteration, stream) + 1.0) * 50_000.0) as i64
+    }
+
+    /// Renders one SQL statement of the given class.
+    pub fn render(&self, class: QueryClass, iteration: usize, stream: u64) -> String {
+        let t = self.table(iteration, stream);
+        let t2 = self.table(iteration, stream.wrapping_add(7));
+        let id = self.literal(iteration, stream.wrapping_add(13));
+        let limit = 10 + (id % 90);
+        match class {
+            QueryClass::PointSelect => {
+                format!("SELECT * FROM {t} WHERE {t}_id = {id}")
+            }
+            QueryClass::RangeSelect => format!(
+                "SELECT * FROM {t} WHERE {t}_id BETWEEN {id} AND {} ORDER BY {t}_id LIMIT {limit}",
+                id + 100
+            ),
+            QueryClass::Join => format!(
+                "SELECT {t}.name, COUNT(*) FROM {t} JOIN {t2} ON {t}.{t2}_id = {t2}.id WHERE {t2}.kind > {} GROUP BY {t}.name",
+                id % 100
+            ),
+            QueryClass::Aggregate => format!(
+                "SELECT {t2}_id, SUM(amount), AVG(amount) FROM {t} WHERE created < {id} GROUP BY {t2}_id ORDER BY SUM(amount) DESC LIMIT {limit}"
+            ),
+            QueryClass::Insert => format!(
+                "INSERT INTO {t} ({t}_id, {t2}_id, amount, created) VALUES ({id}, {}, {}, {})",
+                id % 977,
+                id % 101,
+                id % 100_000
+            ),
+            QueryClass::Update => format!(
+                "UPDATE {t} SET amount = amount + {} WHERE {t}_id = {id}",
+                id % 13 + 1
+            ),
+            QueryClass::Delete => format!("DELETE FROM {t} WHERE {t}_id = {id}"),
+        }
+    }
+
+    /// Synthesizes `n` statements whose class frequencies follow `mix`.
+    pub fn sample(&self, mix: &WorkloadMix, iteration: usize, n: usize) -> Vec<String> {
+        let mut queries = Vec::with_capacity(n);
+        // Deterministic stratified sampling: walk the cumulative mix with n evenly spaced
+        // probes, jittered per iteration, so proportions track the mix even for small n.
+        for i in 0..n {
+            let u = ((i as f64 + 0.5) / n as f64
+                + 0.05 * hash_noise(self.seed, iteration, i as u64))
+            .rem_euclid(1.0);
+            let mut acc = 0.0;
+            let mut chosen = QueryClass::PointSelect;
+            for class in QueryClass::ALL {
+                acc += mix.weight(class);
+                if u <= acc {
+                    chosen = class;
+                    break;
+                }
+            }
+            queries.push(self.render(chosen, iteration, i as u64));
+        }
+        queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn templates() -> SqlTemplates {
+        SqlTemplates::new(vec!["orders", "customer", "item"], 11)
+    }
+
+    #[test]
+    fn render_produces_class_appropriate_sql() {
+        let t = templates();
+        assert!(t.render(QueryClass::PointSelect, 0, 0).starts_with("SELECT"));
+        assert!(t.render(QueryClass::Insert, 0, 0).starts_with("INSERT"));
+        assert!(t.render(QueryClass::Update, 0, 0).starts_with("UPDATE"));
+        assert!(t.render(QueryClass::Delete, 0, 0).starts_with("DELETE"));
+        assert!(t.render(QueryClass::Join, 0, 0).contains("JOIN"));
+        assert!(t.render(QueryClass::Aggregate, 0, 0).contains("GROUP BY"));
+    }
+
+    #[test]
+    fn sample_respects_mix_proportions() {
+        let t = templates();
+        let mix = WorkloadMix::new([0.5, 0.0, 0.0, 0.0, 0.5, 0.0, 0.0]);
+        let queries = t.sample(&mix, 3, 200);
+        assert_eq!(queries.len(), 200);
+        let selects = queries.iter().filter(|q| q.starts_with("SELECT")).count();
+        let inserts = queries.iter().filter(|q| q.starts_with("INSERT")).count();
+        assert!((80..=120).contains(&selects), "selects = {selects}");
+        assert!((80..=120).contains(&inserts), "inserts = {inserts}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_iteration_and_varies_across_iterations() {
+        let t = templates();
+        let mix = WorkloadMix::new([0.7, 0.1, 0.0, 0.0, 0.1, 0.1, 0.0]);
+        let a = t.sample(&mix, 5, 20);
+        let b = t.sample(&mix, 5, 20);
+        let c = t.sample(&mix, 6, 20);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one table")]
+    fn empty_schema_is_rejected() {
+        SqlTemplates::new(vec![], 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! TPC-C-style workload: write-heavy OLTP with complex relations and growing data.
+
+use crate::sql::SqlTemplates;
+use crate::{hash_noise, Objective, WorkloadGenerator};
+use simdb::{WorkloadMix, WorkloadSpec};
+
+/// TPC-C-like workload generator.
+///
+/// The static variant keeps the standard transaction mix; the dynamic variant modulates the
+/// transaction weights with a sine of the iteration index plus a 10 % pseudo-random jitter,
+/// which is how the paper constructs its "dynamic query composition" workloads (§7.1.1).
+#[derive(Debug, Clone)]
+pub struct TpccWorkload {
+    dynamic: bool,
+    seed: u64,
+    templates: SqlTemplates,
+}
+
+impl TpccWorkload {
+    /// Data loaded for TPC-C in the paper's setup (≈18 GiB).
+    pub const INITIAL_DATA_GIB: f64 = 18.0;
+
+    /// Creates the static-mix variant.
+    pub fn new_static(seed: u64) -> Self {
+        Self::build(false, seed)
+    }
+
+    /// Creates the dynamic-mix variant.
+    pub fn new_dynamic(seed: u64) -> Self {
+        Self::build(true, seed)
+    }
+
+    fn build(dynamic: bool, seed: u64) -> Self {
+        TpccWorkload {
+            dynamic,
+            seed,
+            templates: SqlTemplates::new(
+                vec![
+                    "warehouse",
+                    "district",
+                    "customer",
+                    "orders",
+                    "new_order",
+                    "order_line",
+                    "stock",
+                    "item",
+                    "history",
+                ],
+                seed ^ 0xC0FFEE,
+            ),
+        }
+    }
+
+    /// The standard TPC-C transaction mix mapped to the simulator's query classes.
+    fn base_weights() -> [f64; 7] {
+        // [point, range, join, aggregate, insert, update, delete]
+        [0.18, 0.08, 0.0, 0.02, 0.30, 0.34, 0.08]
+    }
+
+    fn mix_at(&self, iteration: usize) -> WorkloadMix {
+        let base = Self::base_weights();
+        if !self.dynamic {
+            return WorkloadMix::new(base);
+        }
+        let mut w = base;
+        let period = 120.0;
+        for (i, weight) in w.iter_mut().enumerate() {
+            let phase = i as f64 * std::f64::consts::FRAC_PI_3;
+            let sine = (iteration as f64 / period * std::f64::consts::TAU + phase).sin();
+            let jitter = 0.1 * hash_noise(self.seed, iteration, i as u64);
+            *weight *= (1.0 + 0.35 * sine + jitter).max(0.05);
+        }
+        WorkloadMix::new(w)
+    }
+}
+
+impl WorkloadGenerator for TpccWorkload {
+    fn name(&self) -> &str {
+        if self.dynamic {
+            "tpcc-dynamic"
+        } else {
+            "tpcc"
+        }
+    }
+
+    fn spec_at(&self, iteration: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            name: self.name().to_string(),
+            mix: self.mix_at(iteration),
+            arrival_rate_qps: None, // unlimited arrival, as in the paper
+            clients: 32,
+            data_size_gib: Self::INITIAL_DATA_GIB,
+            skew: 0.4,
+            avg_rows_per_read: 12.0,
+            avg_join_tables: 1.5,
+            avg_selectivity: 0.1,
+            index_coverage: 0.97,
+        }
+    }
+
+    fn sample_queries(&self, iteration: usize, n: usize) -> Vec<String> {
+        self.templates.sample(&self.mix_at(iteration), iteration, n)
+    }
+
+    fn objective(&self) -> Objective {
+        Objective::Throughput
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_variant_is_constant_over_iterations() {
+        let w = TpccWorkload::new_static(1);
+        assert_eq!(w.spec_at(0).mix, w.spec_at(250).mix);
+        assert_eq!(w.name(), "tpcc");
+    }
+
+    #[test]
+    fn dynamic_variant_changes_the_mix() {
+        let w = TpccWorkload::new_dynamic(1);
+        let a = w.spec_at(0).mix;
+        let b = w.spec_at(60).mix;
+        assert_ne!(a, b);
+        assert_eq!(w.name(), "tpcc-dynamic");
+        // Same iteration must always give the same mix (pure function).
+        assert_eq!(w.spec_at(60).mix, w.spec_at(60).mix);
+    }
+
+    #[test]
+    fn workload_is_write_heavy() {
+        let w = TpccWorkload::new_dynamic(2);
+        for it in [0, 50, 100, 200, 399] {
+            let spec = w.spec_at(it);
+            assert!(
+                spec.mix.write_fraction() > 0.4,
+                "iteration {it} write fraction {}",
+                spec.mix.write_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn queries_reference_the_tpcc_schema() {
+        let w = TpccWorkload::new_dynamic(3);
+        let queries = w.sample_queries(10, 50);
+        assert_eq!(queries.len(), 50);
+        assert!(queries
+            .iter()
+            .any(|q| q.contains("warehouse") || q.contains("order") || q.contains("stock")));
+        assert!(queries.iter().any(|q| q.starts_with("UPDATE") || q.starts_with("INSERT")));
+    }
+
+    #[test]
+    fn objective_is_throughput() {
+        assert_eq!(TpccWorkload::new_dynamic(0).objective(), Objective::Throughput);
+        assert_eq!(TpccWorkload::new_dynamic(0).initial_data_size_gib(), 18.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Twitter-style workload: read-heavy, heavily skewed many-to-many accesses.
+
+use crate::sql::SqlTemplates;
+use crate::{hash_noise, Objective, WorkloadGenerator};
+use simdb::{WorkloadMix, WorkloadSpec};
+
+/// Twitter workload generator (OLTP-Bench's Twitter benchmark: get-tweet, get-followers,
+/// insert-tweet and follow/unfollow operations over a heavily skewed social graph).
+#[derive(Debug, Clone)]
+pub struct TwitterWorkload {
+    dynamic: bool,
+    seed: u64,
+    templates: SqlTemplates,
+}
+
+impl TwitterWorkload {
+    /// Data loaded for Twitter in the paper's setup (≈29 GiB).
+    pub const INITIAL_DATA_GIB: f64 = 29.0;
+
+    /// Creates the static-mix variant.
+    pub fn new_static(seed: u64) -> Self {
+        Self::build(false, seed)
+    }
+
+    /// Creates the dynamic-mix variant.
+    pub fn new_dynamic(seed: u64) -> Self {
+        Self::build(true, seed)
+    }
+
+    fn build(dynamic: bool, seed: u64) -> Self {
+        TwitterWorkload {
+            dynamic,
+            seed,
+            templates: SqlTemplates::new(
+                vec!["tweets", "users", "followers", "follows", "added_tweets"],
+                seed ^ 0x7117,
+            ),
+        }
+    }
+
+    fn base_weights() -> [f64; 7] {
+        // [point, range, join, aggregate, insert, update, delete]
+        [0.75, 0.11, 0.0, 0.01, 0.09, 0.04, 0.0]
+    }
+
+    fn mix_at(&self, iteration: usize) -> WorkloadMix {
+        let base = Self::base_weights();
+        if !self.dynamic {
+            return WorkloadMix::new(base);
+        }
+        let mut w = base;
+        let period = 90.0;
+        for (i, weight) in w.iter_mut().enumerate() {
+            let phase = i as f64 * 1.1;
+            let sine = (iteration as f64 / period * std::f64::consts::TAU + phase).sin();
+            let jitter = 0.1 * hash_noise(self.seed, iteration, i as u64);
+            *weight *= (1.0 + 0.4 * sine + jitter).max(0.05);
+        }
+        WorkloadMix::new(w)
+    }
+}
+
+impl WorkloadGenerator for TwitterWorkload {
+    fn name(&self) -> &str {
+        if self.dynamic {
+            "twitter-dynamic"
+        } else {
+            "twitter"
+        }
+    }
+
+    fn spec_at(&self, iteration: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            name: self.name().to_string(),
+            mix: self.mix_at(iteration),
+            arrival_rate_qps: None,
+            clients: 64,
+            data_size_gib: Self::INITIAL_DATA_GIB,
+            skew: 0.9,
+            avg_rows_per_read: 25.0,
+            avg_join_tables: 1.2,
+            avg_selectivity: 0.02,
+            index_coverage: 0.98,
+        }
+    }
+
+    fn sample_queries(&self, iteration: usize, n: usize) -> Vec<String> {
+        self.templates.sample(&self.mix_at(iteration), iteration, n)
+    }
+
+    fn objective(&self) -> Objective {
+        Objective::Throughput
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twitter_is_read_heavy_and_skewed() {
+        let w = TwitterWorkload::new_dynamic(1);
+        for it in [0, 77, 200, 399] {
+            let spec = w.spec_at(it);
+            assert!(spec.mix.read_fraction() > 0.6, "iteration {it}");
+            assert!(spec.skew > 0.8);
+        }
+    }
+
+    #[test]
+    fn dynamic_mix_varies_but_is_reproducible() {
+        let w = TwitterWorkload::new_dynamic(9);
+        assert_ne!(w.spec_at(0).mix, w.spec_at(45).mix);
+        assert_eq!(w.spec_at(45).mix, TwitterWorkload::new_dynamic(9).spec_at(45).mix);
+    }
+
+    #[test]
+    fn static_variant_is_constant() {
+        let w = TwitterWorkload::new_static(1);
+        assert_eq!(w.spec_at(3).mix, w.spec_at(303).mix);
+    }
+
+    #[test]
+    fn queries_touch_the_twitter_schema() {
+        let w = TwitterWorkload::new_dynamic(2);
+        let queries = w.sample_queries(4, 40);
+        assert!(queries.iter().any(|q| q.contains("tweets") || q.contains("follow")));
+        let selects = queries.iter().filter(|q| q.starts_with("SELECT")).count();
+        assert!(selects > queries.len() / 2, "read-heavy mix should produce mostly SELECTs");
+    }
+}

@@ -1,0 +1,139 @@
+//! YCSB-style workload for the 5-knob case study (§7.2).
+//!
+//! The paper constructs a workload trace with a shifting read/write transaction composition
+//! (Figure 9: the read ratio wanders between roughly 40 % and 100 %) and tunes five knobs so
+//! that the joint context–configuration space is small enough to exhaustively map
+//! (Figure 10) and to identify the per-phase best configuration.
+
+use crate::sql::SqlTemplates;
+use crate::{hash_noise, Objective, WorkloadGenerator};
+use simdb::{KnobCatalogue, WorkloadMix, WorkloadSpec};
+
+/// YCSB workload generator with the Figure-9 read-ratio pattern.
+#[derive(Debug, Clone)]
+pub struct YcsbWorkload {
+    seed: u64,
+    templates: SqlTemplates,
+}
+
+impl YcsbWorkload {
+    /// Data loaded for YCSB (usertable) in the case study.
+    pub const INITIAL_DATA_GIB: f64 = 12.0;
+
+    /// The five knobs tuned in the case study.
+    pub const CASE_STUDY_KNOBS: [&'static str; 5] = [
+        "innodb_buffer_pool_size",
+        "max_heap_table_size",
+        "innodb_spin_wait_delay",
+        "sort_buffer_size",
+        "innodb_thread_concurrency",
+    ];
+
+    /// Creates the generator.
+    pub fn new(seed: u64) -> Self {
+        YcsbWorkload {
+            seed,
+            templates: SqlTemplates::new(vec!["usertable"], seed ^ 0x4C5B),
+        }
+    }
+
+    /// The reduced 5-knob catalogue used by the case study.
+    pub fn case_study_catalogue() -> KnobCatalogue {
+        KnobCatalogue::mysql57().subset(&Self::CASE_STUDY_KNOBS)
+    }
+
+    /// Read ratio at a given iteration (Figure 9's wandering pattern between ~0.4 and 1.0).
+    pub fn read_ratio_at(&self, iteration: usize) -> f64 {
+        let t = iteration as f64;
+        let slow = (t / 130.0 * std::f64::consts::TAU).sin();
+        let fast = (t / 35.0 * std::f64::consts::TAU).sin();
+        let jitter = 0.03 * hash_noise(self.seed, iteration, 0);
+        (0.7 + 0.25 * slow + 0.08 * fast + jitter).clamp(0.4, 1.0)
+    }
+
+    fn mix_at(&self, iteration: usize) -> WorkloadMix {
+        let read = self.read_ratio_at(iteration);
+        let write = 1.0 - read;
+        // YCSB: reads are point lookups + short scans; writes are updates + inserts.
+        WorkloadMix::new([
+            read * 0.9,
+            read * 0.1,
+            0.0,
+            0.0,
+            write * 0.25,
+            write * 0.75,
+            0.0,
+        ])
+    }
+}
+
+impl WorkloadGenerator for YcsbWorkload {
+    fn name(&self) -> &str {
+        "ycsb"
+    }
+
+    fn spec_at(&self, iteration: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            name: self.name().to_string(),
+            mix: self.mix_at(iteration),
+            arrival_rate_qps: None,
+            clients: 48,
+            data_size_gib: Self::INITIAL_DATA_GIB,
+            skew: 0.7,
+            avg_rows_per_read: 10.0,
+            avg_join_tables: 1.0,
+            avg_selectivity: 0.05,
+            index_coverage: 1.0,
+        }
+    }
+
+    fn sample_queries(&self, iteration: usize, n: usize) -> Vec<String> {
+        self.templates.sample(&self.mix_at(iteration), iteration, n)
+    }
+
+    fn objective(&self) -> Objective {
+        Objective::Throughput
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_ratio_stays_in_figure9_band() {
+        let w = YcsbWorkload::new(1);
+        let ratios: Vec<f64> = (0..400).map(|it| w.read_ratio_at(it)).collect();
+        assert!(ratios.iter().all(|r| (0.4..=1.0).contains(r)));
+        let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(min < 0.55, "the pattern should dip below 55% reads, min = {min}");
+        assert!(max > 0.9, "the pattern should approach read-only, max = {max}");
+    }
+
+    #[test]
+    fn mix_follows_read_ratio() {
+        let w = YcsbWorkload::new(1);
+        for it in [0, 100, 250] {
+            let spec = w.spec_at(it);
+            let expected_read = w.read_ratio_at(it);
+            assert!((spec.mix.read_fraction() - expected_read).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn case_study_catalogue_has_exactly_five_knobs() {
+        let cat = YcsbWorkload::case_study_catalogue();
+        assert_eq!(cat.len(), 5);
+        assert!(cat.index_of("innodb_buffer_pool_size").is_some());
+        assert!(cat.index_of("max_heap_table_size").is_some());
+        assert!(cat.index_of("innodb_spin_wait_delay").is_some());
+    }
+
+    #[test]
+    fn queries_target_usertable() {
+        let w = YcsbWorkload::new(2);
+        let queries = w.sample_queries(10, 30);
+        assert!(queries.iter().all(|q| q.contains("usertable")));
+    }
+}

@@ -1,0 +1,74 @@
+//! Quickstart: tune a simulated MySQL instance online for 30 three-minute intervals.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The loop below is the whole OnlineTune workflow: featurize the context, ask the tuner
+//! for a safe configuration, apply it, run the interval, feed the observation back.
+
+use featurize::ContextFeaturizer;
+use onlinetune::{OnlineTune, OnlineTuneOptions};
+use simdb::{Configuration, HardwareSpec, KnobCatalogue, OptimizerStats, SimDatabase};
+use workloads::tpcc::TpccWorkload;
+use workloads::WorkloadGenerator;
+
+fn main() {
+    // The simulated cloud database: 8 vCPU / 16 GiB, 40 tunable knobs, TPC-C data loaded.
+    let catalogue = KnobCatalogue::mysql57();
+    let mut db = SimDatabase::new(42);
+    db.set_data_size(TpccWorkload::INITIAL_DATA_GIB);
+
+    // The workload: TPC-C with a drifting transaction mix.
+    let workload = TpccWorkload::new_dynamic(7);
+
+    // Context featurization (workload embedding + optimizer statistics).
+    let featurizer = ContextFeaturizer::with_defaults();
+
+    // The tuner, seeded with the DBA default as the initial safety set.
+    let initial = Configuration::dba_default(&catalogue);
+    let mut tuner = OnlineTune::new(
+        catalogue.clone(),
+        HardwareSpec::default(),
+        featurizer.dim(),
+        &initial,
+        OnlineTuneOptions::default(),
+        1,
+    );
+
+    println!("iter  throughput(tps)  default(tps)  improvement  safety-set");
+    let mut cumulative_gain = 0.0;
+    for iteration in 0..30 {
+        let spec = workload.spec_at(iteration);
+        let queries = workload.sample_queries(iteration, 30);
+        let stats = OptimizerStats::estimate(&spec);
+        let context = featurizer.featurize(&queries, spec.arrival_rate_qps, &stats);
+
+        // Safety threshold: the default configuration's performance under this workload.
+        let default_tps = db.peek(&initial, &spec).throughput_tps;
+
+        let suggestion = tuner.suggest(&context, default_tps, spec.clients);
+        db.apply_config(&suggestion.config);
+        let eval = db.run_interval(&spec, 180.0);
+        let tps = eval.outcome.throughput_tps;
+        cumulative_gain += (tps - default_tps) * 180.0;
+
+        println!(
+            "{iteration:>4}  {tps:>15.0}  {default_tps:>12.0}  {:>+10.1}%  {:>10}",
+            (tps / default_tps - 1.0) * 100.0,
+            suggestion.diagnostics.safety_set_size,
+        );
+
+        tuner.observe(
+            &context,
+            &suggestion.config,
+            tps,
+            Some(&eval.metrics),
+            tps >= default_tps * 0.98,
+        );
+    }
+    println!(
+        "\ncumulative transactions gained vs. always running the DBA default: {cumulative_gain:+.0}"
+    );
+    println!("system failures during tuning: {}", db.failures());
+}

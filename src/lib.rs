@@ -1,0 +1,19 @@
+//! # OnlineTune reproduction — workspace façade
+//!
+//! This crate re-exports the public API of every crate in the workspace so that examples,
+//! integration tests and downstream users can depend on a single package.
+//!
+//! The primary contribution of the reproduced paper lives in [`onlinetune`]; the simulated
+//! cloud DBMS substrate is in [`simdb`]; workload generators are in [`workloads`]; the
+//! baselines from the paper's evaluation are in [`baselines`].
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system inventory.
+
+pub use baselines;
+pub use featurize;
+pub use gp;
+pub use linalg;
+pub use mlkit;
+pub use onlinetune;
+pub use simdb;
+pub use workloads;

@@ -1,0 +1,83 @@
+//! Integration tests comparing OnlineTune with the offline baselines on the simulated
+//! instance — the qualitative safety claim of the paper must hold end to end.
+
+use baselines::bo::{BoOptions, BoTuner};
+use baselines::ddpg::{DdpgOptions, DdpgTuner};
+use baselines::{OnlineTuneBaseline, Tuner, TuningInput};
+use featurize::ContextFeaturizer;
+use onlinetune::{OnlineTune, OnlineTuneOptions};
+use simdb::{Configuration, HardwareSpec, KnobCatalogue, OptimizerStats, SimDatabase};
+use workloads::tpcc::TpccWorkload;
+use workloads::WorkloadGenerator;
+
+fn run(tuner: &mut dyn Tuner, iterations: usize) -> (usize, usize) {
+    let catalogue = KnobCatalogue::mysql57();
+    let featurizer = ContextFeaturizer::with_defaults();
+    let generator = TpccWorkload::new_dynamic(5);
+    let reference = Configuration::dba_default(&catalogue);
+    let mut db = SimDatabase::new(55);
+    db.set_data_size(generator.initial_data_size_gib());
+    let mut unsafe_count = 0;
+    let mut last_metrics = None;
+    for it in 0..iterations {
+        let spec = generator.spec_at(it);
+        let queries = generator.sample_queries(it, 25);
+        let stats = OptimizerStats::estimate(&spec);
+        let context = featurizer.featurize(&queries, spec.arrival_rate_qps, &stats);
+        let threshold = db.peek(&reference, &spec).throughput_tps;
+        let input = TuningInput {
+            context: &context,
+            metrics: last_metrics.as_ref(),
+            safety_threshold: threshold,
+            clients: spec.clients,
+        };
+        let cfg = tuner.suggest(&input);
+        db.apply_config(&cfg);
+        let eval = db.run_interval(&spec, 180.0);
+        if eval.outcome.failed || eval.outcome.throughput_tps < threshold * 0.95 {
+            unsafe_count += 1;
+        }
+        tuner.observe(
+            &input,
+            &cfg,
+            eval.outcome.throughput_tps,
+            &eval.metrics,
+            eval.outcome.throughput_tps >= threshold * 0.95,
+        );
+        last_metrics = Some(eval.metrics);
+    }
+    (unsafe_count, db.failures())
+}
+
+#[test]
+fn onlinetune_is_far_safer_than_bo_and_ddpg_on_a_live_instance() {
+    let catalogue = KnobCatalogue::mysql57();
+    let featurizer_dim = ContextFeaturizer::with_defaults().dim();
+    let iterations = 40;
+
+    let mut online = OnlineTuneBaseline::new(OnlineTune::new(
+        catalogue.clone(),
+        HardwareSpec::default(),
+        featurizer_dim,
+        &Configuration::dba_default(&catalogue),
+        OnlineTuneOptions::default(),
+        9,
+    ));
+    let (online_unsafe, online_failures) = run(&mut online, iterations);
+
+    let mut bo = BoTuner::new(catalogue.clone(), BoOptions::default(), 9);
+    let (bo_unsafe, _) = run(&mut bo, iterations);
+
+    let mut ddpg = DdpgTuner::new(catalogue.clone(), DdpgOptions::default(), 9);
+    let (ddpg_unsafe, _) = run(&mut ddpg, iterations);
+
+    assert_eq!(online_failures, 0, "OnlineTune must not hang the instance");
+    assert!(
+        online_unsafe * 3 <= bo_unsafe.max(1),
+        "OnlineTune ({online_unsafe}) should be at least 3x safer than BO ({bo_unsafe})"
+    );
+    assert!(
+        online_unsafe * 3 <= ddpg_unsafe.max(1),
+        "OnlineTune ({online_unsafe}) should be at least 3x safer than DDPG ({ddpg_unsafe})"
+    );
+}

@@ -1,0 +1,78 @@
+//! Property-style integration tests for the safety machinery across crates.
+
+use onlinetune::whitebox::{RuleContext, RuleEngine};
+use onlinetune::{AblationFlags, OnlineTune, OnlineTuneOptions};
+use proptest::prelude::*;
+use simdb::{Configuration, HardwareSpec, KnobCatalogue};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Whatever context and threshold the environment produces, OnlineTune's recommendation
+    /// must be a legal configuration (every knob within its domain) and must satisfy the
+    /// white-box rules unless a rule override is explicitly reported.
+    #[test]
+    fn recommendations_are_always_legal_and_rule_compliant(
+        ctx_vals in proptest::collection::vec(0.0f64..1.0, 12),
+        threshold in -1000.0f64..30000.0,
+        seed in 0u64..50,
+    ) {
+        let catalogue = KnobCatalogue::mysql57();
+        let initial = Configuration::dba_default(&catalogue);
+        let mut tuner = OnlineTune::new(
+            catalogue.clone(),
+            HardwareSpec::default(),
+            12,
+            &initial,
+            OnlineTuneOptions { ablation: AblationFlags::default(), ..Default::default() },
+            seed,
+        );
+        let suggestion = tuner.suggest(&ctx_vals, threshold, 32);
+        for (v, k) in suggestion.config.values().iter().zip(catalogue.knobs()) {
+            prop_assert!(*v >= k.min() && *v <= k.max(), "{} = {v}", k.name);
+        }
+        let engine = RuleEngine::with_default_rules();
+        let hardware = HardwareSpec::default();
+        let rule_ctx = RuleContext {
+            catalogue: &catalogue,
+            hardware: &hardware,
+            clients: 32,
+            metrics: None,
+        };
+        prop_assert!(
+            engine.passes(&suggestion.config, &rule_ctx)
+                || suggestion.diagnostics.overridden_rule.is_some()
+        );
+    }
+
+    /// The white-box engine must always accept the DBA default, whatever hardware size the
+    /// cloud instance has (rules are expressed relative to the hardware).
+    #[test]
+    fn dba_default_passes_rules_on_any_reasonable_hardware(
+        vcpus in 2usize..64,
+        // The DBA default is sized for a 16 GiB instance; much larger instances would have a
+        // different DBA default, so the property is stated for the 8–60 GiB range.
+        ram in 8.0f64..60.0,
+    ) {
+        let catalogue = KnobCatalogue::mysql57();
+        let config = Configuration::dba_default(&catalogue);
+        let hardware = HardwareSpec { vcpus, ram_gib: ram, ..Default::default() };
+        let engine = RuleEngine::with_default_rules();
+        let rule_ctx = RuleContext {
+            catalogue: &catalogue,
+            hardware: &hardware,
+            clients: 32,
+            metrics: None,
+        };
+        // On very small instances the 13 GiB DBA buffer pool genuinely violates the memory
+        // budget — the rule must flag it there and accept it on instances at least as large
+        // as the paper's 16 GiB testbed. (The 14–16 GiB band is borderline and left
+        // unasserted: whether it passes depends on the session-memory estimate.)
+        let passes = engine.passes(&config, &rule_ctx);
+        if ram >= 16.0 {
+            prop_assert!(passes);
+        } else if ram <= 14.0 {
+            prop_assert!(!passes);
+        }
+    }
+}
