@@ -174,7 +174,10 @@ mod tests {
             best = best.max(y);
             bo.observe(&input(), &cfg, y, &InternalMetrics::zeroed(), true);
         }
-        assert!(best > 97.0, "BO should get close to the optimum, best = {best}");
+        assert!(
+            best > 97.0,
+            "BO should get close to the optimum, best = {best}"
+        );
         assert_eq!(bo.observation_count(), 35);
     }
 

@@ -111,11 +111,16 @@ impl DdpgTuner {
     fn normalize_state(metrics: Option<&InternalMetrics>) -> Vec<f64> {
         let raw = metrics.map(|m| m.to_vec()).unwrap_or_else(|| vec![0.0; 16]);
         // Squash unbounded counters into [0, 1] so the network inputs are well-scaled.
-        raw.iter().map(|v| (v / (1.0 + v.abs())).clamp(-1.0, 1.0)).collect()
+        raw.iter()
+            .map(|v| (v / (1.0 + v.abs())).clamp(-1.0, 1.0))
+            .collect()
     }
 
     fn action_to_unit(action: &[f64]) -> Vec<f64> {
-        action.iter().map(|a| ((a + 1.0) / 2.0).clamp(0.0, 1.0)).collect()
+        action
+            .iter()
+            .map(|a| ((a + 1.0) / 2.0).clamp(0.0, 1.0))
+            .collect()
     }
 
     fn train(&mut self) {
@@ -172,7 +177,8 @@ impl DdpgTuner {
                 actor_targets.push(best);
             }
             self.actor.train_batch(&actor_inputs, &actor_targets);
-            self.target_critic.soft_update_from(&self.critic, self.options.tau);
+            self.target_critic
+                .soft_update_from(&self.critic, self.options.tau);
         }
     }
 }
@@ -294,7 +300,13 @@ mod tests {
         let metrics = InternalMetrics::zeroed();
         for i in 0..30 {
             let cfg = agent.suggest(&input_with(Some(&metrics)));
-            agent.observe(&input_with(Some(&metrics)), &cfg, 100.0 + i as f64, &metrics, true);
+            agent.observe(
+                &input_with(Some(&metrics)),
+                &cfg,
+                100.0 + i as f64,
+                &metrics,
+                true,
+            );
         }
         assert!(agent.buffer.len() <= 10);
     }

@@ -35,7 +35,11 @@ impl MysqlTunerBaseline {
 
     /// Creates the tuner starting from a given configuration (the paper starts baselines
     /// from the DBA default's observation for fairness).
-    pub fn starting_from(catalogue: KnobCatalogue, hardware: HardwareSpec, config: Configuration) -> Self {
+    pub fn starting_from(
+        catalogue: KnobCatalogue,
+        hardware: HardwareSpec,
+        config: Configuration,
+    ) -> Self {
         MysqlTunerBaseline {
             catalogue,
             hardware,
@@ -49,13 +53,11 @@ impl MysqlTunerBaseline {
     }
 
     fn knob(&self, name: &str) -> f64 {
-        self.current
-            .get(&self.catalogue, name)
-            .unwrap_or_else(|| {
-                let full = KnobCatalogue::mysql57();
-                let idx = full.index_of(name).expect("known knob");
-                full.knob(idx).dba_default
-            })
+        self.current.get(&self.catalogue, name).unwrap_or_else(|| {
+            let full = KnobCatalogue::mysql57();
+            let idx = full.index_of(name).expect("known knob");
+            full.knob(idx).dba_default
+        })
     }
 
     fn set(&mut self, name: &str, value: f64) {
@@ -205,7 +207,10 @@ mod tests {
             t.observe(&input_with(&metrics), &last, 100.0, &metrics, true);
             last = t.suggest(&input_with(&metrics));
             let bp = last.get(&cat, "innodb_buffer_pool_size").unwrap();
-            assert!(bp <= hw.usable_ram_bytes() * 0.75, "buffer pool {bp} exceeds budget");
+            assert!(
+                bp <= hw.usable_ram_bytes() * 0.75,
+                "buffer pool {bp} exceeds budget"
+            );
         }
         // After many rounds the advice stabilizes (local optimum behaviour).
         t.observe(&input_with(&metrics), &last, 100.0, &metrics, true);

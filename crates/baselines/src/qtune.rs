@@ -104,10 +104,23 @@ impl Tuner for QtuneTuner {
         if self.training.len() > 512 {
             self.training.remove(0);
         }
-        let inputs: Vec<Vec<f64>> = self.training.iter().rev().take(32).map(|(x, _)| x.clone()).collect();
-        let targets: Vec<Vec<f64>> = self.training.iter().rev().take(32).map(|(_, y)| y.clone()).collect();
+        let inputs: Vec<Vec<f64>> = self
+            .training
+            .iter()
+            .rev()
+            .take(32)
+            .map(|(x, _)| x.clone())
+            .collect();
+        let targets: Vec<Vec<f64>> = self
+            .training
+            .iter()
+            .rev()
+            .take(32)
+            .map(|(_, y)| y.clone())
+            .collect();
         self.predictor.train_batch(&inputs, &targets);
-        self.agent.observe(input, config, performance, metrics, safe);
+        self.agent
+            .observe(input, config, performance, metrics, safe);
     }
 }
 

@@ -88,7 +88,10 @@ impl ResTuneTuner {
             let mut total = 0usize;
             for i in 0..target_obs.len() {
                 for j in (i + 1)..target_obs.len() {
-                    let (pi, pj) = match (model.predict(&target_obs[i].0), model.predict(&target_obs[j].0)) {
+                    let (pi, pj) = match (
+                        model.predict(&target_obs[i].0),
+                        model.predict(&target_obs[j].0),
+                    ) {
                         (Ok(a), Ok(b)) => (a.mean, b.mean),
                         _ => continue,
                     };

@@ -50,12 +50,20 @@ fn main() {
     ];
 
     let generators: Vec<(&str, Box<dyn WorkloadGenerator>)> = vec![
-        ("(a) TPC-C (data changes)", Box::new(TpccWorkload::new_dynamic(51))),
-        ("(b) JOB (read-only)", Box::new(JobWorkload::new_dynamic(52))),
+        (
+            "(a) TPC-C (data changes)",
+            Box::new(TpccWorkload::new_dynamic(51)),
+        ),
+        (
+            "(b) JOB (read-only)",
+            Box::new(JobWorkload::new_dynamic(52)),
+        ),
     ];
 
     for (title, generator) in generators {
-        section(&format!("Figure 14 {title}: context-design ablation, {iterations} intervals"));
+        section(&format!(
+            "Figure 14 {title}: context-design ablation, {iterations} intervals"
+        ));
         let mut rows = Vec::new();
         let mut results = Vec::new();
         for (label, feat_config, kind) in &variants {

@@ -34,7 +34,9 @@ fn main() {
     ];
 
     for (title, generator) in generators {
-        section(&format!("Figure 15 {title}: safe-exploration ablation, {iterations} intervals"));
+        section(&format!(
+            "Figure 15 {title}: safe-exploration ablation, {iterations} intervals"
+        ));
         let mut rows = Vec::new();
         let mut results = Vec::new();
         for kind in variants {

@@ -62,7 +62,13 @@ fn main() {
         results.push(result);
     }
     print_table(
-        &["Interval", "Iterations", "Improvement/minute", "#Unsafe", "#Failure"],
+        &[
+            "Interval",
+            "Iterations",
+            "Improvement/minute",
+            "#Unsafe",
+            "#Failure",
+        ],
         &rows,
     );
     write_json("fig16_intervals", &results);

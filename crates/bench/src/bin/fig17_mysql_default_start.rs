@@ -76,7 +76,11 @@ fn main() {
         }
         results.push(result);
     }
-    print_series("OnlineTune (MySQL default start) throughput (txn/s)", &series, 25);
+    print_series(
+        "OnlineTune (MySQL default start) throughput (txn/s)",
+        &series,
+        25,
+    );
     print_table(
         &["Run", "MeanThroughputLastQuarter", "#Unsafe", "#Failure"],
         &rows,

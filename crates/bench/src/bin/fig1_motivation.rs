@@ -82,7 +82,14 @@ fn main() {
             .count();
         rows.push(vec![
             kind.label().to_string(),
-            format!("{:.0}", result.records.iter().map(|r| r.throughput_tps).fold(f64::NEG_INFINITY, f64::max)),
+            format!(
+                "{:.0}",
+                result
+                    .records
+                    .iter()
+                    .map(|r| r.throughput_tps)
+                    .fold(f64::NEG_INFINITY, f64::max)
+            ),
             format!("{}%", 100 * below_default / result.records.len().max(1)),
             result.failure_count().to_string(),
         ]);
@@ -105,7 +112,12 @@ fn main() {
         }
     }
     print_table(
-        &["Tuner", "BestThroughput(tps)", "%TrialsWorseThanDefault", "#Hangs"],
+        &[
+            "Tuner",
+            "BestThroughput(tps)",
+            "%TrialsWorseThanDefault",
+            "#Hangs",
+        ],
         &rows,
     );
 
@@ -136,8 +148,8 @@ fn main() {
             improvements.push((tuned / reference - 1.0) * 100.0);
         }
         let early = improvements.iter().take(iterations / 4).sum::<f64>() / (iterations / 4) as f64;
-        let late = improvements.iter().rev().take(iterations / 4).sum::<f64>()
-            / (iterations / 4) as f64;
+        let late =
+            improvements.iter().rev().take(iterations / 4).sum::<f64>() / (iterations / 4) as f64;
         print_series(
             &format!("improvement vs DBA default (%) for Best-of-{label}"),
             &improvements,
@@ -149,7 +161,10 @@ fn main() {
             format!("{late:+.1}%"),
         ]);
     }
-    print_table(&["Configuration", "EarlyImprovement", "LateImprovement"], &rows);
+    print_table(
+        &["Configuration", "EarlyImprovement", "LateImprovement"],
+        &rows,
+    );
     println!("\nExpected shape: the fixed offline-best configurations start ahead of the DBA default and lose (part of) their advantage as the workload and data drift — the paper's motivation for online tuning.");
 
     let _ = Objective::Throughput;

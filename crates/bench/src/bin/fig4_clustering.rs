@@ -54,12 +54,17 @@ fn main() {
         },
     );
     let k = cluster_count(&labels);
-    println!("  DBSCAN found {k} clusters over {} contexts from 3 workloads", contexts.len());
+    println!(
+        "  DBSCAN found {k} clusters over {} contexts from 3 workloads",
+        contexts.len()
+    );
 
     // Cluster purity: the dominant workload per cluster.
     let mut rows = Vec::new();
     for cluster in 0..k {
-        let members: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == cluster as i32).collect();
+        let members: Vec<usize> = (0..labels.len())
+            .filter(|&i| labels[i] == cluster as i32)
+            .collect();
         let mut counts = [0usize; 3];
         for &m in &members {
             counts[truth[m]] += 1;
@@ -69,7 +74,10 @@ fn main() {
             format!("cluster {cluster}"),
             members.len().to_string(),
             ["tpcc", "twitter", "job"][dominant.0].to_string(),
-            format!("{:.0}%", 100.0 * *dominant.1 as f64 / members.len().max(1) as f64),
+            format!(
+                "{:.0}%",
+                100.0 * *dominant.1 as f64 / members.len().max(1) as f64
+            ),
         ]);
     }
     print_table(&["Cluster", "Size", "DominantWorkload", "Purity"], &rows);
@@ -81,7 +89,8 @@ fn main() {
         .expect("non-empty training set");
     // Routing consistency: held-out contexts of the same workload should land in the same
     // cluster as the majority of that workload's training contexts.
-    let mut majority = vec![0usize; 3];
+    let mut majority = [0usize; 3];
+    #[allow(clippy::needless_range_loop)] // g doubles as the ground-truth label value
     for g in 0..3 {
         let mut counts = vec![0usize; k.max(1)];
         for (i, &t) in truth.iter().enumerate() {
@@ -89,7 +98,12 @@ fn main() {
                 counts[labels[i] as usize] += 1;
             }
         }
-        majority[g] = counts.iter().enumerate().max_by_key(|(_, c)| **c).map(|(i, _)| i).unwrap_or(0);
+        majority[g] = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
     }
     let correct = held_out
         .iter()

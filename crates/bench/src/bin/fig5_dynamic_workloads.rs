@@ -4,7 +4,9 @@
 //! Run with `cargo run --release -p bench --bin fig5_dynamic_workloads [iterations]`
 //! (defaults to the paper's 400 intervals; pass a smaller number for a quick look).
 
-use bench::report::{iterations_from_env, print_table, section, summary_headers, summary_row, write_json};
+use bench::report::{
+    iterations_from_env, print_table, section, summary_headers, summary_row, write_json,
+};
 use bench::tuners::{build_tuner, TunerKind};
 use bench::{run_session, SessionOptions};
 use featurize::ContextFeaturizer;
@@ -48,10 +50,7 @@ fn main() {
             results.push(result);
         }
         print_table(&summary_headers(), &rows);
-        write_json(
-            &format!("fig5_{}", generator.name()),
-            &results,
-        );
+        write_json(&format!("fig5_{}", generator.name()), &results);
     }
     println!("\nExpected shape: OnlineTune has the best cumulative performance (higher #txn for TPC-C/Twitter, lower cumulative execution time for JOB), near-zero #Unsafe and zero #Failure; BO/DDPG/QTune/ResTune have tens-to-hundreds of unsafe recommendations and occasional failures; MysqlTuner is safe but plateaus.");
 }

@@ -3,7 +3,10 @@
 //!
 //! Run with `cargo run --release -p bench --bin fig6_7_cycle_realworld [iterations]`.
 
-use bench::report::{iterations_from_env, print_series, print_table, section, summary_headers, summary_row, write_json};
+use bench::report::{
+    iterations_from_env, print_series, print_table, section, summary_headers, summary_row,
+    write_json,
+};
 use bench::tuners::{build_tuner, TunerKind};
 use bench::{run_session, SessionOptions};
 use featurize::ContextFeaturizer;
@@ -38,16 +41,32 @@ fn main() {
             },
         );
         if kind == TunerKind::OnlineTune {
-            onlinetune_latency_series = result.records.iter().map(|r| r.latency_p99_ms / 1000.0).collect();
+            onlinetune_latency_series = result
+                .records
+                .iter()
+                .map(|r| r.latency_p99_ms / 1000.0)
+                .collect();
         }
         if kind == TunerKind::DbaDefault {
-            default_latency_series = result.records.iter().map(|r| r.latency_p99_ms / 1000.0).collect();
+            default_latency_series = result
+                .records
+                .iter()
+                .map(|r| r.latency_p99_ms / 1000.0)
+                .collect();
         }
         rows.push(summary_row(&result, 180.0, cycle.objective()));
         results.push(result);
     }
-    print_series("OnlineTune 99th-pct latency (s)", &onlinetune_latency_series, 25);
-    print_series("DBA default 99th-pct latency (s)", &default_latency_series, 25);
+    print_series(
+        "OnlineTune 99th-pct latency (s)",
+        &onlinetune_latency_series,
+        25,
+    );
+    print_series(
+        "DBA default 99th-pct latency (s)",
+        &default_latency_series,
+        25,
+    );
     print_table(&summary_headers(), &rows);
     write_json("fig6_7_cycle", &results);
 

@@ -50,13 +50,20 @@ fn main() {
         let times: Vec<f64> = result.records.iter().map(|r| r.tuner_time_s).collect();
         let late_avg = times.iter().rev().take(20).sum::<f64>() / 20.0_f64.min(times.len() as f64);
         if kind == TunerKind::OnlineTune || kind == TunerKind::Bo {
-            print_series(&format!("{} per-iteration time (s)", kind.label()), &times, 20);
+            print_series(
+                &format!("{} per-iteration time (s)", kind.label()),
+                &times,
+                20,
+            );
         }
         rows.push(vec![
             kind.label().to_string(),
             format!("{:.4}", result.mean_tuner_time_s()),
             format!("{:.4}", late_avg),
-            format!("{:.4}", times.iter().cloned().fold(f64::NEG_INFINITY, f64::max)),
+            format!(
+                "{:.4}",
+                times.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            ),
         ]);
     }
     print_table(
@@ -106,7 +113,13 @@ fn main() {
         apply_eval_time += t.elapsed().as_secs_f64() + 180.0; // simulated interval wall time
         let score = Objective::ExecutionTime.score(&eval.outcome);
         let t = Instant::now();
-        tuner.observe(&context, &suggestion.config, score, Some(&eval.metrics), score >= threshold);
+        tuner.observe(
+            &context,
+            &suggestion.config,
+            score,
+            Some(&eval.metrics),
+            score >= threshold,
+        );
         update_time += t.elapsed().as_secs_f64();
         let _ = baselines::TuningInput {
             context: &context,
@@ -118,12 +131,30 @@ fn main() {
     let n = breakdown_iters as f64;
     let rows = vec![
         vec!["Featurization".to_string(), format!("{:.4}", feat_time / n)],
-        vec!["Model Selection".to_string(), format!("{:.4}", stage.model_selection_s / n)],
-        vec!["Model Update".to_string(), format!("{:.4}", update_time / n)],
-        vec!["Subspace Adaptation".to_string(), format!("{:.4}", stage.subspace_adaptation_s / n)],
-        vec!["Safety Assessment".to_string(), format!("{:.4}", stage.safety_assessment_s / n)],
-        vec!["Candidate Selection".to_string(), format!("{:.4}", stage.candidate_selection_s / n)],
-        vec!["Apply & Evaluation (interval)".to_string(), format!("{:.1}", apply_eval_time / n)],
+        vec![
+            "Model Selection".to_string(),
+            format!("{:.4}", stage.model_selection_s / n),
+        ],
+        vec![
+            "Model Update".to_string(),
+            format!("{:.4}", update_time / n),
+        ],
+        vec![
+            "Subspace Adaptation".to_string(),
+            format!("{:.4}", stage.subspace_adaptation_s / n),
+        ],
+        vec![
+            "Safety Assessment".to_string(),
+            format!("{:.4}", stage.safety_assessment_s / n),
+        ],
+        vec![
+            "Candidate Selection".to_string(),
+            format!("{:.4}", stage.candidate_selection_s / n),
+        ],
+        vec![
+            "Apply & Evaluation (interval)".to_string(),
+            format!("{:.1}", apply_eval_time / n),
+        ],
     ];
     print_table(&["Stage", "AvgTimePerIteration(s)"], &rows);
     println!("  Expected shape: the 180 s apply-and-evaluate interval dominates (>98% as in the paper); among tuner stages the model update is the most expensive and featurization/selection are negligible.");

@@ -13,7 +13,10 @@
 
 use baselines::OnlineTuneBaseline;
 use baselines::{Tuner, TuningInput};
-use bench::report::{iterations_from_env, print_series, print_table, section, summary_headers, summary_row, write_json};
+use bench::report::{
+    iterations_from_env, print_series, print_table, section, summary_headers, summary_row,
+    write_json,
+};
 use bench::tuners::{build_tuner, TunerKind};
 use bench::{run_session, SessionOptions};
 use featurize::ContextFeaturizer;
@@ -30,13 +33,19 @@ fn main() {
 
     // ── Figure 9: the workload pattern ──────────────────────────────────────────────────
     section("Figure 9: YCSB read-ratio pattern");
-    let ratios: Vec<f64> = (0..iterations).map(|it| ycsb.read_ratio_at(it) * 100.0).collect();
+    let ratios: Vec<f64> = (0..iterations)
+        .map(|it| ycsb.read_ratio_at(it) * 100.0)
+        .collect();
     print_series("read ratio (%)", &ratios, 25);
 
     // ── Figure 10: throughput surfaces for three mixes ─────────────────────────────────
     section("Figure 10: throughput vs. (buffer pool size, max_heap_table_size) per mix");
     let db = SimDatabase::with_catalogue(catalogue.clone(), HardwareSpec::default(), 1);
-    let mixes = [("25/75 read/write", 0.25), ("75/25 read/write", 0.75), ("read-only", 1.0)];
+    let mixes = [
+        ("25/75 read/write", 0.25),
+        ("75/25 read/write", 0.75),
+        ("read-only", 1.0),
+    ];
     for (label, read_ratio) in mixes {
         let mut spec = ycsb.spec_at(0);
         spec.mix = simdb::WorkloadMix::new([
@@ -65,7 +74,12 @@ fn main() {
             }
             rows.push(row);
         }
-        println!("  {label}: best at bp={:.0}%, heap={:.0}% ({:.0} tps)", best.0 * 100.0, best.1 * 100.0, best.2);
+        println!(
+            "  {label}: best at bp={:.0}%, heap={:.0}% ({:.0} tps)",
+            best.0 * 100.0,
+            best.1 * 100.0,
+            best.2
+        );
         print_table(&["", "heap=10%", "heap=50%", "heap=90%"], &rows);
     }
 
@@ -82,7 +96,8 @@ fn main() {
             for bp in [0.6, 0.8, 0.95] {
                 for heap in [0.2, 0.6, 0.9] {
                     for sort in [0.2, 0.6] {
-                        let mut unit = Configuration::dba_default(&catalogue).normalized(&catalogue);
+                        let mut unit =
+                            Configuration::dba_default(&catalogue).normalized(&catalogue);
                         unit[0] = bp;
                         unit[1] = heap;
                         unit[3] = sort;
@@ -189,14 +204,36 @@ fn main() {
             clients: spec.clients,
         };
         let safe = eval.outcome.throughput_tps >= threshold * 0.98;
-        tuner.observe(&input, &suggestion.config, eval.outcome.throughput_tps, &eval.metrics, safe);
+        tuner.observe(
+            &input,
+            &suggestion.config,
+            eval.outcome.throughput_tps,
+            &eval.metrics,
+            safe,
+        );
         last_metrics = Some(eval.metrics);
     }
-    print_series("Figure 12: innodb_spin_wait_delay applied", &spin_values, 20);
-    print_series("Figure 12: max_heap_table_size applied (bytes)", &heap_values, 20);
-    print_series("Figure 13: normalized distance of subspace centre from default", &center_distance, 20);
+    print_series(
+        "Figure 12: innodb_spin_wait_delay applied",
+        &spin_values,
+        20,
+    );
+    print_series(
+        "Figure 12: max_heap_table_size applied (bytes)",
+        &heap_values,
+        20,
+    );
+    print_series(
+        "Figure 13: normalized distance of subspace centre from default",
+        &center_distance,
+        20,
+    );
     print_series("Figure 13: safety-set size", &safety_set_size, 20);
-    print_series("Figure 13: improvement over DBA default (%)", &improvement, 20);
+    print_series(
+        "Figure 13: improvement over DBA default (%)",
+        &improvement,
+        20,
+    );
     println!(
         "  models maintained: {}, re-clusterings: {}",
         tuner.inner().model_count(),

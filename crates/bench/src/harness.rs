@@ -294,7 +294,11 @@ mod tests {
         assert_eq!(result.records.len(), 12);
         // Noise can push individual intervals slightly below the noiseless reference, but
         // the default configuration must never be far below its own reference score.
-        assert!(result.unsafe_count() <= 2, "unsafe = {}", result.unsafe_count());
+        assert!(
+            result.unsafe_count() <= 2,
+            "unsafe = {}",
+            result.unsafe_count()
+        );
         assert_eq!(result.failure_count(), 0);
         assert!(result.cumulative_performance(180.0, Objective::Throughput) > 0.0);
     }
@@ -327,8 +331,20 @@ mod tests {
         let generator = TpccWorkload::new_dynamic(1);
         let mut a = build_tuner(TunerKind::DbaDefault, &catalogue, featurizer.dim(), 7);
         let mut b = build_tuner(TunerKind::DbaDefault, &catalogue, featurizer.dim(), 7);
-        let ra = run_session(a.as_mut(), &generator, &catalogue, &featurizer, &quick_options());
-        let rb = run_session(b.as_mut(), &generator, &catalogue, &featurizer, &quick_options());
+        let ra = run_session(
+            a.as_mut(),
+            &generator,
+            &catalogue,
+            &featurizer,
+            &quick_options(),
+        );
+        let rb = run_session(
+            b.as_mut(),
+            &generator,
+            &catalogue,
+            &featurizer,
+            &quick_options(),
+        );
         for (x, y) in ra.records.iter().zip(rb.records.iter()) {
             assert_eq!(x.throughput_tps, y.throughput_tps);
         }

@@ -61,7 +61,10 @@ pub fn print_series(name: &str, values: &[f64], points: usize) {
 pub fn summary_row(result: &SessionResult, interval_s: f64, objective: Objective) -> Vec<String> {
     vec![
         result.tuner.clone(),
-        format!("{:.3e}", result.cumulative_performance(interval_s, objective)),
+        format!(
+            "{:.3e}",
+            result.cumulative_performance(interval_s, objective)
+        ),
         format!("{:.3e}", result.cumulative_improvement()),
         result.unsafe_count().to_string(),
         result.failure_count().to_string(),

@@ -233,7 +233,12 @@ mod tests {
             let cfg = tuner.suggest(&input);
             assert_eq!(cfg.len(), catalogue.len(), "{}", kind.label());
             for (v, k) in cfg.values().iter().zip(catalogue.knobs()) {
-                assert!(*v >= k.min() && *v <= k.max(), "{}: {}", kind.label(), k.name);
+                assert!(
+                    *v >= k.min() && *v <= k.max(),
+                    "{}: {}",
+                    kind.label(),
+                    k.name
+                );
             }
             tuner.observe(&input, &cfg, 100.0, &metrics, true);
         }

@@ -140,7 +140,11 @@ mod tests {
         let f = ContextFeaturizer::with_defaults();
         let tpcc = TpccWorkload::new_dynamic(1);
         let twitter = TwitterWorkload::new_dynamic(1);
-        let c_tpcc = f.featurize(&tpcc.sample_queries(0, 40), None, &stats_for(&tpcc.spec_at(0)));
+        let c_tpcc = f.featurize(
+            &tpcc.sample_queries(0, 40),
+            None,
+            &stats_for(&tpcc.spec_at(0)),
+        );
         let c_twitter = f.featurize(
             &twitter.sample_queries(0, 40),
             None,
@@ -189,7 +193,10 @@ mod tests {
         });
         let d_small = no_data.featurize(&queries, None, &stats_for(&small));
         let d_large = no_data.featurize(&queries, None, &stats_for(&large));
-        assert_eq!(d_small, d_large, "without data features growth must be invisible");
+        assert_eq!(
+            d_small, d_large,
+            "without data features growth must be invisible"
+        );
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! The shared knowledge base: cross-tenant transfer of safe configurations and
+//! observations.
+//!
+//! Tenants on the same hardware class running the same workload family face closely
+//! related tuning problems. The knowledge base pools what their sessions learn —
+//! configurations observed to be safe, and `(context, config, performance)` observations —
+//! and hands a bounded sample to newly admitted tenants. This generalizes the paper's
+//! cold-start fallback (which trusts only configurations near the initial default) to
+//! "configurations the *fleet* has already proven safe on this kind of instance".
+
+use gp::contextual::ContextObservation;
+use simdb::HardwareSpec;
+
+use crate::tenant::WorkloadFamily;
+
+/// The coordinate a pool is keyed by.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PoolKey {
+    /// Hardware class label, e.g. `"8c-16g"` (see [`PoolKey::hardware_class`]).
+    pub hardware_class: String,
+    /// Workload family.
+    pub family: WorkloadFamily,
+}
+
+impl PoolKey {
+    /// Builds the key for a tenant's hardware and workload family.
+    pub fn for_tenant(hardware: &HardwareSpec, family: WorkloadFamily) -> Self {
+        PoolKey {
+            hardware_class: Self::hardware_class(hardware),
+            family,
+        }
+    }
+
+    /// Coarse hardware-class label: vCPU count and RAM rounded to whole GiB. Instances in
+    /// the same class are considered close enough to share knowledge.
+    pub fn hardware_class(hardware: &HardwareSpec) -> String {
+        format!("{}c-{}g", hardware.vcpus, hardware.ram_gib.round() as i64)
+    }
+}
+
+/// Size bounds of the knowledge base.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct KnowledgeBaseOptions {
+    /// Safe configurations retained per pool (oldest evicted first).
+    pub max_safe_per_pool: usize,
+    /// Observations retained per pool (oldest evicted first).
+    pub max_observations_per_pool: usize,
+    /// Safe configurations handed to a warm-started tenant.
+    pub warm_start_safe: usize,
+    /// Observations handed to a warm-started tenant.
+    pub warm_start_observations: usize,
+}
+
+impl Default for KnowledgeBaseOptions {
+    fn default() -> Self {
+        KnowledgeBaseOptions {
+            max_safe_per_pool: 512,
+            max_observations_per_pool: 256,
+            warm_start_safe: 32,
+            warm_start_observations: 24,
+        }
+    }
+}
+
+/// One pool of knowledge for a (hardware class, workload family) coordinate.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct KnowledgePool {
+    /// Normalized configurations observed to be safe, newest last.
+    pub safe_configs: Vec<Vec<f64>>,
+    /// Transferred observations, newest last.
+    pub observations: Vec<ContextObservation>,
+    /// Number of contribution merges this pool received.
+    pub contributions: usize,
+}
+
+/// What a newly admitted tenant receives from the knowledge base.
+#[derive(Debug, Clone, Default)]
+pub struct WarmStart {
+    /// Known-safe normalized configurations.
+    pub safe_configs: Vec<Vec<f64>>,
+    /// Observations to absorb into the tenant's models.
+    pub observations: Vec<ContextObservation>,
+}
+
+impl WarmStart {
+    /// Whether the warm start carries anything.
+    pub fn is_empty(&self) -> bool {
+        self.safe_configs.is_empty() && self.observations.is_empty()
+    }
+}
+
+/// The fleet-wide knowledge base.
+///
+/// Pools are kept in insertion order in a `Vec`, which makes iteration (and therefore
+/// serialization and any floating-point accumulation downstream) deterministic.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct KnowledgeBase {
+    options: KnowledgeBaseOptions,
+    pools: Vec<(PoolKey, KnowledgePool)>,
+}
+
+impl KnowledgeBase {
+    /// Creates an empty knowledge base.
+    pub fn new(options: KnowledgeBaseOptions) -> Self {
+        KnowledgeBase {
+            options,
+            pools: Vec::new(),
+        }
+    }
+
+    /// Number of pools.
+    pub fn n_pools(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Read access to a pool.
+    pub fn pool(&self, key: &PoolKey) -> Option<&KnowledgePool> {
+        self.pools.iter().find(|(k, _)| k == key).map(|(_, p)| p)
+    }
+
+    fn pool_mut(&mut self, key: &PoolKey) -> &mut KnowledgePool {
+        if let Some(idx) = self.pools.iter().position(|(k, _)| k == key) {
+            return &mut self.pools[idx].1;
+        }
+        self.pools.push((key.clone(), KnowledgePool::default()));
+        &mut self.pools.last_mut().expect("just pushed").1
+    }
+
+    /// Merges a session's contribution into the pool for `key`.
+    pub fn contribute(
+        &mut self,
+        key: &PoolKey,
+        safe_configs: Vec<Vec<f64>>,
+        observations: Vec<ContextObservation>,
+    ) {
+        if safe_configs.is_empty() && observations.is_empty() {
+            return;
+        }
+        let (max_safe, max_obs) = (
+            self.options.max_safe_per_pool,
+            self.options.max_observations_per_pool,
+        );
+        let pool = self.pool_mut(key);
+        for cfg in safe_configs {
+            if !pool.safe_configs.contains(&cfg) {
+                pool.safe_configs.push(cfg);
+            }
+        }
+        if pool.safe_configs.len() > max_safe {
+            let excess = pool.safe_configs.len() - max_safe;
+            pool.safe_configs.drain(0..excess);
+        }
+        pool.observations.extend(observations);
+        if pool.observations.len() > max_obs {
+            let excess = pool.observations.len() - max_obs;
+            pool.observations.drain(0..excess);
+        }
+        pool.contributions += 1;
+    }
+
+    /// Produces the warm-start payload for a new tenant on `key`'s coordinate: the most
+    /// recent safe configurations and observations, bounded by the options. Returns an
+    /// empty payload when no knowledge exists yet.
+    pub fn warm_start(&self, key: &PoolKey) -> WarmStart {
+        let Some(pool) = self.pool(key) else {
+            return WarmStart::default();
+        };
+        let take_tail = |n: usize, len: usize| len.saturating_sub(n);
+        WarmStart {
+            safe_configs: pool.safe_configs
+                [take_tail(self.options.warm_start_safe, pool.safe_configs.len())..]
+                .to_vec(),
+            observations: pool.observations[take_tail(
+                self.options.warm_start_observations,
+                pool.observations.len(),
+            )..]
+                .to_vec(),
+        }
+    }
+}
+
+impl Default for KnowledgeBase {
+    fn default() -> Self {
+        KnowledgeBase::new(KnowledgeBaseOptions::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(v: f64) -> ContextObservation {
+        ContextObservation {
+            context: vec![v],
+            config: vec![v],
+            performance: v,
+        }
+    }
+
+    fn key() -> PoolKey {
+        PoolKey::for_tenant(&HardwareSpec::default(), WorkloadFamily::Ycsb)
+    }
+
+    #[test]
+    fn hardware_class_is_coarse() {
+        let hw = HardwareSpec::default();
+        assert_eq!(PoolKey::hardware_class(&hw), "8c-16g");
+        let mut close = hw;
+        close.disk_iops += 500.0; // same class despite different disk
+        assert_eq!(PoolKey::hardware_class(&close), "8c-16g");
+        let mut other = hw;
+        other.vcpus = 16;
+        assert_ne!(PoolKey::hardware_class(&other), "8c-16g");
+    }
+
+    #[test]
+    fn contribute_then_warm_start_roundtrips() {
+        let mut kb = KnowledgeBase::default();
+        assert!(kb.warm_start(&key()).is_empty());
+        kb.contribute(&key(), vec![vec![0.5], vec![0.6]], vec![obs(1.0), obs(2.0)]);
+        let ws = kb.warm_start(&key());
+        assert_eq!(ws.safe_configs.len(), 2);
+        assert_eq!(ws.observations.len(), 2);
+        // A different family sees nothing.
+        let other = PoolKey::for_tenant(&HardwareSpec::default(), WorkloadFamily::Job);
+        assert!(kb.warm_start(&other).is_empty());
+    }
+
+    #[test]
+    fn pools_are_bounded_and_deduplicated() {
+        let mut kb = KnowledgeBase::new(KnowledgeBaseOptions {
+            max_safe_per_pool: 4,
+            max_observations_per_pool: 3,
+            warm_start_safe: 10,
+            warm_start_observations: 10,
+        });
+        for i in 0..10 {
+            kb.contribute(
+                &key(),
+                vec![vec![i as f64], vec![i as f64]],
+                vec![obs(i as f64)],
+            );
+        }
+        let pool = kb.pool(&key()).unwrap();
+        assert_eq!(pool.safe_configs.len(), 4, "dedup + cap");
+        assert_eq!(pool.observations.len(), 3);
+        // Newest entries survive.
+        assert_eq!(pool.safe_configs.last().unwrap()[0], 9.0);
+        assert_eq!(pool.contributions, 10);
+    }
+
+    #[test]
+    fn warm_start_takes_most_recent_tail() {
+        let mut kb = KnowledgeBase::new(KnowledgeBaseOptions {
+            warm_start_safe: 2,
+            warm_start_observations: 1,
+            ..Default::default()
+        });
+        kb.contribute(
+            &key(),
+            vec![vec![1.0], vec![2.0], vec![3.0]],
+            vec![obs(1.0), obs(2.0)],
+        );
+        let ws = kb.warm_start(&key());
+        assert_eq!(ws.safe_configs, vec![vec![2.0], vec![3.0]]);
+        assert_eq!(ws.observations.len(), 1);
+        assert_eq!(ws.observations[0].performance, 2.0);
+    }
+}

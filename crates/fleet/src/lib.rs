@@ -1,0 +1,50 @@
+//! # fleet — a multi-tenant tuning service over the OnlineTune reproduction
+//!
+//! The single-instance loop in `onlinetune` tunes *one* database. A cloud tuning service
+//! must drive thousands of such loops concurrently, survive restarts without re-learning
+//! (and without re-risking configurations it had already ruled out), and transfer what one
+//! tenant's session learns to the next tenant on similar hardware running a similar
+//! workload. This crate adds that service layer:
+//!
+//! * [`tenant`] — a [`tenant::TenantSession`] bundles one `OnlineTune` tuner with one
+//!   `simdb` instance and one workload generator, steppable one suggest→apply→observe
+//!   iteration at a time so a scheduler can interleave many tenants.
+//! * [`scheduler`] — a [`scheduler::SessionScheduler`] plans each service round:
+//!   round-robin base slots guarantee no tenant starves, and tenants with high *recent
+//!   regret* (their tuner is currently losing the most against the default configuration)
+//!   receive bonus slots.
+//! * [`knowledge`] — a [`knowledge::KnowledgeBase`] keeps per-(hardware class, workload
+//!   family) pools of known-safe configurations and context observations contributed by
+//!   running sessions; new tenants are warm-started from the matching pool, generalizing
+//!   the paper's cold-start fallback across tenants.
+//! * [`service`] — a [`service::FleetService`] owns the tenants, the scheduler and the
+//!   knowledge base, executes rounds on a worker thread pool, and can snapshot the entire
+//!   fleet to JSON and restore it such that every session continues **bit-identically**
+//!   (see `OnlineTune::snapshot` / `SimDatabase::snapshot` for the per-layer state hooks).
+//!
+//! ```no_run
+//! use fleet::service::{FleetOptions, FleetService};
+//! use fleet::tenant::{TenantSpec, WorkloadFamily};
+//!
+//! let mut svc = FleetService::new(FleetOptions::default());
+//! svc.admit(TenantSpec::named("tenant-a", WorkloadFamily::Ycsb, 1));
+//! svc.admit(TenantSpec::named("tenant-b", WorkloadFamily::Tpcc, 2));
+//! let report = svc.run_rounds(10);
+//! println!("{} iterations, unsafe rate {:.3}", report.iterations, report.unsafe_rate());
+//! let json = svc.snapshot_json().unwrap();
+//! let restored = FleetService::restore_json(&json).unwrap();
+//! # let _ = restored;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod knowledge;
+pub mod scheduler;
+pub mod service;
+pub mod tenant;
+
+pub use knowledge::{KnowledgeBase, KnowledgeBaseOptions, PoolKey, WarmStart};
+pub use scheduler::{RoundPlan, SchedulerOptions, SessionScheduler, TenantStatus};
+pub use service::{FleetOptions, FleetReport, FleetService, FleetSnapshot};
+pub use tenant::{TenantSession, TenantSessionState, TenantSpec, TenantSummary, WorkloadFamily};

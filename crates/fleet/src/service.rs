@@ -1,0 +1,378 @@
+//! The fleet service: tenants + scheduler + knowledge base + worker pool + snapshots.
+//!
+//! [`FleetService::run_round`] executes one scheduling round: the scheduler plans a slot
+//! count per tenant, the sessions run their slots in parallel on a worker thread pool
+//! (sessions are independent, so this is embarrassingly parallel), and the knowledge each
+//! session produced is merged into the shared [`KnowledgeBase`] *sequentially in tenant
+//! order* — keeping every floating-point accumulation and every pool mutation
+//! deterministic regardless of thread timing. That determinism is what makes the
+//! fleet-wide snapshot/restore replay test meaningful.
+
+use crate::knowledge::{KnowledgeBase, KnowledgeBaseOptions, PoolKey};
+use crate::scheduler::{SchedulerOptions, SessionScheduler, TenantStatus};
+use crate::tenant::{TenantSession, TenantSessionState, TenantSpec, TenantSummary};
+use onlinetune::subspace::SubspaceOptions;
+use onlinetune::OnlineTuneOptions;
+
+/// Options of the fleet service.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FleetOptions {
+    /// Worker threads used per round (0 = one per available CPU, capped by tenant count).
+    pub workers: usize,
+    /// Scheduler configuration.
+    pub scheduler: SchedulerOptions,
+    /// Knowledge-base bounds.
+    pub knowledge: KnowledgeBaseOptions,
+    /// Whether newly admitted tenants are warm-started from the knowledge base.
+    pub warm_start_on_admit: bool,
+    /// Tuner options applied to every tenant.
+    pub tuner: OnlineTuneOptions,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        FleetOptions {
+            workers: 0,
+            scheduler: SchedulerOptions::default(),
+            knowledge: KnowledgeBaseOptions::default(),
+            warm_start_on_admit: true,
+            tuner: OnlineTuneOptions::default(),
+        }
+    }
+}
+
+/// Reduced-budget tuner options used by tests and the scale benchmark: fewer subspace
+/// candidates keep a single iteration cheap while exercising every code path.
+pub fn small_tuner_options() -> OnlineTuneOptions {
+    OnlineTuneOptions {
+        subspace: SubspaceOptions {
+            candidates: 40,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Aggregate statistics of the rounds executed by a [`FleetService::run_rounds`] call.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FleetReport {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Tuning iterations executed across all tenants.
+    pub iterations: usize,
+    /// Unsafe recommendations across all tenants (within the executed rounds).
+    pub unsafe_count: usize,
+    /// Regret accumulated across all tenants (within the executed rounds).
+    pub regret: f64,
+    /// Per-tenant summaries at the end of the call.
+    pub tenants: Vec<TenantSummary>,
+}
+
+impl FleetReport {
+    /// Fraction of iterations whose recommendation was unsafe.
+    pub fn unsafe_rate(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.unsafe_count as f64 / self.iterations as f64
+        }
+    }
+}
+
+/// Serializable snapshot of the entire fleet (see [`FleetService::snapshot`]).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FleetSnapshot {
+    /// Service options.
+    pub options: FleetOptions,
+    /// Every tenant's complete session state.
+    pub tenants: Vec<TenantSessionState>,
+    /// The shared knowledge base.
+    pub knowledge: KnowledgeBase,
+    /// Scheduler state (cursor + grant totals).
+    pub scheduler: SessionScheduler,
+    /// Rounds executed so far.
+    pub rounds: usize,
+}
+
+/// The multi-tenant tuning service.
+pub struct FleetService {
+    options: FleetOptions,
+    tenants: Vec<TenantSession>,
+    knowledge: KnowledgeBase,
+    scheduler: SessionScheduler,
+    rounds: usize,
+}
+
+impl FleetService {
+    /// Creates an empty service.
+    pub fn new(options: FleetOptions) -> Self {
+        let knowledge = KnowledgeBase::new(options.knowledge);
+        let scheduler = SessionScheduler::new(options.scheduler);
+        FleetService {
+            options,
+            tenants: Vec::new(),
+            knowledge,
+            scheduler,
+            rounds: 0,
+        }
+    }
+
+    /// Number of tenants.
+    pub fn n_tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// The shared knowledge base.
+    pub fn knowledge(&self) -> &KnowledgeBase {
+        &self.knowledge
+    }
+
+    /// Total slots the scheduler has granted per tenant.
+    pub fn granted_slots(&self) -> &[usize] {
+        self.scheduler.granted()
+    }
+
+    /// Admits a tenant: builds its session and (when enabled and knowledge exists for its
+    /// hardware class + workload family) warm-starts it from the knowledge base. Returns
+    /// the tenant's index.
+    pub fn admit(&mut self, spec: TenantSpec) -> usize {
+        let key = PoolKey::for_tenant(&spec.hardware, spec.family);
+        let mut session = TenantSession::new(spec, self.options.tuner.clone());
+        if self.options.warm_start_on_admit {
+            let warm = self.knowledge.warm_start(&key);
+            if !warm.is_empty() {
+                session.warm_start(&warm);
+            }
+        }
+        self.tenants.push(session);
+        self.tenants.len() - 1
+    }
+
+    /// Per-tenant summaries.
+    pub fn summaries(&self) -> Vec<TenantSummary> {
+        self.tenants.iter().map(TenantSession::summary).collect()
+    }
+
+    fn effective_workers(&self) -> usize {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let configured = if self.options.workers == 0 {
+            hw
+        } else {
+            self.options.workers
+        };
+        configured.clamp(1, self.tenants.len().max(1))
+    }
+
+    /// Executes one scheduling round; returns the number of iterations run.
+    pub fn run_round(&mut self) -> usize {
+        if self.tenants.is_empty() {
+            return 0;
+        }
+        let statuses: Vec<TenantStatus> = self
+            .tenants
+            .iter()
+            .map(|t| TenantStatus {
+                recent_regret: t.recent_regret(),
+                iterations: t.iteration(),
+            })
+            .collect();
+        let plan = self.scheduler.plan_round(&statuses);
+        let workers = self.effective_workers();
+
+        // Execute the round on the worker pool. Tenants are split into contiguous chunks;
+        // each chunk runs on one worker. Sessions are fully independent, so the only
+        // cross-tenant state — the knowledge base — is merged after the barrier, in tenant
+        // order, which keeps the whole round deterministic.
+        let chunk_size = self.tenants.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let mut sessions: &mut [TenantSession] = &mut self.tenants;
+            let mut slots: &[usize] = &plan.slots;
+            while !sessions.is_empty() {
+                let take = chunk_size.min(sessions.len());
+                let (chunk, rest) = sessions.split_at_mut(take);
+                let (chunk_slots, rest_slots) = slots.split_at(take);
+                sessions = rest;
+                slots = rest_slots;
+                scope.spawn(move || {
+                    for (session, &n) in chunk.iter_mut().zip(chunk_slots.iter()) {
+                        for _ in 0..n {
+                            session.step();
+                        }
+                    }
+                });
+            }
+        });
+
+        // Deterministic knowledge merge.
+        for i in 0..self.tenants.len() {
+            let contribution = self.tenants[i].drain_contribution();
+            if contribution.is_empty() {
+                continue;
+            }
+            let spec = self.tenants[i].spec();
+            let key = PoolKey::for_tenant(&spec.hardware, spec.family);
+            self.knowledge
+                .contribute(&key, contribution.safe_configs, contribution.observations);
+        }
+
+        self.rounds += 1;
+        plan.total_slots()
+    }
+
+    /// Executes `n` rounds and reports aggregate statistics for them.
+    pub fn run_rounds(&mut self, n: usize) -> FleetReport {
+        let before: Vec<TenantSummary> = self.summaries();
+        let mut iterations = 0;
+        for _ in 0..n {
+            iterations += self.run_round();
+        }
+        let after = self.summaries();
+        let unsafe_count = after
+            .iter()
+            .zip(before.iter())
+            .map(|(a, b)| a.unsafe_count - b.unsafe_count)
+            .sum::<usize>();
+        let regret = after
+            .iter()
+            .zip(before.iter())
+            .map(|(a, b)| a.cumulative_regret - b.cumulative_regret)
+            .sum::<f64>();
+        FleetReport {
+            rounds: n,
+            iterations,
+            unsafe_count,
+            regret,
+            tenants: after,
+        }
+    }
+
+    /// Exports the complete fleet state.
+    pub fn snapshot(&self) -> FleetSnapshot {
+        FleetSnapshot {
+            options: self.options.clone(),
+            tenants: self
+                .tenants
+                .iter()
+                .map(TenantSession::export_state)
+                .collect(),
+            knowledge: self.knowledge.clone(),
+            scheduler: self.scheduler.clone(),
+            rounds: self.rounds,
+        }
+    }
+
+    /// Serializes the fleet snapshot to JSON.
+    pub fn snapshot_json(&self) -> Result<String, String> {
+        serde_json::to_string(&self.snapshot()).map_err(|e| e.to_string())
+    }
+
+    /// Rebuilds a service from a snapshot; every session continues bit-identically.
+    pub fn restore(snapshot: FleetSnapshot) -> Result<Self, String> {
+        let tenants = snapshot
+            .tenants
+            .into_iter()
+            .map(TenantSession::restore)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FleetService {
+            options: snapshot.options,
+            tenants,
+            knowledge: snapshot.knowledge,
+            scheduler: snapshot.scheduler,
+            rounds: snapshot.rounds,
+        })
+    }
+
+    /// Restores a service from JSON produced by [`FleetService::snapshot_json`].
+    pub fn restore_json(json: &str) -> Result<Self, String> {
+        let snapshot: FleetSnapshot = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        FleetService::restore(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::WorkloadFamily;
+
+    fn small_service(n_tenants: usize, workers: usize) -> FleetService {
+        let mut svc = FleetService::new(FleetOptions {
+            workers,
+            tuner: small_tuner_options(),
+            ..Default::default()
+        });
+        for i in 0..n_tenants {
+            let family = WorkloadFamily::ALL[i % WorkloadFamily::ALL.len()];
+            let mut spec = TenantSpec::named(format!("tenant-{i}"), family, 1000 + i as u64);
+            spec.deterministic = true;
+            svc.admit(spec);
+        }
+        svc
+    }
+
+    #[test]
+    fn rounds_advance_every_tenant() {
+        let mut svc = small_service(4, 2);
+        let report = svc.run_rounds(3);
+        assert_eq!(report.rounds, 3);
+        assert!(
+            report.iterations >= 12,
+            "fairness floor: >= 1 slot/tenant/round"
+        );
+        for t in &report.tenants {
+            assert!(t.iterations >= 3, "{} starved: {}", t.name, t.iterations);
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_execution_agree() {
+        let mut serial = small_service(4, 1);
+        let mut parallel = small_service(4, 4);
+        serial.run_rounds(3);
+        parallel.run_rounds(3);
+        let a = serial.summaries();
+        let b = parallel.summaries();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.iterations, y.iterations);
+            assert_eq!(
+                x.cumulative_regret.to_bits(),
+                y.cumulative_regret.to_bits(),
+                "{}",
+                x.name
+            );
+            assert_eq!(
+                x.total_score.to_bits(),
+                y.total_score.to_bits(),
+                "{}",
+                x.name
+            );
+        }
+    }
+
+    #[test]
+    fn knowledge_base_fills_from_running_sessions() {
+        let mut svc = small_service(2, 2);
+        svc.run_rounds(4);
+        assert!(svc.knowledge().n_pools() >= 1);
+    }
+
+    #[test]
+    fn snapshot_json_roundtrips_the_structure() {
+        let mut svc = small_service(2, 1);
+        svc.run_rounds(2);
+        let json = svc.snapshot_json().unwrap();
+        let restored = FleetService::restore_json(&json).unwrap();
+        assert_eq!(restored.n_tenants(), 2);
+        assert_eq!(restored.rounds(), 2);
+        let a = svc.summaries();
+        let b = restored.summaries();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.iterations, y.iterations);
+            assert_eq!(x.cumulative_regret.to_bits(), y.cumulative_regret.to_bits());
+        }
+    }
+}

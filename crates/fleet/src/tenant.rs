@@ -1,0 +1,448 @@
+//! One tenant of the fleet: a steppable tuning session over a simulated instance.
+//!
+//! [`TenantSession`] is the unit the scheduler operates on. It owns one `OnlineTune`
+//! tuner, one `SimDatabase` instance and one workload generator, and advances one
+//! suggest→apply→observe iteration per [`TenantSession::step`] call, so many tenants can
+//! be interleaved on a worker pool. Every stochastic component is seeded from the
+//! [`TenantSpec`], and the complete dynamic state is exportable as a
+//! [`TenantSessionState`], so a restored session continues bit-identically.
+
+use featurize::ContextFeaturizer;
+use gp::contextual::ContextObservation;
+use onlinetune::tuner::OnlineTuneState;
+use onlinetune::{OnlineTune, OnlineTuneOptions};
+use simdb::instance::SimDatabaseState;
+use simdb::{Configuration, HardwareSpec, OptimizerStats, SimDatabase};
+use std::collections::VecDeque;
+use workloads::cycle::TransactionalAnalyticalCycle;
+use workloads::job::JobWorkload;
+use workloads::realworld::RealWorldWorkload;
+use workloads::tpcc::TpccWorkload;
+use workloads::twitter::TwitterWorkload;
+use workloads::ycsb::YcsbWorkload;
+use workloads::WorkloadGenerator;
+
+/// Window (iterations) over which the scheduler's "recent regret" signal is averaged.
+const REGRET_WINDOW: usize = 16;
+
+/// Cap on safe configurations / observations queued for the knowledge base between
+/// collection points.
+const MAX_PENDING_CONTRIBUTIONS: usize = 64;
+
+/// The workload family a tenant runs — the fleet-level coordinate used (together with the
+/// hardware class) to decide which tenants can share knowledge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum WorkloadFamily {
+    /// YCSB with a shifting read/write mix (the paper's 5-knob case-study workload).
+    Ycsb,
+    /// Dynamic TPC-C (write-heavy OLTP, growing data).
+    Tpcc,
+    /// Dynamic Twitter (read-heavy, skewed).
+    Twitter,
+    /// Dynamic JOB (analytical multi-join).
+    Job,
+    /// Alternating transactional/analytical cycle.
+    Cycle,
+    /// Diurnal real-world trace.
+    RealWorld,
+}
+
+impl WorkloadFamily {
+    /// All families, in a fixed order (used to spread mixed fleets deterministically).
+    pub const ALL: [WorkloadFamily; 6] = [
+        WorkloadFamily::Ycsb,
+        WorkloadFamily::Tpcc,
+        WorkloadFamily::Twitter,
+        WorkloadFamily::Job,
+        WorkloadFamily::Cycle,
+        WorkloadFamily::RealWorld,
+    ];
+
+    /// Builds the family's workload generator with the given seed.
+    pub fn build(self, seed: u64) -> Box<dyn WorkloadGenerator> {
+        match self {
+            WorkloadFamily::Ycsb => Box::new(YcsbWorkload::new(seed)),
+            WorkloadFamily::Tpcc => Box::new(TpccWorkload::new_dynamic(seed)),
+            WorkloadFamily::Twitter => Box::new(TwitterWorkload::new_dynamic(seed)),
+            WorkloadFamily::Job => Box::new(JobWorkload::new_dynamic(seed)),
+            WorkloadFamily::Cycle => Box::new(TransactionalAnalyticalCycle::new(seed)),
+            WorkloadFamily::RealWorld => Box::new(RealWorldWorkload::new(seed)),
+        }
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadFamily::Ycsb => "ycsb",
+            WorkloadFamily::Tpcc => "tpcc",
+            WorkloadFamily::Twitter => "twitter",
+            WorkloadFamily::Job => "job",
+            WorkloadFamily::Cycle => "cycle",
+            WorkloadFamily::RealWorld => "realworld",
+        }
+    }
+}
+
+/// Static description of a tenant: everything needed to (re)build its session apart from
+/// the dynamic tuning state.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TenantSpec {
+    /// Human-readable tenant name.
+    pub name: String,
+    /// Workload family the tenant runs.
+    pub family: WorkloadFamily,
+    /// Seed driving the tenant's tuner, instance noise and workload generator.
+    pub seed: u64,
+    /// Hardware of the tenant's instance.
+    pub hardware: HardwareSpec,
+    /// Tuning-interval length in seconds.
+    pub interval_s: f64,
+    /// Whether the instance's measurement noise is disabled (used by determinism tests).
+    pub deterministic: bool,
+}
+
+impl TenantSpec {
+    /// A spec with default hardware, a 180 s interval and noise enabled.
+    pub fn named(name: impl Into<String>, family: WorkloadFamily, seed: u64) -> Self {
+        TenantSpec {
+            name: name.into(),
+            family,
+            seed,
+            hardware: HardwareSpec::default(),
+            interval_s: 180.0,
+            deterministic: false,
+        }
+    }
+}
+
+/// Knowledge a session has produced since the last collection: safe configurations and
+/// observations destined for the fleet knowledge base.
+#[derive(Debug, Clone, Default)]
+pub struct Contribution {
+    /// Normalized configurations observed to be safe.
+    pub safe_configs: Vec<Vec<f64>>,
+    /// `(context, config, performance)` observations.
+    pub observations: Vec<ContextObservation>,
+}
+
+impl Contribution {
+    /// Whether there is nothing to merge.
+    pub fn is_empty(&self) -> bool {
+        self.safe_configs.is_empty() && self.observations.is_empty()
+    }
+}
+
+/// Summary statistics of one tenant, consumed by the scheduler and by reports.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TenantSummary {
+    /// Tenant name.
+    pub name: String,
+    /// Workload family label.
+    pub family: String,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Total regret: `Σ max(0, reference score − achieved score)`.
+    pub cumulative_regret: f64,
+    /// Mean regret over the last few iterations (the scheduler's priority signal).
+    pub recent_regret: f64,
+    /// Recommendations that fell below the safety threshold.
+    pub unsafe_count: usize,
+    /// Sum of achieved objective scores.
+    pub total_score: f64,
+}
+
+/// A running tuning session for one tenant.
+pub struct TenantSession {
+    spec: TenantSpec,
+    tuner: OnlineTune,
+    db: SimDatabase,
+    featurizer: ContextFeaturizer,
+    generator: Box<dyn WorkloadGenerator>,
+    reference: Configuration,
+    iteration: usize,
+    cumulative_regret: f64,
+    unsafe_count: usize,
+    total_score: f64,
+    recent_regret: VecDeque<f64>,
+    pending: Contribution,
+}
+
+/// Serializable dynamic state of a [`TenantSession`] (plus its spec).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TenantSessionState {
+    /// The tenant's static description.
+    pub spec: TenantSpec,
+    /// Full tuner state.
+    pub tuner: OnlineTuneState,
+    /// Full simulated-instance state.
+    pub db: SimDatabaseState,
+    /// Iterations performed.
+    pub iteration: usize,
+    /// Total regret so far.
+    pub cumulative_regret: f64,
+    /// Unsafe recommendations so far.
+    pub unsafe_count: usize,
+    /// Sum of achieved scores.
+    pub total_score: f64,
+    /// Recent per-iteration regrets (newest last).
+    pub recent_regret: Vec<f64>,
+}
+
+impl TenantSession {
+    /// Builds a fresh (cold) session for `spec` with the given tuner options.
+    ///
+    /// The tuner is seeded with one observation of the reference (DBA default)
+    /// configuration, matching the paper's session harness.
+    pub fn new(spec: TenantSpec, tuner_options: OnlineTuneOptions) -> Self {
+        let catalogue = simdb::KnobCatalogue::mysql57();
+        let featurizer = ContextFeaturizer::with_defaults();
+        let generator = spec.family.build(spec.seed);
+        let reference = Configuration::dba_default(&catalogue);
+        let mut db = SimDatabase::with_catalogue(catalogue.clone(), spec.hardware, spec.seed);
+        db.set_data_size(generator.initial_data_size_gib());
+        db.set_deterministic(spec.deterministic);
+        let mut tuner = OnlineTune::new(
+            catalogue,
+            spec.hardware,
+            featurizer.dim(),
+            &reference,
+            tuner_options,
+            spec.seed,
+        );
+
+        // Seed with one observation of the reference configuration (cold-start fairness).
+        let spec0 = generator.spec_at(0);
+        let queries0 = generator.sample_queries(0, 30);
+        let mut sized0 = spec0.clone();
+        sized0.data_size_gib = db.data_size_gib().unwrap_or(spec0.data_size_gib);
+        let stats0 = OptimizerStats::estimate(&sized0);
+        let context0 = featurizer.featurize(&queries0, spec0.arrival_rate_qps, &stats0);
+        let objective = generator.objective();
+        let score0 = objective.score(&db.peek(&reference, &spec0));
+        tuner.observe(&context0, &reference, score0, None, true);
+
+        TenantSession {
+            spec,
+            tuner,
+            db,
+            featurizer,
+            generator,
+            reference,
+            iteration: 0,
+            cumulative_regret: 0.0,
+            unsafe_count: 0,
+            total_score: 0.0,
+            recent_regret: VecDeque::with_capacity(REGRET_WINDOW),
+            pending: Contribution::default(),
+        }
+    }
+
+    /// The tenant's static description.
+    pub fn spec(&self) -> &TenantSpec {
+        &self.spec
+    }
+
+    /// Iterations performed so far.
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    /// Total regret accumulated so far.
+    pub fn cumulative_regret(&self) -> f64 {
+        self.cumulative_regret
+    }
+
+    /// Unsafe recommendations so far.
+    pub fn unsafe_count(&self) -> usize {
+        self.unsafe_count
+    }
+
+    /// Mean per-iteration regret over the recent window (0 when no iteration ran yet).
+    pub fn recent_regret(&self) -> f64 {
+        if self.recent_regret.is_empty() {
+            return 0.0;
+        }
+        self.recent_regret.iter().sum::<f64>() / self.recent_regret.len() as f64
+    }
+
+    /// Warm-starts the session from fleet knowledge: known-safe configurations join the
+    /// tuner's safety set and transferred observations join its models.
+    pub fn warm_start(&mut self, warm: &crate::knowledge::WarmStart) {
+        self.tuner
+            .extend_known_safe(warm.safe_configs.iter().cloned());
+        self.tuner.absorb_observations(&warm.observations);
+    }
+
+    /// Runs one suggest→apply→observe iteration and returns the achieved regret.
+    pub fn step(&mut self) -> f64 {
+        let it = self.iteration;
+        let spec = self.generator.spec_at(it);
+        let queries = self.generator.sample_queries(it, 30);
+        let mut sized = spec.clone();
+        sized.data_size_gib = self.db.data_size_gib().unwrap_or(spec.data_size_gib);
+        let stats = OptimizerStats::estimate(&sized);
+        let context = self
+            .featurizer
+            .featurize(&queries, spec.arrival_rate_qps, &stats);
+        let objective = self.generator.objective();
+
+        // Safety threshold: the reference configuration's performance under the current
+        // workload and data size.
+        let threshold = objective.score(&self.db.peek(&self.reference, &spec));
+
+        let suggestion = self.tuner.suggest(&context, threshold, spec.clients);
+        self.db.apply_config(&suggestion.config);
+        let eval = self.db.run_interval(&spec, self.spec.interval_s);
+        let score = objective.score(&eval.outcome);
+        let was_safe = score >= threshold - 0.05 * threshold.abs();
+        self.tuner.observe(
+            &context,
+            &suggestion.config,
+            score,
+            Some(&eval.metrics),
+            was_safe,
+        );
+
+        let regret = (threshold - score).max(0.0);
+        self.iteration += 1;
+        self.cumulative_regret += regret;
+        self.total_score += score;
+        if !was_safe {
+            self.unsafe_count += 1;
+        }
+        if self.recent_regret.len() == REGRET_WINDOW {
+            self.recent_regret.pop_front();
+        }
+        self.recent_regret.push_back(regret);
+
+        // Queue fleet-knowledge contributions (bounded).
+        if was_safe && self.pending.safe_configs.len() < MAX_PENDING_CONTRIBUTIONS {
+            self.pending
+                .safe_configs
+                .push(suggestion.normalized.clone());
+        }
+        if self.pending.observations.len() < MAX_PENDING_CONTRIBUTIONS {
+            self.pending.observations.push(ContextObservation {
+                context,
+                config: suggestion.normalized,
+                performance: score,
+            });
+        }
+        regret
+    }
+
+    /// Takes the knowledge queued since the last collection.
+    pub fn drain_contribution(&mut self) -> Contribution {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Summary statistics for scheduling and reporting.
+    pub fn summary(&self) -> TenantSummary {
+        TenantSummary {
+            name: self.spec.name.clone(),
+            family: self.spec.family.label().to_string(),
+            iterations: self.iteration,
+            cumulative_regret: self.cumulative_regret,
+            recent_regret: self.recent_regret(),
+            unsafe_count: self.unsafe_count,
+            total_score: self.total_score,
+        }
+    }
+
+    /// Exports the complete session state. Pending knowledge contributions are *not* part
+    /// of the snapshot; collect them with [`TenantSession::drain_contribution`] first (the
+    /// fleet service does this at the end of every round).
+    pub fn export_state(&self) -> TenantSessionState {
+        TenantSessionState {
+            spec: self.spec.clone(),
+            tuner: self.tuner.snapshot(),
+            db: self.db.snapshot(),
+            iteration: self.iteration,
+            cumulative_regret: self.cumulative_regret,
+            unsafe_count: self.unsafe_count,
+            total_score: self.total_score,
+            recent_regret: self.recent_regret.iter().copied().collect(),
+        }
+    }
+
+    /// Rebuilds a session from an exported state; the restored session continues
+    /// bit-identically to the exported one.
+    pub fn restore(state: TenantSessionState) -> Result<Self, String> {
+        let tuner = OnlineTune::restore(state.tuner)?;
+        let db = SimDatabase::restore(state.db)?;
+        let featurizer = ContextFeaturizer::with_defaults();
+        let generator = state.spec.family.build(state.spec.seed);
+        let reference = Configuration::dba_default(tuner.catalogue());
+        Ok(TenantSession {
+            spec: state.spec,
+            tuner,
+            db,
+            featurizer,
+            generator,
+            reference,
+            iteration: state.iteration,
+            cumulative_regret: state.cumulative_regret,
+            unsafe_count: state.unsafe_count,
+            total_score: state.total_score,
+            recent_regret: state.recent_regret.into_iter().collect(),
+            pending: Contribution::default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::small_tuner_options;
+
+    #[test]
+    fn session_steps_and_accumulates_stats() {
+        let mut spec = TenantSpec::named("t0", WorkloadFamily::Ycsb, 7);
+        spec.deterministic = true;
+        let mut s = TenantSession::new(spec, small_tuner_options());
+        for _ in 0..5 {
+            let r = s.step();
+            assert!(r >= 0.0);
+        }
+        assert_eq!(s.iteration(), 5);
+        assert!(s.recent_regret() >= 0.0);
+        let c = s.drain_contribution();
+        assert_eq!(c.observations.len(), 5);
+        assert!(s.drain_contribution().is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_continues_bit_identically() {
+        let mut spec = TenantSpec::named("t0", WorkloadFamily::Tpcc, 11);
+        spec.deterministic = false; // noise on: the instance RNG stream must survive too
+        let mut original = TenantSession::new(spec, small_tuner_options());
+        for _ in 0..6 {
+            original.step();
+        }
+        original.drain_contribution();
+        let state = original.export_state();
+        let mut restored = TenantSession::restore(state).unwrap();
+
+        for i in 0..6 {
+            let a = original.step();
+            let b = restored.step();
+            assert_eq!(a.to_bits(), b.to_bits(), "regret diverged at step {i}");
+        }
+        assert_eq!(
+            original.cumulative_regret().to_bits(),
+            restored.cumulative_regret().to_bits()
+        );
+        assert_eq!(original.unsafe_count(), restored.unsafe_count());
+    }
+
+    #[test]
+    fn every_family_builds_and_steps() {
+        for (i, family) in WorkloadFamily::ALL.iter().enumerate() {
+            let mut spec = TenantSpec::named(format!("t{i}"), *family, 100 + i as u64);
+            spec.deterministic = true;
+            let mut s = TenantSession::new(spec, small_tuner_options());
+            s.step();
+            assert_eq!(s.iteration(), 1, "{}", family.label());
+        }
+    }
+}

@@ -12,7 +12,7 @@ use rand::Rng;
 
 /// One `(context, configuration, performance)` observation, in the units used by the tuner
 /// (normalized configuration, raw context feature, raw performance).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ContextObservation {
     /// Context feature vector `c_t`.
     pub context: Vec<f64>,
@@ -129,6 +129,23 @@ impl ContextualGp {
         self.gp.predict(&self.joint(config, context))
     }
 
+    /// Exports the kernel hyper-parameters (log space) and the observation-noise variance.
+    ///
+    /// Together with [`ContextualGp::observations`] this is the complete model state:
+    /// fitting is deterministic, so restoring the hyper-parameters and refitting on the
+    /// same observations reproduces the posterior bit-for-bit.
+    pub fn hyperparams(&self) -> (Vec<f64>, f64) {
+        (self.gp.kernel().params(), self.gp.noise_variance())
+    }
+
+    /// Restores hyper-parameters exported by [`ContextualGp::hyperparams`].
+    ///
+    /// Invalidates the current fit; call [`ContextualGp::refit`] afterwards.
+    pub fn set_hyperparams(&mut self, kernel_params: &[f64], noise_variance: f64) {
+        self.gp.kernel_mut().set_params(kernel_params);
+        self.gp.set_noise_variance(noise_variance);
+    }
+
     /// Whether the model has been fitted.
     pub fn is_fitted(&self) -> bool {
         self.gp.is_fitted()
@@ -137,9 +154,11 @@ impl ContextualGp {
     /// The best observed performance (and the corresponding configuration) under *any*
     /// context, or `None` when empty. OnlineTune centers its subspace on this configuration.
     pub fn best_observation(&self) -> Option<&ContextObservation> {
-        self.observations
-            .iter()
-            .max_by(|a, b| a.performance.partial_cmp(&b.performance).unwrap_or(std::cmp::Ordering::Equal))
+        self.observations.iter().max_by(|a, b| {
+            a.performance
+                .partial_cmp(&b.performance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 }
 
@@ -226,7 +245,14 @@ mod tests {
         let mut model = build_model();
         let mut rng = rand::rngs::mock::StepRng::new(42, 13);
         let report = model
-            .refit_with_hyperopt(&HyperOptOptions { restarts: 1, max_iters: 20, ..Default::default() }, &mut rng)
+            .refit_with_hyperopt(
+                &HyperOptOptions {
+                    restarts: 1,
+                    max_iters: 20,
+                    ..Default::default()
+                },
+                &mut rng,
+            )
             .unwrap();
         assert!(model.is_fitted());
         assert!(report.best_lml.is_finite());

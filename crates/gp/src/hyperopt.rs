@@ -298,8 +298,14 @@ mod tests {
         );
         let before = gp.log_marginal_likelihood(&xs, &ys).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
-        let report = optimize_hyperparameters(&mut gp, &xs, &ys, &HyperOptOptions::default(), &mut rng);
-        assert!(report.best_lml > before, "{} vs {}", report.best_lml, before);
+        let report =
+            optimize_hyperparameters(&mut gp, &xs, &ys, &HyperOptOptions::default(), &mut rng);
+        assert!(
+            report.best_lml > before,
+            "{} vs {}",
+            report.best_lml,
+            before
+        );
         assert!(report.improved);
         assert!(gp.is_fitted());
         // The tuned model should now generalize decently between training points.
@@ -318,7 +324,8 @@ mod tests {
         );
         let before = gp.log_marginal_likelihood(&xs, &ys).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
-        let report = optimize_hyperparameters(&mut gp, &xs, &ys, &HyperOptOptions::default(), &mut rng);
+        let report =
+            optimize_hyperparameters(&mut gp, &xs, &ys, &HyperOptOptions::default(), &mut rng);
         assert!(report.best_lml + 1e-9 >= before);
     }
 }

@@ -46,7 +46,10 @@ impl std::fmt::Display for GpError {
             }
             GpError::NotFitted => write!(f, "the GP has not been fitted yet"),
             GpError::DimensionMismatch { expected, actual } => {
-                write!(f, "query dimension {actual} does not match training dimension {expected}")
+                write!(
+                    f,
+                    "query dimension {actual} does not match training dimension {expected}"
+                )
             }
         }
     }
@@ -301,10 +304,7 @@ mod tests {
         let mut gp = default_gp();
         let err = gp.fit(&[vec![0.0], vec![1.0]], &[1.0]).unwrap_err();
         assert!(matches!(err, GpError::LengthMismatch { .. }));
-        assert_eq!(
-            gp.fit(&[], &[]).unwrap_err(),
-            GpError::EmptyTrainingSet
-        );
+        assert_eq!(gp.fit(&[], &[]).unwrap_err(), GpError::EmptyTrainingSet);
     }
 
     #[test]

@@ -26,9 +26,8 @@ impl Cholesky {
     /// Factorizes `a`, retrying with diagonal jitter `1e-10, 1e-9, ... , max_jitter` if the
     /// plain factorization fails. Returns the factor and records the jitter used.
     pub fn decompose_with_jitter(a: &Matrix, max_jitter: f64) -> Result<Self> {
-        match Self::decompose_inner(a, 0.0) {
-            Ok(c) => return Ok(c),
-            Err(_) => {}
+        if let Ok(c) = Self::decompose_inner(a, 0.0) {
+            return Ok(c);
         }
         let mut jitter = 1e-10;
         while jitter <= max_jitter {
@@ -103,6 +102,7 @@ impl Cholesky {
             });
         }
         let mut x = vec![0.0; n];
+        #[allow(clippy::needless_range_loop)] // triangular solves read x[j] while filling x[i]
         for i in 0..n {
             let mut sum = b[i];
             for j in 0..i {
@@ -128,6 +128,7 @@ impl Cholesky {
             });
         }
         let mut x = vec![0.0; n];
+        #[allow(clippy::needless_range_loop)] // triangular solves read x[j] while filling x[i]
         for i in (0..n).rev() {
             let mut sum = b[i];
             for j in (i + 1)..n {
@@ -150,10 +151,7 @@ impl Cholesky {
 
     /// Log-determinant of `A = L L^T`: `2 * Σ log(L_ii)`.
     pub fn log_det(&self) -> f64 {
-        (0..self.dim())
-            .map(|i| self.l.get(i, i).ln())
-            .sum::<f64>()
-            * 2.0
+        (0..self.dim()).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
     }
 
     /// Computes the inverse of the factored matrix. Only used in tests and diagnostics —
@@ -165,8 +163,8 @@ impl Cholesky {
             let mut e = vec![0.0; n];
             e[j] = 1.0;
             let col = self.solve(&e)?;
-            for i in 0..n {
-                inv.set(i, j, col[i]);
+            for (i, &v) in col.iter().enumerate().take(n) {
+                inv.set(i, j, v);
             }
         }
         Ok(inv)
@@ -179,12 +177,7 @@ mod tests {
 
     fn spd3() -> Matrix {
         // A = B^T B + I for B with distinct rows, guaranteed SPD.
-        Matrix::from_vec(
-            3,
-            3,
-            vec![4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0],
-        )
-        .unwrap()
+        Matrix::from_vec(3, 3, vec![4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0]).unwrap()
     }
 
     #[test]

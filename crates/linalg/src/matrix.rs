@@ -187,13 +187,13 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, out_i) in out.iter_mut().enumerate() {
             let row = self.row(i);
             let mut acc = 0.0;
             for j in 0..self.cols {
                 acc += row[j] * v[j];
             }
-            out[i] = acc;
+            *out_i = acc;
         }
         Ok(out)
     }

@@ -10,7 +10,7 @@ use linalg::vecops::euclidean_distance;
 pub const NOISE_LABEL: i32 = -1;
 
 /// DBSCAN parameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DbscanParams {
     /// Neighbourhood radius.
     pub eps: f64,
@@ -82,7 +82,7 @@ pub fn cluster_count(labels: &[i32]) -> usize {
     labels
         .iter()
         .filter(|&&l| l != NOISE_LABEL)
-        .map(|&l| l)
+        .copied()
         .max()
         .map_or(0, |m| m as usize + 1)
 }
@@ -120,7 +120,13 @@ mod tests {
     fn two_well_separated_blobs_give_two_clusters() {
         let mut pts = blob((0.0, 0.0), 10, 0.1);
         pts.extend(blob((5.0, 5.0), 10, 0.1));
-        let labels = dbscan(&pts, &DbscanParams { eps: 0.5, min_points: 3 });
+        let labels = dbscan(
+            &pts,
+            &DbscanParams {
+                eps: 0.5,
+                min_points: 3,
+            },
+        );
         assert_eq!(cluster_count(&labels), 2);
         // Points within a blob must share a label.
         assert!(labels[..10].iter().all(|&l| l == labels[0]));
@@ -132,7 +138,13 @@ mod tests {
     fn isolated_points_are_noise() {
         let mut pts = blob((0.0, 0.0), 8, 0.1);
         pts.push(vec![100.0, 100.0]);
-        let labels = dbscan(&pts, &DbscanParams { eps: 0.5, min_points: 3 });
+        let labels = dbscan(
+            &pts,
+            &DbscanParams {
+                eps: 0.5,
+                min_points: 3,
+            },
+        );
         assert_eq!(*labels.last().unwrap(), NOISE_LABEL);
         assert_eq!(cluster_count(&labels), 1);
     }
@@ -155,7 +167,13 @@ mod tests {
     #[test]
     fn min_points_larger_than_dataset_marks_everything_noise() {
         let pts = blob((0.0, 0.0), 4, 0.05);
-        let labels = dbscan(&pts, &DbscanParams { eps: 0.5, min_points: 10 });
+        let labels = dbscan(
+            &pts,
+            &DbscanParams {
+                eps: 0.5,
+                min_points: 10,
+            },
+        );
         assert!(labels.iter().all(|&l| l == NOISE_LABEL));
     }
 
@@ -164,7 +182,13 @@ mod tests {
         let mut pts = blob((0.0, 0.0), 6, 0.1);
         pts.extend(blob((3.0, 0.0), 6, 0.1));
         pts.push(vec![50.0, 50.0]);
-        let labels = dbscan(&pts, &DbscanParams { eps: 0.5, min_points: 3 });
+        let labels = dbscan(
+            &pts,
+            &DbscanParams {
+                eps: 0.5,
+                min_points: 3,
+            },
+        );
         let members = cluster_members(&labels);
         let total: usize = members.iter().map(Vec::len).sum();
         assert_eq!(total, 12);

@@ -122,12 +122,12 @@ impl QueryEncoder {
         for token in &tokens {
             let x = self.token_vector(token);
             let mut next = vec![0.0; self.dim];
-            for i in 0..self.dim {
+            for (i, next_i) in next.iter_mut().enumerate() {
                 let mut acc = 0.0;
                 for j in 0..self.dim {
                     acc += self.recurrent[i][j] * state[j] + self.input[i][j] * x[j];
                 }
-                next[i] = acc.tanh();
+                *next_i = acc.tanh();
             }
             state = next;
         }

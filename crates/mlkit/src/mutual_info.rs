@@ -5,7 +5,7 @@
 //! threshold (0.5 in the paper's experiments), the context distribution has shifted enough
 //! that the clusters, decision boundary and per-cluster GP models are re-learned (§5.3).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Computes the normalized mutual information (NMI) between two labelings of the same
 /// points. Labels may be arbitrary integers (including the DBSCAN noise label).
@@ -22,7 +22,7 @@ pub fn normalized_mutual_information(a: &[i32], b: &[i32]) -> f64 {
 
     let counts_a = label_counts(a);
     let counts_b = label_counts(b);
-    let mut joint: HashMap<(i32, i32), usize> = HashMap::new();
+    let mut joint: BTreeMap<(i32, i32), usize> = BTreeMap::new();
     for (&la, &lb) in a.iter().zip(b.iter()) {
         *joint.entry((la, lb)).or_insert(0) += 1;
     }
@@ -50,15 +50,15 @@ pub fn normalized_mutual_information(a: &[i32], b: &[i32]) -> f64 {
     (mi / denom).clamp(0.0, 1.0)
 }
 
-fn label_counts(labels: &[i32]) -> HashMap<i32, usize> {
-    let mut counts = HashMap::new();
+fn label_counts(labels: &[i32]) -> BTreeMap<i32, usize> {
+    let mut counts = BTreeMap::new();
     for &l in labels {
         *counts.entry(l).or_insert(0) += 1;
     }
     counts
 }
 
-fn entropy(counts: &HashMap<i32, usize>, n: f64) -> f64 {
+fn entropy(counts: &BTreeMap<i32, usize>, n: f64) -> f64 {
     counts
         .values()
         .map(|&c| {

@@ -75,10 +75,7 @@ impl Layer {
         self.weights
             .iter()
             .zip(self.biases.iter())
-            .map(|(w, b)| {
-                self.activation
-                    .apply(linalg::vecops::dot(w, input) + b)
-            })
+            .map(|(w, b)| self.activation.apply(linalg::vecops::dot(w, input) + b))
             .collect()
     }
 }
@@ -200,8 +197,8 @@ impl Mlp {
                     let n_in = prev.len();
                     let mut next_delta = vec![0.0; n_in];
                     for (o, dp) in delta_pre.iter().enumerate() {
-                        for i in 0..n_in {
-                            next_delta[i] += dp * layer.weights[o][i];
+                        for (i, nd) in next_delta.iter_mut().enumerate() {
+                            *nd += dp * layer.weights[o][i];
                         }
                     }
                     delta = next_delta;
@@ -217,6 +214,7 @@ impl Mlp {
         let lr = self.learning_rate;
         for (li, layer) in self.layers.iter_mut().enumerate() {
             for o in 0..layer.weights.len() {
+                #[allow(clippy::needless_range_loop)] // four parallel arrays share the index
                 for i in 0..layer.weights[o].len() {
                     let g = grad_w[li][o][i];
                     layer.m_w[o][i] = BETA1 * layer.m_w[o][i] + (1.0 - BETA1) * g;
@@ -277,7 +275,12 @@ mod tests {
     #[test]
     fn tanh_output_is_bounded() {
         let mut rng = StdRng::seed_from_u64(1);
-        let net = Mlp::new(&[2, 16, 4], &[Activation::Relu, Activation::Tanh], 1e-3, &mut rng);
+        let net = Mlp::new(
+            &[2, 16, 4],
+            &[Activation::Relu, Activation::Tanh],
+            1e-3,
+            &mut rng,
+        );
         let out = net.forward(&[100.0, -100.0]);
         assert!(out.iter().all(|v| (-1.0..=1.0).contains(v)));
     }
@@ -337,8 +340,18 @@ mod tests {
     #[test]
     fn soft_update_moves_weights_toward_source() {
         let mut rng = StdRng::seed_from_u64(4);
-        let source = Mlp::new(&[2, 4, 1], &[Activation::Relu, Activation::Identity], 1e-3, &mut rng);
-        let mut target = Mlp::new(&[2, 4, 1], &[Activation::Relu, Activation::Identity], 1e-3, &mut rng);
+        let source = Mlp::new(
+            &[2, 4, 1],
+            &[Activation::Relu, Activation::Identity],
+            1e-3,
+            &mut rng,
+        );
+        let mut target = Mlp::new(
+            &[2, 4, 1],
+            &[Activation::Relu, Activation::Identity],
+            1e-3,
+            &mut rng,
+        );
         let x = [0.3, 0.7];
         let before = (target.forward(&x)[0] - source.forward(&x)[0]).abs();
         target.soft_update_from(&source, 1.0); // full copy
@@ -350,7 +363,12 @@ mod tests {
     #[test]
     fn empty_batch_is_a_noop() {
         let mut rng = StdRng::seed_from_u64(5);
-        let mut net = Mlp::new(&[2, 4, 1], &[Activation::Relu, Activation::Identity], 1e-3, &mut rng);
+        let mut net = Mlp::new(
+            &[2, 4, 1],
+            &[Activation::Relu, Activation::Identity],
+            1e-3,
+            &mut rng,
+        );
         assert_eq!(net.train_batch(&[], &[]), 0.0);
     }
 }

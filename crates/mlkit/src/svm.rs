@@ -64,8 +64,7 @@ impl LinearSvm {
                 let eta = 1.0 / (options.lambda * t as f64);
                 for class in 0..n_classes {
                     let y = if labels[i] == class { 1.0 } else { -1.0 };
-                    let margin = y
-                        * (dot(&weights[class], &points[i]) + biases[class]);
+                    let margin = y * (dot(&weights[class], &points[i]) + biases[class]);
                     // Sub-gradient step of the hinge loss + L2 regularizer.
                     for d in 0..dim {
                         let mut grad = options.lambda * weights[class][d];
@@ -87,6 +86,34 @@ impl LinearSvm {
             biases,
             dim,
         })
+    }
+
+    /// Rebuilds a trained model from exported parameters (see [`LinearSvm::weights`] and
+    /// [`LinearSvm::biases`]). Returns `None` when the parameter shapes are inconsistent.
+    /// Used by snapshot/restore: a restored model predicts identically to the exported one.
+    pub fn from_parts(weights: Vec<Vec<f64>>, biases: Vec<f64>) -> Option<Self> {
+        if weights.is_empty() || weights.len() != biases.len() {
+            return None;
+        }
+        let dim = weights[0].len();
+        if weights.iter().any(|w| w.len() != dim) {
+            return None;
+        }
+        Some(LinearSvm {
+            weights,
+            biases,
+            dim,
+        })
+    }
+
+    /// Per-class weight vectors (for snapshot/restore).
+    pub fn weights(&self) -> &[Vec<f64>] {
+        &self.weights
+    }
+
+    /// Per-class biases (for snapshot/restore).
+    pub fn biases(&self) -> &[f64] {
+        &self.biases
     }
 
     /// Number of classes the model distinguishes.

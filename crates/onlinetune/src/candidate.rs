@@ -127,7 +127,14 @@ mod tests {
         ];
         let white = vec![true, true, true];
         let mut rng = StdRng::seed_from_u64(0);
-        let sel = select_candidate(&candidates, &assessments, &white, &subspace(), 0.0, &mut rng);
+        let sel = select_candidate(
+            &candidates,
+            &assessments,
+            &white,
+            &subspace(),
+            0.0,
+            &mut rng,
+        );
         assert_eq!(sel.index, 1);
         assert_eq!(sel.reason, SelectionReason::MaxUcb);
     }
@@ -138,17 +145,34 @@ mod tests {
         let assessments = vec![assessment(0, 1.0, 0.1, true), assessment(1, 5.0, 0.1, true)];
         let white = vec![true, false];
         let mut rng = StdRng::seed_from_u64(0);
-        let sel = select_candidate(&candidates, &assessments, &white, &subspace(), 0.0, &mut rng);
+        let sel = select_candidate(
+            &candidates,
+            &assessments,
+            &white,
+            &subspace(),
+            0.0,
+            &mut rng,
+        );
         assert_eq!(sel.index, 0);
     }
 
     #[test]
     fn falls_back_to_center_when_no_safe_candidate() {
         let candidates = vec![vec![0.5, 0.5], vec![0.9, 0.9]];
-        let assessments = vec![assessment(0, 1.0, 0.1, false), assessment(1, 2.0, 0.1, false)];
+        let assessments = vec![
+            assessment(0, 1.0, 0.1, false),
+            assessment(1, 2.0, 0.1, false),
+        ];
         let white = vec![true, true];
         let mut rng = StdRng::seed_from_u64(0);
-        let sel = select_candidate(&candidates, &assessments, &white, &subspace(), 0.5, &mut rng);
+        let sel = select_candidate(
+            &candidates,
+            &assessments,
+            &white,
+            &subspace(),
+            0.5,
+            &mut rng,
+        );
         assert_eq!(sel.index, 0);
         assert_eq!(sel.reason, SelectionReason::FallbackToCenter);
     }

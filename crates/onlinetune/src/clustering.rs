@@ -15,7 +15,7 @@ use mlkit::svm::{LinearSvm, SvmOptions};
 use rand::Rng;
 
 /// Options controlling clustering and model selection.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct ClusterOptions {
     /// DBSCAN parameters over the context space.
     pub dbscan: DbscanParams,
@@ -117,7 +117,9 @@ impl ClusterManager {
     /// contexts once a clustering exists, otherwise the single global model is used.
     pub fn select_model(&self, context: &[f64]) -> usize {
         match &self.svm {
-            Some(svm) => svm.predict(context).min(self.models.len().saturating_sub(1)),
+            Some(svm) => svm
+                .predict(context)
+                .min(self.models.len().saturating_sub(1)),
             None => 0,
         }
     }
@@ -171,7 +173,11 @@ impl ClusterManager {
         }
         self.observations_since_recluster_check = 0;
 
-        let contexts: Vec<Vec<f64>> = self.observations.iter().map(|o| o.context.clone()).collect();
+        let contexts: Vec<Vec<f64>> = self
+            .observations
+            .iter()
+            .map(|o| o.context.clone())
+            .collect();
         let mut candidate = dbscan(&contexts, &self.options.dbscan);
         assign_noise_to_nearest(&contexts, &mut candidate);
 
@@ -217,6 +223,123 @@ impl ClusterManager {
         self.updates_since_hyperopt = vec![0; self.models.len()];
         self.recluster_count += 1;
         true
+    }
+}
+
+/// Serializable state of one per-cluster contextual GP model.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ModelState {
+    /// Observations the model is fitted on.
+    pub observations: Vec<ContextObservation>,
+    /// Kernel hyper-parameters in log space.
+    pub kernel_params: Vec<f64>,
+    /// Observation-noise variance.
+    pub noise_variance: f64,
+}
+
+/// Serializable state of the SVM routing boundary.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SvmState {
+    /// Per-class weight vectors.
+    pub weights: Vec<Vec<f64>>,
+    /// Per-class biases.
+    pub biases: Vec<f64>,
+}
+
+/// Complete serializable state of a [`ClusterManager`].
+///
+/// Model fitting is deterministic, so [`ClusterManager::restore`] reproduces the manager's
+/// behaviour bit-for-bit from this state plus the (unserialized) [`ClusterOptions`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ClusterManagerState {
+    /// Configuration-space dimensionality.
+    pub config_dim: usize,
+    /// Context-space dimensionality.
+    pub context_dim: usize,
+    /// The full observation repository.
+    pub observations: Vec<ContextObservation>,
+    /// Cluster label of each repository observation.
+    pub labels: Vec<i32>,
+    /// Per-cluster model states.
+    pub models: Vec<ModelState>,
+    /// The routing boundary, when one has been trained.
+    pub svm: Option<SvmState>,
+    /// Per-model updates since the last hyper-parameter optimization.
+    pub updates_since_hyperopt: Vec<usize>,
+    /// Observations since the last re-clustering check.
+    pub observations_since_recluster_check: usize,
+    /// Number of re-clusterings performed.
+    pub recluster_count: usize,
+}
+
+impl ClusterManager {
+    /// Exports the complete manager state for snapshots.
+    pub fn export_state(&self) -> ClusterManagerState {
+        ClusterManagerState {
+            config_dim: self.config_dim,
+            context_dim: self.context_dim,
+            observations: self.observations.clone(),
+            labels: self.labels.clone(),
+            models: self
+                .models
+                .iter()
+                .map(|m| {
+                    let (kernel_params, noise_variance) = m.hyperparams();
+                    ModelState {
+                        observations: m.observations().to_vec(),
+                        kernel_params,
+                        noise_variance,
+                    }
+                })
+                .collect(),
+            svm: self.svm.as_ref().map(|svm| SvmState {
+                weights: svm.weights().to_vec(),
+                biases: svm.biases().to_vec(),
+            }),
+            updates_since_hyperopt: self.updates_since_hyperopt.clone(),
+            observations_since_recluster_check: self.observations_since_recluster_check,
+            recluster_count: self.recluster_count,
+        }
+    }
+
+    /// Rebuilds a manager from an exported state. Each model is refitted on its restored
+    /// observations with its restored hyper-parameters; fitting is deterministic, so the
+    /// restored manager predicts and routes identically to the exported one.
+    pub fn restore(state: ClusterManagerState, options: ClusterOptions) -> Self {
+        let models: Vec<ContextualGp> = state
+            .models
+            .iter()
+            .map(|ms| {
+                let mut model = ContextualGp::new(state.config_dim, state.context_dim);
+                model.set_hyperparams(&ms.kernel_params, ms.noise_variance);
+                model.set_observations(ms.observations.clone());
+                if !ms.observations.is_empty() {
+                    let _ = model.refit();
+                }
+                model
+            })
+            .collect();
+        let models = if models.is_empty() {
+            vec![ContextualGp::new(state.config_dim, state.context_dim)]
+        } else {
+            models
+        };
+        let mut updates = state.updates_since_hyperopt;
+        updates.resize(models.len(), 0);
+        ClusterManager {
+            config_dim: state.config_dim,
+            context_dim: state.context_dim,
+            options,
+            observations: state.observations,
+            labels: state.labels,
+            svm: state
+                .svm
+                .and_then(|s| LinearSvm::from_parts(s.weights, s.biases)),
+            models,
+            updates_since_hyperopt: updates,
+            observations_since_recluster_check: state.observations_since_recluster_check,
+            recluster_count: state.recluster_count,
+        }
     }
 }
 

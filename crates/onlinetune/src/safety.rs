@@ -28,7 +28,7 @@ pub struct CandidateAssessment {
 }
 
 /// Options of the black-box safety assessment.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
 pub struct SafetyOptions {
     /// Minimum observations the model must hold before its confidence bounds are trusted.
     pub min_observations: usize,
@@ -100,7 +100,11 @@ pub fn assess_candidates(
                 CandidateAssessment {
                     index,
                     posterior: None,
-                    lcb: if near_safe { threshold } else { f64::NEG_INFINITY },
+                    lcb: if near_safe {
+                        threshold
+                    } else {
+                        f64::NEG_INFINITY
+                    },
                     ucb: threshold,
                     black_safe: near_safe,
                 }
@@ -142,8 +146,16 @@ mod tests {
             &[],
             &SafetyOptions::default(),
         );
-        assert!(out[0].black_safe, "θ=0.5 should be safe: lcb={}", out[0].lcb);
-        assert!(!out[1].black_safe, "θ=0.05 should be unsafe: lcb={}", out[1].lcb);
+        assert!(
+            out[0].black_safe,
+            "θ=0.5 should be safe: lcb={}",
+            out[0].lcb
+        );
+        assert!(
+            !out[1].black_safe,
+            "θ=0.05 should be unsafe: lcb={}",
+            out[1].lcb
+        );
         assert!(!out[2].black_safe);
         assert!(out[0].ucb >= out[0].lcb);
     }
@@ -152,8 +164,24 @@ mod tests {
     fn higher_beta_is_more_conservative() {
         let model = trained_model();
         let candidates = vec![vec![0.42]];
-        let relaxed = assess_candidates(&model, &[0.0], &candidates, 8.0, 0.5, &[], &SafetyOptions::default());
-        let strict = assess_candidates(&model, &[0.0], &candidates, 8.0, 5.0, &[], &SafetyOptions::default());
+        let relaxed = assess_candidates(
+            &model,
+            &[0.0],
+            &candidates,
+            8.0,
+            0.5,
+            &[],
+            &SafetyOptions::default(),
+        );
+        let strict = assess_candidates(
+            &model,
+            &[0.0],
+            &candidates,
+            8.0,
+            5.0,
+            &[],
+            &SafetyOptions::default(),
+        );
         assert!(relaxed[0].lcb > strict[0].lcb);
     }
 
@@ -172,7 +200,10 @@ mod tests {
             &SafetyOptions::default(),
         );
         assert!(out[0].black_safe, "close to a known-safe configuration");
-        assert!(!out[1].black_safe, "far from every known-safe configuration");
+        assert!(
+            !out[1].black_safe,
+            "far from every known-safe configuration"
+        );
         assert!(out[0].posterior.is_none());
     }
 

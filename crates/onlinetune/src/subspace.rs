@@ -16,7 +16,7 @@
 use rand::Rng;
 
 /// Which kind of region the subspace currently is.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum Region {
     /// `{θ : ‖θ − center‖₂ ≤ radius} ∩ [0,1]^m`
     Hypercube {
@@ -31,7 +31,7 @@ pub enum Region {
 }
 
 /// Options controlling subspace adaptation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SubspaceOptions {
     /// Initial hypercube radius (normalized units). The paper initializes to ~5 % of each
     /// dimension's range.
@@ -65,7 +65,7 @@ impl Default for SubspaceOptions {
 }
 
 /// The adaptive subspace belonging to one surrogate model.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct Subspace {
     region: Region,
     center: Vec<f64>,
@@ -136,7 +136,8 @@ impl Subspace {
         direction_oracle: &mut dyn FnMut() -> Vec<f64>,
         no_safe_candidates: bool,
     ) {
-        let switch = no_safe_candidates || self.failures_since_switch >= self.options.switch_threshold;
+        let switch =
+            no_safe_candidates || self.failures_since_switch >= self.options.switch_threshold;
         match &mut self.region {
             Region::Hypercube { radius } => {
                 if self.consecutive_successes >= self.options.success_threshold {

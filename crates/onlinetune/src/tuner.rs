@@ -14,11 +14,11 @@
 //! `w/o safe`, `w/o clustering`) are expressed through [`AblationFlags`].
 
 use crate::candidate::{select_candidate, SelectionReason};
-use crate::clustering::{ClusterManager, ClusterOptions};
+use crate::clustering::{ClusterManager, ClusterManagerState, ClusterOptions};
 use crate::diagnostics::{IterationDiagnostics, StageTimings};
 use crate::safety::{assess_candidates, SafetyOptions};
 use crate::subspace::{Subspace, SubspaceOptions};
-use crate::whitebox::{RuleContext, RuleEngine};
+use crate::whitebox::{RuleContext, RuleEngine, RuleStateSnapshot};
 use gp::acquisition::ucb_beta;
 use gp::contextual::ContextObservation;
 use mlkit::importance::{knob_importance, top_k_knobs};
@@ -28,7 +28,7 @@ use simdb::{Configuration, HardwareSpec, InternalMetrics, KnobCatalogue};
 use std::time::Instant;
 
 /// Switches for the ablation study of §7.3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct AblationFlags {
     /// Use the white-box rule engine in the safety assessment.
     pub use_whitebox: bool,
@@ -55,7 +55,7 @@ impl Default for AblationFlags {
 }
 
 /// Options of the OnlineTune tuner.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct OnlineTuneOptions {
     /// Subspace adaptation options (Algorithm 2).
     pub subspace: SubspaceOptions,
@@ -104,6 +104,7 @@ pub struct Suggestion {
     pub diagnostics: IterationDiagnostics,
 }
 
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 struct Pending {
     model_id: usize,
     /// Native-unit knob values of the recommended configuration (sanitized), used to match
@@ -203,8 +204,10 @@ impl OnlineTune {
             // New clusters start from the initial safe configuration with a zero improvement
             // margin; their subspace then migrates as better configurations are observed
             // under their contexts.
-            self.subspaces
-                .push(Subspace::new(self.initial_normalized.clone(), self.options.subspace));
+            self.subspaces.push(Subspace::new(
+                self.initial_normalized.clone(),
+                self.options.subspace,
+            ));
             self.best_per_model
                 .push(Some((self.initial_normalized.clone(), 0.0)));
         }
@@ -241,7 +244,12 @@ impl OnlineTune {
     ///   context (higher-is-better units; negate latencies before calling).
     /// * `clients` — number of client connections of the current workload (used by the
     ///   white-box rules).
-    pub fn suggest(&mut self, context: &[f64], safety_threshold: f64, clients: usize) -> Suggestion {
+    pub fn suggest(
+        &mut self,
+        context: &[f64],
+        safety_threshold: f64,
+        clients: usize,
+    ) -> Suggestion {
         self.iteration += 1;
         let mut diagnostics = IterationDiagnostics {
             iteration: self.iteration,
@@ -305,12 +313,12 @@ impl OnlineTune {
             self.catalogue.len() + context.len(),
             self.options.beta_delta,
         );
-        let effective_threshold = if self.options.ablation.use_safety && self.options.ablation.use_blackbox
-        {
-            safety_threshold
-        } else {
-            f64::NEG_INFINITY
-        };
+        let effective_threshold =
+            if self.options.ablation.use_safety && self.options.ablation.use_blackbox {
+                safety_threshold
+            } else {
+                f64::NEG_INFINITY
+            };
         let assessments = assess_candidates(
             self.clusters.model(model_id),
             context,
@@ -352,7 +360,11 @@ impl OnlineTune {
                 .iter()
                 .enumerate()
                 .filter(|(_, a)| a.black_safe)
-                .max_by(|(_, a), (_, b)| a.ucb.partial_cmp(&b.ucb).unwrap_or(std::cmp::Ordering::Equal))
+                .max_by(|(_, a), (_, b)| {
+                    a.ucb
+                        .partial_cmp(&b.ucb)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
                 .map(|(i, _)| i);
             if let Some(fav) = favourite {
                 if !white_safe[fav] {
@@ -496,6 +508,141 @@ impl OnlineTune {
     }
 }
 
+/// Complete serializable state of an [`OnlineTune`] session.
+///
+/// Produced by [`OnlineTune::snapshot`] and consumed by [`OnlineTune::restore`]. Every
+/// source of tuner behaviour is captured — observations, per-model hyper-parameters,
+/// subspaces, safety sets, white-box relaxation counters, the RNG stream position and the
+/// pending suggestion — so a restored session continues bit-identically to one that was
+/// never interrupted. The knob catalogue is stored by name and rebuilt from the full
+/// MySQL 5.7 catalogue on restore.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct OnlineTuneState {
+    /// Names of the tuned knobs, in catalogue order.
+    pub knob_names: Vec<String>,
+    /// Hardware of the target instance.
+    pub hardware: HardwareSpec,
+    /// Tuner options.
+    pub options: OnlineTuneOptions,
+    /// Clustering / model-selection state.
+    pub clusters: ClusterManagerState,
+    /// White-box rule conflict/relaxation state.
+    pub whitebox: Vec<RuleStateSnapshot>,
+    /// Per-model subspaces.
+    pub subspaces: Vec<Subspace>,
+    /// Best `(normalized config, improvement)` per model.
+    pub best_per_model: Vec<Option<(Vec<f64>, f64)>>,
+    /// Normalized initial safe configuration.
+    pub initial_normalized: Vec<f64>,
+    /// Known-safe configurations (normalized).
+    pub known_safe: Vec<Vec<f64>>,
+    /// Most recent internal metrics.
+    pub last_metrics: Option<InternalMetrics>,
+    /// Iterations performed so far.
+    pub iteration: usize,
+    /// RNG state.
+    pub rng: StdRng,
+    pending: Option<Pending>,
+}
+
+impl OnlineTune {
+    /// Exports the complete session state for snapshots (see [`OnlineTuneState`]).
+    pub fn snapshot(&self) -> OnlineTuneState {
+        OnlineTuneState {
+            knob_names: self
+                .catalogue
+                .knobs()
+                .iter()
+                .map(|k| k.name.to_string())
+                .collect(),
+            hardware: self.hardware,
+            options: self.options.clone(),
+            clusters: self.clusters.export_state(),
+            whitebox: self.whitebox.export_states(),
+            subspaces: self.subspaces.clone(),
+            best_per_model: self.best_per_model.clone(),
+            initial_normalized: self.initial_normalized.clone(),
+            known_safe: self.known_safe.clone(),
+            last_metrics: self.last_metrics.clone(),
+            iteration: self.iteration,
+            rng: self.rng.clone(),
+            pending: self.pending.clone(),
+        }
+    }
+
+    /// Rebuilds a tuner from a snapshot. The restored tuner continues the session
+    /// bit-identically: same recommendations, same model updates, same RNG stream.
+    ///
+    /// Fails when the snapshot references a knob that does not exist in the full MySQL 5.7
+    /// catalogue (snapshots only store knob names, not full definitions).
+    pub fn restore(state: OnlineTuneState) -> Result<Self, String> {
+        let full = KnobCatalogue::mysql57();
+        let full_names: Vec<&str> = full.knobs().iter().map(|k| k.name).collect();
+        let wanted: Vec<&str> = state.knob_names.iter().map(|s| s.as_str()).collect();
+        for name in &wanted {
+            if !full_names.contains(name) {
+                return Err(format!("snapshot references unknown knob `{name}`"));
+            }
+        }
+        let catalogue = if wanted == full_names {
+            full
+        } else {
+            full.subset(&wanted)
+        };
+        let mut whitebox = RuleEngine::with_default_rules();
+        whitebox.restore_states(&state.whitebox);
+        let clusters = ClusterManager::restore(state.clusters, state.options.cluster.clone());
+        Ok(OnlineTune {
+            catalogue,
+            hardware: state.hardware,
+            options: state.options,
+            clusters,
+            whitebox,
+            subspaces: state.subspaces,
+            best_per_model: state.best_per_model,
+            initial_normalized: state.initial_normalized,
+            known_safe: state.known_safe,
+            last_metrics: state.last_metrics,
+            iteration: state.iteration,
+            rng: state.rng,
+            pending: state.pending,
+        })
+    }
+
+    /// Seeds the safety set with externally known-safe configurations (normalized), e.g.
+    /// from a fleet-level knowledge base. Duplicates are skipped; the capacity bound of
+    /// [`OnlineTuneOptions::known_safe_capacity`] is enforced.
+    pub fn extend_known_safe<I: IntoIterator<Item = Vec<f64>>>(&mut self, configs: I) {
+        let dim = self.catalogue.len();
+        for cfg in configs {
+            if cfg.len() != dim || self.known_safe.contains(&cfg) {
+                continue;
+            }
+            self.known_safe.push(cfg);
+        }
+        if self.known_safe.len() > self.options.known_safe_capacity {
+            let excess = self.known_safe.len() - self.options.known_safe_capacity;
+            self.known_safe.drain(0..excess);
+        }
+    }
+
+    /// Absorbs observations transferred from another tuning session (cross-tenant
+    /// warm start). The observations join the repository and the per-cluster models as if
+    /// they had been collected locally, generalizing the paper's cold-start fallback.
+    pub fn absorb_observations(&mut self, observations: &[ContextObservation]) {
+        for obs in observations {
+            if obs.config.len() != self.catalogue.len() {
+                continue;
+            }
+            self.clusters.add_observation(obs.clone(), &mut self.rng);
+        }
+        if self.options.ablation.use_clustering {
+            self.clusters.maybe_recluster(&mut self.rng);
+        }
+        self.sync_model_structures();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -597,7 +744,8 @@ mod tests {
         let mut max_distance: f64 = 0.0;
         for i in 0..5 {
             let suggestion = tuner.suggest(&context, 100.0, 32);
-            max_distance = max_distance.max(suggestion.diagnostics.recommendation_distance_from_default);
+            max_distance =
+                max_distance.max(suggestion.diagnostics.recommendation_distance_from_default);
             tuner.observe(&context, &suggestion.config, 50.0 + i as f64, None, true);
         }
         // Without safety or subspace restriction the tuner samples the whole space, which is
@@ -658,6 +806,70 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_restore_continues_bit_identically() {
+        let (mut original, cat) = make_tuner(AblationFlags::default());
+        let mut db = SimDatabase::new(3);
+        let workload = WorkloadSpec::synthetic_oltp();
+        let default_cfg = Configuration::dba_default(&cat);
+        let default_perf = db.peek(&default_cfg, &workload).throughput_tps;
+        let context = context_for(0.6);
+        for _ in 0..8 {
+            let s = original.suggest(&context, default_perf, workload.clients);
+            db.apply_config(&s.config);
+            let eval = db.run_interval(&workload, 180.0);
+            let perf = eval.outcome.throughput_tps;
+            original.observe(
+                &context,
+                &s.config,
+                perf,
+                Some(&eval.metrics),
+                perf >= default_perf,
+            );
+        }
+
+        let json = serde_json::to_string(&original.snapshot()).unwrap();
+        let state: OnlineTuneState = serde_json::from_str(&json).unwrap();
+        let mut restored = OnlineTune::restore(state).unwrap();
+
+        // Drive both tuners with the same inputs: every recommendation must be identical
+        // down to the last bit, and so must the internal bookkeeping.
+        for i in 0..8 {
+            let a = original.suggest(&context, default_perf, workload.clients);
+            let b = restored.suggest(&context, default_perf, workload.clients);
+            assert_eq!(a.normalized, b.normalized, "diverged at iteration {i}");
+            assert_eq!(a.config.values(), b.config.values());
+            let perf = default_perf + i as f64;
+            original.observe(&context, &a.config, perf, None, true);
+            restored.observe(&context, &b.config, perf, None, true);
+        }
+        assert_eq!(original.observation_count(), restored.observation_count());
+        assert_eq!(original.model_count(), restored.model_count());
+    }
+
+    #[test]
+    fn warm_start_hooks_extend_safety_set_and_models() {
+        let (mut tuner, _cat) = make_tuner(AblationFlags::default());
+        let dim = tuner.catalogue().len();
+        let transferred: Vec<ContextObservation> = (0..5)
+            .map(|i| ContextObservation {
+                context: context_for(0.5),
+                config: vec![0.5 + 0.01 * i as f64; dim],
+                performance: 100.0 + i as f64,
+            })
+            .collect();
+        tuner.extend_known_safe(transferred.iter().map(|o| o.config.clone()));
+        tuner.absorb_observations(&transferred);
+        assert_eq!(tuner.observation_count(), 5);
+        // Mismatched dimensions are skipped, not absorbed.
+        tuner.absorb_observations(&[ContextObservation {
+            context: context_for(0.5),
+            config: vec![0.5; dim + 1],
+            performance: 1.0,
+        }]);
+        assert_eq!(tuner.observation_count(), 5);
+    }
+
+    #[test]
     fn clustering_ablation_keeps_a_single_model() {
         let flags = AblationFlags {
             use_clustering: false,
@@ -666,7 +878,11 @@ mod tests {
         let (mut tuner, cat) = make_tuner(flags);
         let default = Configuration::dba_default(&cat);
         for i in 0..40 {
-            let ctx = if i % 2 == 0 { context_for(0.9) } else { context_for(0.1) };
+            let ctx = if i % 2 == 0 {
+                context_for(0.9)
+            } else {
+                context_for(0.1)
+            };
             tuner.observe(&ctx, &default, 100.0 + i as f64, None, true);
         }
         assert_eq!(tuner.model_count(), 1);

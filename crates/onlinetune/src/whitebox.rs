@@ -151,10 +151,7 @@ impl WhiteBoxRule for QueryCacheRule {
     }
 
     fn violates(&self, config: &Configuration, ctx: &RuleContext<'_>, relax_level: u32) -> bool {
-        let writes = ctx
-            .metrics
-            .map(|m| m.writes_per_sec > 1.0)
-            .unwrap_or(true);
+        let writes = ctx.metrics.map(|m| m.writes_per_sec > 1.0).unwrap_or(true);
         let cache_on = ctx.knob(config, "query_cache_type") >= 0.5;
         let size_cap = 32.0 * MIB * (1 + relax_level) as f64;
         writes && cache_on && ctx.knob(config, "query_cache_size") > size_cap
@@ -191,6 +188,17 @@ impl WhiteBoxRule for DirtyPagesRule {
         let floor = (10.0 - 3.0 * relax_level as f64).max(1.0);
         ctx.knob(config, "innodb_max_dirty_pages_pct") < floor
     }
+}
+
+/// Serializable snapshot of one rule's conflict/relaxation state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RuleStateSnapshot {
+    /// Conflicts counted toward the ignore threshold.
+    pub conflicts: usize,
+    /// Safe controversial outcomes counted toward relaxation.
+    pub conflict_safe: usize,
+    /// Current relaxation level (0 = strict).
+    pub relax_level: u32,
 }
 
 /// Per-rule bookkeeping for the relaxation mechanism.
@@ -259,6 +267,29 @@ impl RuleEngine {
     /// Names of all rules.
     pub fn rule_names(&self) -> Vec<&'static str> {
         self.rules.iter().map(|r| r.name()).collect()
+    }
+
+    /// Exports the per-rule conflict/relaxation state for snapshots.
+    pub fn export_states(&self) -> Vec<RuleStateSnapshot> {
+        self.states
+            .iter()
+            .map(|st| RuleStateSnapshot {
+                conflicts: st.conflicts,
+                conflict_safe: st.conflict_safe,
+                relax_level: st.relax_level,
+            })
+            .collect()
+    }
+
+    /// Restores per-rule state exported by [`RuleEngine::export_states`]. Extra entries are
+    /// ignored and missing entries leave the default state, so the call is safe when the
+    /// rule set evolved between snapshot and restore.
+    pub fn restore_states(&mut self, states: &[RuleStateSnapshot]) {
+        for (st, snap) in self.states.iter_mut().zip(states.iter()) {
+            st.conflicts = snap.conflicts;
+            st.conflict_safe = snap.conflict_safe;
+            st.relax_level = snap.relax_level;
+        }
     }
 
     /// Current relaxation level of a rule (0 = strict).
@@ -338,7 +369,15 @@ mod tests {
         let (cat, hw) = full_setup();
         let engine = RuleEngine::with_default_rules();
         let config = Configuration::dba_default(&cat);
-        assert!(engine.passes(&config, &ctx(&cat, &hw)), "{:?}", engine.violations(&config, &ctx(&cat, &hw)).iter().map(|&i| engine.rule_names()[i]).collect::<Vec<_>>());
+        assert!(
+            engine.passes(&config, &ctx(&cat, &hw)),
+            "{:?}",
+            engine
+                .violations(&config, &ctx(&cat, &hw))
+                .iter()
+                .map(|&i| engine.rule_names()[i])
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -402,7 +441,11 @@ mod tests {
             .unwrap();
         // A pool a bit below 20% of usable RAM violates at level 0 but passes at level 1.
         let mut config = Configuration::dba_default(&cat);
-        config.set(&cat, "innodb_buffer_pool_size", 0.17 * hw.usable_ram_bytes());
+        config.set(
+            &cat,
+            "innodb_buffer_pool_size",
+            0.17 * hw.usable_ram_bytes(),
+        );
         assert!(!engine.passes(&config, &ctx(&cat, &hw)));
         for _ in 0..3 {
             engine.note_override_outcome(rule_idx, true);

@@ -1,0 +1,99 @@
+//! The in-memory JSON tree shared by the serde/serde_json shims.
+
+/// A JSON value.
+///
+/// Objects preserve insertion order (they are a `Vec` of pairs), which keeps
+/// serialized snapshots byte-stable across identical program states.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (carried as `f64`; integers are exact up to 2^53).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a `Number`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an `Object` (linear scan; objects here are small).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// `true` if this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Renders a value used as a map key into the JSON object-key string.
+pub(crate) fn key_string(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        Value::Number(n) => format_f64(*n),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("unsupported map key {other:?}"),
+    }
+}
+
+/// Formats an `f64` so that parsing the text recovers the exact same bits
+/// (for finite values). Non-finite values are not representable in JSON and
+/// are rendered as `null` by the writer.
+pub fn format_f64(n: f64) -> String {
+    if n == n.trunc() && n.abs() < 1e15 && !(n == 0.0 && n.is_sign_negative()) {
+        // Integral values print without a fraction, like serde_json.
+        format!("{}", n as i64)
+    } else {
+        // `{:?}` is Rust's shortest-roundtrip float formatting.
+        format!("{n:?}")
+    }
+}

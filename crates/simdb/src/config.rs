@@ -125,7 +125,10 @@ mod tests {
         let cat = KnobCatalogue::mysql57();
         let mut cfg = Configuration::vendor_default(&cat);
         assert!(cfg.set(&cat, "sort_buffer_size", 8.0 * 1024.0 * 1024.0));
-        assert_eq!(cfg.get(&cat, "sort_buffer_size").unwrap(), 8.0 * 1024.0 * 1024.0);
+        assert_eq!(
+            cfg.get(&cat, "sort_buffer_size").unwrap(),
+            8.0 * 1024.0 * 1024.0
+        );
         assert!(!cfg.set(&cat, "not_a_knob", 1.0));
         assert_eq!(cfg.get(&cat, "not_a_knob"), None);
     }

@@ -44,6 +44,32 @@ impl Evaluation {
     }
 }
 
+/// Complete serializable state of a [`SimDatabase`] (see [`SimDatabase::snapshot`]).
+///
+/// The knob catalogue is stored by name and rebuilt from the full MySQL 5.7 catalogue on
+/// restore.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SimDatabaseState {
+    /// Names of the catalogue knobs, in order.
+    pub knob_names: Vec<String>,
+    /// Hardware of the instance.
+    pub hardware: HardwareSpec,
+    /// Currently applied configuration.
+    pub current_config: Configuration,
+    /// Tracked logical data size.
+    pub data_size_gib: Option<f64>,
+    /// Measurement-noise model.
+    pub noise: NoiseModel,
+    /// Noise RNG state.
+    pub rng: StdRng,
+    /// Intervals run so far.
+    pub intervals_run: usize,
+    /// Failures (hangs) so far.
+    pub failures: usize,
+    /// Whether noise is disabled.
+    pub deterministic: bool,
+}
+
 /// A simulated MySQL-like cloud database instance.
 pub struct SimDatabase {
     catalogue: KnobCatalogue,
@@ -197,6 +223,57 @@ impl SimDatabase {
         }
     }
 
+    /// Exports the complete instance state for snapshots (see [`SimDatabaseState`]).
+    pub fn snapshot(&self) -> SimDatabaseState {
+        SimDatabaseState {
+            knob_names: self
+                .catalogue
+                .knobs()
+                .iter()
+                .map(|k| k.name.to_string())
+                .collect(),
+            hardware: self.hardware,
+            current_config: self.current_config.clone(),
+            data_size_gib: self.data_size_gib,
+            noise: self.noise,
+            rng: self.rng.clone(),
+            intervals_run: self.intervals_run,
+            failures: self.failures,
+            deterministic: self.deterministic,
+        }
+    }
+
+    /// Rebuilds an instance from a snapshot; the restored instance produces the same
+    /// evaluation stream (same noise draws, same data growth) as the exported one.
+    ///
+    /// Fails when the snapshot references a knob missing from the full MySQL 5.7 catalogue.
+    pub fn restore(state: SimDatabaseState) -> Result<Self, String> {
+        let full = KnobCatalogue::mysql57();
+        let full_names: Vec<&str> = full.knobs().iter().map(|k| k.name).collect();
+        let wanted: Vec<&str> = state.knob_names.iter().map(|s| s.as_str()).collect();
+        for name in &wanted {
+            if !full_names.contains(name) {
+                return Err(format!("snapshot references unknown knob `{name}`"));
+            }
+        }
+        let catalogue = if wanted == full_names {
+            full
+        } else {
+            full.subset(&wanted)
+        };
+        Ok(SimDatabase {
+            catalogue,
+            hardware: state.hardware,
+            current_config: state.current_config,
+            data_size_gib: state.data_size_gib,
+            noise: state.noise,
+            rng: state.rng,
+            intervals_run: state.intervals_run,
+            failures: state.failures,
+            deterministic: state.deterministic,
+        })
+    }
+
     /// Evaluates a configuration *without* applying it or mutating any state (no noise, no
     /// data growth, no failure accounting). Used to compute ground-truth surfaces (Figure
     /// 10) and the "Best" reference line (Figure 11).
@@ -272,7 +349,11 @@ mod tests {
         let mut db = SimDatabase::new(4);
         let cat = db.catalogue().clone();
         let mut bad = Configuration::dba_default(&cat);
-        bad.set(&cat, "innodb_buffer_pool_size", 15.0 * 1024.0 * 1024.0 * 1024.0);
+        bad.set(
+            &cat,
+            "innodb_buffer_pool_size",
+            15.0 * 1024.0 * 1024.0 * 1024.0,
+        );
         bad.set(&cat, "sort_buffer_size", 256.0 * 1024.0 * 1024.0);
         bad.set(&cat, "join_buffer_size", 256.0 * 1024.0 * 1024.0);
         bad.set(&cat, "tmp_table_size", 1024.0 * 1024.0 * 1024.0);

@@ -156,46 +156,434 @@ impl KnobCatalogue {
         use KnobKind::*;
         use KnobScale::*;
         let knobs = vec![
-            KnobDef { name: "innodb_buffer_pool_size", kind: Integer { min: 128.0 * MIB, max: 15.0 * GIB }, scale: Log, default: 128.0 * MIB, dba_default: 13.0 * GIB, description: "Main data/index cache; dominates read IO avoidance" },
-            KnobDef { name: "innodb_log_file_size", kind: Integer { min: 48.0 * MIB, max: 4.0 * GIB }, scale: Log, default: 48.0 * MIB, dba_default: 1.0 * GIB, description: "Redo log size; small values force frequent checkpoint stalls under writes" },
-            KnobDef { name: "innodb_log_buffer_size", kind: Integer { min: 1.0 * MIB, max: 256.0 * MIB }, scale: Log, default: 16.0 * MIB, dba_default: 64.0 * MIB, description: "Redo log staging buffer; small values cause log waits for large transactions" },
-            KnobDef { name: "innodb_flush_log_at_trx_commit", kind: Enum { choices: vec!["0", "1", "2"] }, scale: Linear, default: 1.0, dba_default: 1.0, description: "Commit durability: 1 = fsync every commit (slow, safe), 0/2 = relaxed" },
-            KnobDef { name: "innodb_flush_method", kind: Enum { choices: vec!["fsync", "O_DIRECT", "O_DSYNC"] }, scale: Linear, default: 0.0, dba_default: 1.0, description: "O_DIRECT avoids double buffering through the OS page cache" },
-            KnobDef { name: "innodb_io_capacity", kind: Integer { min: 100.0, max: 20000.0 }, scale: Log, default: 200.0, dba_default: 4000.0, description: "Background flush IOPS budget; too low lets dirty pages pile up" },
-            KnobDef { name: "innodb_io_capacity_max", kind: Integer { min: 200.0, max: 40000.0 }, scale: Log, default: 2000.0, dba_default: 8000.0, description: "Burst flush IOPS budget" },
-            KnobDef { name: "innodb_thread_concurrency", kind: Integer { min: 0.0, max: 64.0 }, scale: Linear, default: 0.0, dba_default: 0.0, description: "Max threads inside InnoDB; 0 means unlimited (non-ordinal!)" },
-            KnobDef { name: "innodb_spin_wait_delay", kind: Integer { min: 0.0, max: 6000.0 }, scale: Log, default: 6.0, dba_default: 6.0, description: "Spin-loop delay between lock polls; extreme values waste CPU or add latency" },
-            KnobDef { name: "innodb_sync_spin_loops", kind: Integer { min: 0.0, max: 1000.0 }, scale: Log, default: 30.0, dba_default: 30.0, description: "Spin rounds before a thread sleeps on a mutex" },
-            KnobDef { name: "innodb_read_io_threads", kind: Integer { min: 1.0, max: 16.0 }, scale: Linear, default: 4.0, dba_default: 8.0, description: "Parallelism of background read IO" },
-            KnobDef { name: "innodb_write_io_threads", kind: Integer { min: 1.0, max: 16.0 }, scale: Linear, default: 4.0, dba_default: 8.0, description: "Parallelism of background write IO" },
-            KnobDef { name: "innodb_purge_threads", kind: Integer { min: 1.0, max: 32.0 }, scale: Linear, default: 4.0, dba_default: 4.0, description: "Undo purge parallelism; matters for update-heavy workloads" },
-            KnobDef { name: "innodb_lru_scan_depth", kind: Integer { min: 100.0, max: 10000.0 }, scale: Log, default: 1024.0, dba_default: 1024.0, description: "Free-page scan depth per buffer-pool instance" },
-            KnobDef { name: "innodb_adaptive_hash_index", kind: Bool, scale: Linear, default: 1.0, dba_default: 1.0, description: "Hash index over hot B-tree pages; helps skewed point reads" },
-            KnobDef { name: "innodb_change_buffer_max_size", kind: Integer { min: 0.0, max: 50.0 }, scale: Linear, default: 25.0, dba_default: 25.0, description: "Fraction of the buffer pool reserved for the insert/change buffer" },
-            KnobDef { name: "innodb_max_dirty_pages_pct", kind: Float { min: 0.0, max: 99.0 }, scale: Linear, default: 75.0, dba_default: 75.0, description: "Dirty-page high-water mark before aggressive flushing" },
-            KnobDef { name: "innodb_doublewrite", kind: Bool, scale: Linear, default: 1.0, dba_default: 1.0, description: "Torn-page protection; costs write bandwidth" },
-            KnobDef { name: "innodb_adaptive_flushing", kind: Bool, scale: Linear, default: 1.0, dba_default: 1.0, description: "Adaptive redo-driven flushing" },
-            KnobDef { name: "innodb_flush_neighbors", kind: Enum { choices: vec!["0", "1", "2"] }, scale: Linear, default: 1.0, dba_default: 0.0, description: "Flush adjacent dirty pages (useful on HDD, wasteful on SSD)" },
-            KnobDef { name: "innodb_old_blocks_pct", kind: Integer { min: 5.0, max: 95.0 }, scale: Linear, default: 37.0, dba_default: 37.0, description: "Fraction of the LRU list reserved for old blocks (scan resistance)" },
-            KnobDef { name: "innodb_random_read_ahead", kind: Bool, scale: Linear, default: 0.0, dba_default: 0.0, description: "Random read-ahead; can pollute the buffer pool" },
-            KnobDef { name: "innodb_read_ahead_threshold", kind: Integer { min: 0.0, max: 64.0 }, scale: Linear, default: 56.0, dba_default: 56.0, description: "Sequential read-ahead trigger threshold" },
-            KnobDef { name: "innodb_concurrency_tickets", kind: Integer { min: 1.0, max: 100000.0 }, scale: Log, default: 5000.0, dba_default: 5000.0, description: "Rows a thread may traverse before re-entering the concurrency gate" },
-            KnobDef { name: "sync_binlog", kind: Integer { min: 0.0, max: 1000.0 }, scale: Log, default: 1.0, dba_default: 1.0, description: "Binlog fsync cadence; 1 = every commit" },
-            KnobDef { name: "binlog_cache_size", kind: Integer { min: 4.0 * KIB, max: 64.0 * MIB }, scale: Log, default: 32.0 * KIB, dba_default: 1.0 * MIB, description: "Per-connection binlog staging buffer" },
-            KnobDef { name: "sort_buffer_size", kind: Integer { min: 32.0 * KIB, max: 256.0 * MIB }, scale: Log, default: 256.0 * KIB, dba_default: 2.0 * MIB, description: "Per-connection sort area; small values spill sorts to disk" },
-            KnobDef { name: "join_buffer_size", kind: Integer { min: 128.0 * KIB, max: 256.0 * MIB }, scale: Log, default: 256.0 * KIB, dba_default: 2.0 * MIB, description: "Per-connection buffer for index-less joins" },
-            KnobDef { name: "read_buffer_size", kind: Integer { min: 8.0 * KIB, max: 64.0 * MIB }, scale: Log, default: 128.0 * KIB, dba_default: 1.0 * MIB, description: "Per-connection sequential scan buffer" },
-            KnobDef { name: "read_rnd_buffer_size", kind: Integer { min: 8.0 * KIB, max: 64.0 * MIB }, scale: Log, default: 256.0 * KIB, dba_default: 1.0 * MIB, description: "Per-connection buffer for sorted reads" },
-            KnobDef { name: "tmp_table_size", kind: Integer { min: 1.0 * MIB, max: 1.0 * GIB }, scale: Log, default: 16.0 * MIB, dba_default: 64.0 * MIB, description: "In-memory temp table limit before spilling to disk" },
-            KnobDef { name: "max_heap_table_size", kind: Integer { min: 1.0 * MIB, max: 1.0 * GIB }, scale: Log, default: 16.0 * MIB, dba_default: 64.0 * MIB, description: "MEMORY engine table limit; min(tmp_table_size, this) governs spills" },
-            KnobDef { name: "table_open_cache", kind: Integer { min: 400.0, max: 10000.0 }, scale: Log, default: 2000.0, dba_default: 4000.0, description: "Cached table descriptors" },
-            KnobDef { name: "table_open_cache_instances", kind: Integer { min: 1.0, max: 64.0 }, scale: Linear, default: 16.0, dba_default: 16.0, description: "Partitions of the table cache (mutex contention)" },
-            KnobDef { name: "thread_cache_size", kind: Integer { min: 0.0, max: 1000.0 }, scale: Log, default: 9.0, dba_default: 100.0, description: "Cached connection handler threads" },
-            KnobDef { name: "max_connections", kind: Integer { min: 100.0, max: 10000.0 }, scale: Log, default: 151.0, dba_default: 2000.0, description: "Connection limit; combined with per-connection buffers bounds memory" },
-            KnobDef { name: "query_cache_size", kind: Integer { min: 0.0, max: 256.0 * MIB }, scale: Log, default: 1.0 * MIB, dba_default: 0.0, description: "Query result cache (5.7); contended under writes" },
-            KnobDef { name: "query_cache_type", kind: Enum { choices: vec!["OFF", "ON", "DEMAND"] }, scale: Linear, default: 0.0, dba_default: 0.0, description: "Whether the query cache is consulted" },
-            KnobDef { name: "key_buffer_size", kind: Integer { min: 8.0 * MIB, max: 1.0 * GIB }, scale: Log, default: 8.0 * MIB, dba_default: 32.0 * MIB, description: "MyISAM index cache (small role for InnoDB workloads)" },
-            KnobDef { name: "bulk_insert_buffer_size", kind: Integer { min: 0.0, max: 256.0 * MIB }, scale: Log, default: 8.0 * MIB, dba_default: 8.0 * MIB, description: "Tree cache for bulk MyISAM inserts" },
+            KnobDef {
+                name: "innodb_buffer_pool_size",
+                kind: Integer {
+                    min: 128.0 * MIB,
+                    max: 15.0 * GIB,
+                },
+                scale: Log,
+                default: 128.0 * MIB,
+                dba_default: 13.0 * GIB,
+                description: "Main data/index cache; dominates read IO avoidance",
+            },
+            KnobDef {
+                name: "innodb_log_file_size",
+                kind: Integer {
+                    min: 48.0 * MIB,
+                    max: 4.0 * GIB,
+                },
+                scale: Log,
+                default: 48.0 * MIB,
+                dba_default: 1.0 * GIB,
+                description:
+                    "Redo log size; small values force frequent checkpoint stalls under writes",
+            },
+            KnobDef {
+                name: "innodb_log_buffer_size",
+                kind: Integer {
+                    min: 1.0 * MIB,
+                    max: 256.0 * MIB,
+                },
+                scale: Log,
+                default: 16.0 * MIB,
+                dba_default: 64.0 * MIB,
+                description:
+                    "Redo log staging buffer; small values cause log waits for large transactions",
+            },
+            KnobDef {
+                name: "innodb_flush_log_at_trx_commit",
+                kind: Enum {
+                    choices: vec!["0", "1", "2"],
+                },
+                scale: Linear,
+                default: 1.0,
+                dba_default: 1.0,
+                description:
+                    "Commit durability: 1 = fsync every commit (slow, safe), 0/2 = relaxed",
+            },
+            KnobDef {
+                name: "innodb_flush_method",
+                kind: Enum {
+                    choices: vec!["fsync", "O_DIRECT", "O_DSYNC"],
+                },
+                scale: Linear,
+                default: 0.0,
+                dba_default: 1.0,
+                description: "O_DIRECT avoids double buffering through the OS page cache",
+            },
+            KnobDef {
+                name: "innodb_io_capacity",
+                kind: Integer {
+                    min: 100.0,
+                    max: 20000.0,
+                },
+                scale: Log,
+                default: 200.0,
+                dba_default: 4000.0,
+                description: "Background flush IOPS budget; too low lets dirty pages pile up",
+            },
+            KnobDef {
+                name: "innodb_io_capacity_max",
+                kind: Integer {
+                    min: 200.0,
+                    max: 40000.0,
+                },
+                scale: Log,
+                default: 2000.0,
+                dba_default: 8000.0,
+                description: "Burst flush IOPS budget",
+            },
+            KnobDef {
+                name: "innodb_thread_concurrency",
+                kind: Integer {
+                    min: 0.0,
+                    max: 64.0,
+                },
+                scale: Linear,
+                default: 0.0,
+                dba_default: 0.0,
+                description: "Max threads inside InnoDB; 0 means unlimited (non-ordinal!)",
+            },
+            KnobDef {
+                name: "innodb_spin_wait_delay",
+                kind: Integer {
+                    min: 0.0,
+                    max: 6000.0,
+                },
+                scale: Log,
+                default: 6.0,
+                dba_default: 6.0,
+                description:
+                    "Spin-loop delay between lock polls; extreme values waste CPU or add latency",
+            },
+            KnobDef {
+                name: "innodb_sync_spin_loops",
+                kind: Integer {
+                    min: 0.0,
+                    max: 1000.0,
+                },
+                scale: Log,
+                default: 30.0,
+                dba_default: 30.0,
+                description: "Spin rounds before a thread sleeps on a mutex",
+            },
+            KnobDef {
+                name: "innodb_read_io_threads",
+                kind: Integer {
+                    min: 1.0,
+                    max: 16.0,
+                },
+                scale: Linear,
+                default: 4.0,
+                dba_default: 8.0,
+                description: "Parallelism of background read IO",
+            },
+            KnobDef {
+                name: "innodb_write_io_threads",
+                kind: Integer {
+                    min: 1.0,
+                    max: 16.0,
+                },
+                scale: Linear,
+                default: 4.0,
+                dba_default: 8.0,
+                description: "Parallelism of background write IO",
+            },
+            KnobDef {
+                name: "innodb_purge_threads",
+                kind: Integer {
+                    min: 1.0,
+                    max: 32.0,
+                },
+                scale: Linear,
+                default: 4.0,
+                dba_default: 4.0,
+                description: "Undo purge parallelism; matters for update-heavy workloads",
+            },
+            KnobDef {
+                name: "innodb_lru_scan_depth",
+                kind: Integer {
+                    min: 100.0,
+                    max: 10000.0,
+                },
+                scale: Log,
+                default: 1024.0,
+                dba_default: 1024.0,
+                description: "Free-page scan depth per buffer-pool instance",
+            },
+            KnobDef {
+                name: "innodb_adaptive_hash_index",
+                kind: Bool,
+                scale: Linear,
+                default: 1.0,
+                dba_default: 1.0,
+                description: "Hash index over hot B-tree pages; helps skewed point reads",
+            },
+            KnobDef {
+                name: "innodb_change_buffer_max_size",
+                kind: Integer {
+                    min: 0.0,
+                    max: 50.0,
+                },
+                scale: Linear,
+                default: 25.0,
+                dba_default: 25.0,
+                description: "Fraction of the buffer pool reserved for the insert/change buffer",
+            },
+            KnobDef {
+                name: "innodb_max_dirty_pages_pct",
+                kind: Float {
+                    min: 0.0,
+                    max: 99.0,
+                },
+                scale: Linear,
+                default: 75.0,
+                dba_default: 75.0,
+                description: "Dirty-page high-water mark before aggressive flushing",
+            },
+            KnobDef {
+                name: "innodb_doublewrite",
+                kind: Bool,
+                scale: Linear,
+                default: 1.0,
+                dba_default: 1.0,
+                description: "Torn-page protection; costs write bandwidth",
+            },
+            KnobDef {
+                name: "innodb_adaptive_flushing",
+                kind: Bool,
+                scale: Linear,
+                default: 1.0,
+                dba_default: 1.0,
+                description: "Adaptive redo-driven flushing",
+            },
+            KnobDef {
+                name: "innodb_flush_neighbors",
+                kind: Enum {
+                    choices: vec!["0", "1", "2"],
+                },
+                scale: Linear,
+                default: 1.0,
+                dba_default: 0.0,
+                description: "Flush adjacent dirty pages (useful on HDD, wasteful on SSD)",
+            },
+            KnobDef {
+                name: "innodb_old_blocks_pct",
+                kind: Integer {
+                    min: 5.0,
+                    max: 95.0,
+                },
+                scale: Linear,
+                default: 37.0,
+                dba_default: 37.0,
+                description: "Fraction of the LRU list reserved for old blocks (scan resistance)",
+            },
+            KnobDef {
+                name: "innodb_random_read_ahead",
+                kind: Bool,
+                scale: Linear,
+                default: 0.0,
+                dba_default: 0.0,
+                description: "Random read-ahead; can pollute the buffer pool",
+            },
+            KnobDef {
+                name: "innodb_read_ahead_threshold",
+                kind: Integer {
+                    min: 0.0,
+                    max: 64.0,
+                },
+                scale: Linear,
+                default: 56.0,
+                dba_default: 56.0,
+                description: "Sequential read-ahead trigger threshold",
+            },
+            KnobDef {
+                name: "innodb_concurrency_tickets",
+                kind: Integer {
+                    min: 1.0,
+                    max: 100000.0,
+                },
+                scale: Log,
+                default: 5000.0,
+                dba_default: 5000.0,
+                description: "Rows a thread may traverse before re-entering the concurrency gate",
+            },
+            KnobDef {
+                name: "sync_binlog",
+                kind: Integer {
+                    min: 0.0,
+                    max: 1000.0,
+                },
+                scale: Log,
+                default: 1.0,
+                dba_default: 1.0,
+                description: "Binlog fsync cadence; 1 = every commit",
+            },
+            KnobDef {
+                name: "binlog_cache_size",
+                kind: Integer {
+                    min: 4.0 * KIB,
+                    max: 64.0 * MIB,
+                },
+                scale: Log,
+                default: 32.0 * KIB,
+                dba_default: 1.0 * MIB,
+                description: "Per-connection binlog staging buffer",
+            },
+            KnobDef {
+                name: "sort_buffer_size",
+                kind: Integer {
+                    min: 32.0 * KIB,
+                    max: 256.0 * MIB,
+                },
+                scale: Log,
+                default: 256.0 * KIB,
+                dba_default: 2.0 * MIB,
+                description: "Per-connection sort area; small values spill sorts to disk",
+            },
+            KnobDef {
+                name: "join_buffer_size",
+                kind: Integer {
+                    min: 128.0 * KIB,
+                    max: 256.0 * MIB,
+                },
+                scale: Log,
+                default: 256.0 * KIB,
+                dba_default: 2.0 * MIB,
+                description: "Per-connection buffer for index-less joins",
+            },
+            KnobDef {
+                name: "read_buffer_size",
+                kind: Integer {
+                    min: 8.0 * KIB,
+                    max: 64.0 * MIB,
+                },
+                scale: Log,
+                default: 128.0 * KIB,
+                dba_default: 1.0 * MIB,
+                description: "Per-connection sequential scan buffer",
+            },
+            KnobDef {
+                name: "read_rnd_buffer_size",
+                kind: Integer {
+                    min: 8.0 * KIB,
+                    max: 64.0 * MIB,
+                },
+                scale: Log,
+                default: 256.0 * KIB,
+                dba_default: 1.0 * MIB,
+                description: "Per-connection buffer for sorted reads",
+            },
+            KnobDef {
+                name: "tmp_table_size",
+                kind: Integer {
+                    min: 1.0 * MIB,
+                    max: 1.0 * GIB,
+                },
+                scale: Log,
+                default: 16.0 * MIB,
+                dba_default: 64.0 * MIB,
+                description: "In-memory temp table limit before spilling to disk",
+            },
+            KnobDef {
+                name: "max_heap_table_size",
+                kind: Integer {
+                    min: 1.0 * MIB,
+                    max: 1.0 * GIB,
+                },
+                scale: Log,
+                default: 16.0 * MIB,
+                dba_default: 64.0 * MIB,
+                description: "MEMORY engine table limit; min(tmp_table_size, this) governs spills",
+            },
+            KnobDef {
+                name: "table_open_cache",
+                kind: Integer {
+                    min: 400.0,
+                    max: 10000.0,
+                },
+                scale: Log,
+                default: 2000.0,
+                dba_default: 4000.0,
+                description: "Cached table descriptors",
+            },
+            KnobDef {
+                name: "table_open_cache_instances",
+                kind: Integer {
+                    min: 1.0,
+                    max: 64.0,
+                },
+                scale: Linear,
+                default: 16.0,
+                dba_default: 16.0,
+                description: "Partitions of the table cache (mutex contention)",
+            },
+            KnobDef {
+                name: "thread_cache_size",
+                kind: Integer {
+                    min: 0.0,
+                    max: 1000.0,
+                },
+                scale: Log,
+                default: 9.0,
+                dba_default: 100.0,
+                description: "Cached connection handler threads",
+            },
+            KnobDef {
+                name: "max_connections",
+                kind: Integer {
+                    min: 100.0,
+                    max: 10000.0,
+                },
+                scale: Log,
+                default: 151.0,
+                dba_default: 2000.0,
+                description: "Connection limit; combined with per-connection buffers bounds memory",
+            },
+            KnobDef {
+                name: "query_cache_size",
+                kind: Integer {
+                    min: 0.0,
+                    max: 256.0 * MIB,
+                },
+                scale: Log,
+                default: 1.0 * MIB,
+                dba_default: 0.0,
+                description: "Query result cache (5.7); contended under writes",
+            },
+            KnobDef {
+                name: "query_cache_type",
+                kind: Enum {
+                    choices: vec!["OFF", "ON", "DEMAND"],
+                },
+                scale: Linear,
+                default: 0.0,
+                dba_default: 0.0,
+                description: "Whether the query cache is consulted",
+            },
+            KnobDef {
+                name: "key_buffer_size",
+                kind: Integer {
+                    min: 8.0 * MIB,
+                    max: 1.0 * GIB,
+                },
+                scale: Log,
+                default: 8.0 * MIB,
+                dba_default: 32.0 * MIB,
+                description: "MyISAM index cache (small role for InnoDB workloads)",
+            },
+            KnobDef {
+                name: "bulk_insert_buffer_size",
+                kind: Integer {
+                    min: 0.0,
+                    max: 256.0 * MIB,
+                },
+                scale: Log,
+                default: 8.0 * MIB,
+                dba_default: 8.0 * MIB,
+                description: "Tree cache for bulk MyISAM inserts",
+            },
         ];
         KnobCatalogue { knobs }
     }
@@ -302,7 +690,10 @@ mod tests {
         let bp = cat.knob(cat.index_of("innodb_buffer_pool_size").unwrap());
         // 1 GiB is far less than half-way linearly, but well above 0.4 on the log axis.
         let n = bp.normalize(1.0 * 1024.0 * 1024.0 * 1024.0);
-        assert!(n > 0.35, "log normalization should spread the low decades, got {n}");
+        assert!(
+            n > 0.35,
+            "log normalization should spread the low decades, got {n}"
+        );
     }
 
     #[test]
@@ -319,10 +710,18 @@ mod tests {
     #[test]
     fn thread_concurrency_and_enums_are_not_ordinal() {
         let cat = KnobCatalogue::mysql57();
-        assert!(!cat.knob(cat.index_of("innodb_thread_concurrency").unwrap()).is_ordinal());
-        assert!(!cat.knob(cat.index_of("innodb_flush_log_at_trx_commit").unwrap()).is_ordinal());
-        assert!(!cat.knob(cat.index_of("innodb_doublewrite").unwrap()).is_ordinal());
-        assert!(cat.knob(cat.index_of("innodb_buffer_pool_size").unwrap()).is_ordinal());
+        assert!(!cat
+            .knob(cat.index_of("innodb_thread_concurrency").unwrap())
+            .is_ordinal());
+        assert!(!cat
+            .knob(cat.index_of("innodb_flush_log_at_trx_commit").unwrap())
+            .is_ordinal());
+        assert!(!cat
+            .knob(cat.index_of("innodb_doublewrite").unwrap())
+            .is_ordinal());
+        assert!(cat
+            .knob(cat.index_of("innodb_buffer_pool_size").unwrap())
+            .is_ordinal());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use rand::Rng;
 use rand_distr::{Distribution, Normal};
 
 /// Multiplicative noise model for interval measurements.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct NoiseModel {
     /// Relative standard deviation at the reference interval.
     pub base_rel_std: f64,
@@ -65,7 +65,9 @@ mod tests {
     fn factors_are_centred_on_one() {
         let nm = NoiseModel::default();
         let mut rng = StdRng::seed_from_u64(0);
-        let samples: Vec<f64> = (0..5000).map(|_| nm.sample_factor(180.0, &mut rng)).collect();
+        let samples: Vec<f64> = (0..5000)
+            .map(|_| nm.sample_factor(180.0, &mut rng))
+            .collect();
         let mean = linalg::vecops::mean(&samples);
         assert!((mean - 1.0).abs() < 0.01, "mean = {mean}");
         assert!(samples.iter().all(|&f| (0.5..=1.5).contains(&f)));
@@ -76,7 +78,9 @@ mod tests {
         let nm = NoiseModel::default();
         let mut rng = StdRng::seed_from_u64(1);
         let short: Vec<f64> = (0..2000).map(|_| nm.sample_factor(5.0, &mut rng)).collect();
-        let long: Vec<f64> = (0..2000).map(|_| nm.sample_factor(720.0, &mut rng)).collect();
+        let long: Vec<f64> = (0..2000)
+            .map(|_| nm.sample_factor(720.0, &mut rng))
+            .collect();
         assert!(linalg::vecops::std_dev(&short) > 2.0 * linalg::vecops::std_dev(&long));
     }
 

@@ -347,8 +347,8 @@ pub fn evaluate(
     }
 
     let stall_factor = (1.0 - checkpoint_stall - flush_stall - dirty_penalty).clamp(0.2, 1.0);
-    let capacity_tps = 1000.0 / service_ms.max(1e-3) * effective_parallelism * stall_factor
-        * swap_penalty;
+    let capacity_tps =
+        1000.0 / service_ms.max(1e-3) * effective_parallelism * stall_factor * swap_penalty;
 
     let offered = workload.arrival_rate_qps.unwrap_or(f64::INFINITY);
     let throughput = capacity_tps.min(offered).max(0.1);
@@ -426,7 +426,6 @@ mod tests {
             avg_join_tables: 5.0,
             avg_selectivity: 0.02,
             index_coverage: 0.6,
-            ..WorkloadSpec::synthetic_oltp()
         }
     }
 
@@ -523,7 +522,10 @@ mod tests {
         strangled.set(&cat, "innodb_thread_concurrency", 1.0);
         let t_unlimited = evaluate(&cat, &unlimited, &wl, &hw).outcome.throughput_tps;
         let t_strangled = evaluate(&cat, &strangled, &wl, &hw).outcome.throughput_tps;
-        assert!(t_strangled < t_unlimited * 0.4, "{t_strangled} vs {t_unlimited}");
+        assert!(
+            t_strangled < t_unlimited * 0.4,
+            "{t_strangled} vs {t_unlimited}"
+        );
     }
 
     #[test]
@@ -560,7 +562,10 @@ mod tests {
         let olap_small = 1.0 / evaluate(&cat, &small, &olap, &hw).outcome.latency_p99_ms;
         let olap_large = 1.0 / evaluate(&cat, &large, &olap, &hw).outcome.latency_p99_ms;
 
-        assert!(oltp_small > oltp_large, "OLTP prefers the memory in the pool");
+        assert!(
+            oltp_small > oltp_large,
+            "OLTP prefers the memory in the pool"
+        );
         assert!(olap_large > olap_small, "OLAP prefers big sort buffers");
     }
 
@@ -607,10 +612,7 @@ mod tests {
         let hw = HardwareSpec::default();
         let wl = WorkloadSpec::synthetic_oltp();
         // Using the DBA value for the two tuned knobs must equal the full DBA default result.
-        let sub_cfg = Configuration::from_values(
-            &sub,
-            vec![13.0 * GIB, 64.0 * MIB],
-        );
+        let sub_cfg = Configuration::from_values(&sub, vec![13.0 * GIB, 64.0 * MIB]);
         let full_cfg = Configuration::dba_default(&full);
         let a = evaluate(&sub, &sub_cfg, &wl, &hw).outcome.throughput_tps;
         let b = evaluate(&full, &full_cfg, &wl, &hw).outcome.throughput_tps;

@@ -114,8 +114,8 @@ impl WorkloadMix {
     pub fn blend(&self, other: &WorkloadMix, t: f64) -> WorkloadMix {
         let t = t.clamp(0.0, 1.0);
         let mut w = [0.0; 7];
-        for i in 0..7 {
-            w[i] = (1.0 - t) * self.weights[i] + t * other.weights[i];
+        for (i, wi) in w.iter_mut().enumerate() {
+            *wi = (1.0 - t) * self.weights[i] + t * other.weights[i];
         }
         WorkloadMix::new(w)
     }

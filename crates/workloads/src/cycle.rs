@@ -32,7 +32,7 @@ impl TransactionalAnalyticalCycle {
 
     /// Whether the given iteration is in a TPC-C (transactional) phase.
     pub fn is_transactional_phase(&self, iteration: usize) -> bool {
-        (iteration / self.phase_length) % 2 == 0
+        (iteration / self.phase_length).is_multiple_of(2)
     }
 }
 
@@ -100,7 +100,10 @@ mod tests {
 
     #[test]
     fn objective_is_latency() {
-        assert_eq!(TransactionalAnalyticalCycle::new(0).objective(), Objective::P99Latency);
+        assert_eq!(
+            TransactionalAnalyticalCycle::new(0).objective(),
+            Objective::P99Latency
+        );
     }
 
     #[test]

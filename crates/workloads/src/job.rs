@@ -139,7 +139,11 @@ mod tests {
         }
         let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!(max - min > 1.0, "join fan-out should drift, got span {}", max - min);
+        assert!(
+            max - min > 1.0,
+            "join fan-out should drift, got span {}",
+            max - min
+        );
     }
 
     #[test]
@@ -153,7 +157,9 @@ mod tests {
         let w = JobWorkload::new_dynamic(5);
         let queries = w.sample_queries(7, 10);
         assert!(!queries.is_empty());
-        assert!(queries.iter().any(|q| q.contains("JOIN") || q.contains("GROUP BY")));
+        assert!(queries
+            .iter()
+            .any(|q| q.contains("JOIN") || q.contains("GROUP BY")));
         assert!(queries.iter().all(|q| q.starts_with("SELECT")));
     }
 }

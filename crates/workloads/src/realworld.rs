@@ -27,7 +27,14 @@ impl RealWorldWorkload {
         RealWorldWorkload {
             seed,
             templates: SqlTemplates::new(
-                vec!["events", "hosts", "metrics", "alerts", "dashboards", "sessions"],
+                vec![
+                    "events",
+                    "hosts",
+                    "metrics",
+                    "alerts",
+                    "dashboards",
+                    "sessions",
+                ],
                 seed ^ 0x5EA1,
             ),
         }
@@ -112,15 +119,23 @@ mod tests {
             min = min.min(r);
             max = max.max(r);
         }
-        assert!(min < 10.0, "ratio should reach the write-heavy end, min = {min}");
-        assert!(max > 50.0, "ratio should reach the read-heavy end, max = {max}");
+        assert!(
+            min < 10.0,
+            "ratio should reach the write-heavy end, min = {min}"
+        );
+        assert!(
+            max > 50.0,
+            "ratio should reach the read-heavy end, max = {max}"
+        );
     }
 
     #[test]
     fn arrival_rate_fluctuates_with_humps() {
         let w = RealWorldWorkload::new(1);
         let baseline = w.arrival_rate_at(0);
-        let peak = (0..400).map(|it| w.arrival_rate_at(it)).fold(f64::NEG_INFINITY, f64::max);
+        let peak = (0..400)
+            .map(|it| w.arrival_rate_at(it))
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!(peak > baseline * 2.0, "peak {peak} vs baseline {baseline}");
         // Arrival rate is bounded (no runaway values).
         assert!(peak < 20_000.0);

@@ -105,7 +105,9 @@ mod tests {
     #[test]
     fn render_produces_class_appropriate_sql() {
         let t = templates();
-        assert!(t.render(QueryClass::PointSelect, 0, 0).starts_with("SELECT"));
+        assert!(t
+            .render(QueryClass::PointSelect, 0, 0)
+            .starts_with("SELECT"));
         assert!(t.render(QueryClass::Insert, 0, 0).starts_with("INSERT"));
         assert!(t.render(QueryClass::Update, 0, 0).starts_with("UPDATE"));
         assert!(t.render(QueryClass::Delete, 0, 0).starts_with("DELETE"));

@@ -150,12 +150,17 @@ mod tests {
         assert!(queries
             .iter()
             .any(|q| q.contains("warehouse") || q.contains("order") || q.contains("stock")));
-        assert!(queries.iter().any(|q| q.starts_with("UPDATE") || q.starts_with("INSERT")));
+        assert!(queries
+            .iter()
+            .any(|q| q.starts_with("UPDATE") || q.starts_with("INSERT")));
     }
 
     #[test]
     fn objective_is_throughput() {
-        assert_eq!(TpccWorkload::new_dynamic(0).objective(), Objective::Throughput);
+        assert_eq!(
+            TpccWorkload::new_dynamic(0).objective(),
+            Objective::Throughput
+        );
         assert_eq!(TpccWorkload::new_dynamic(0).initial_data_size_gib(), 18.0);
     }
 }

@@ -111,7 +111,10 @@ mod tests {
     fn dynamic_mix_varies_but_is_reproducible() {
         let w = TwitterWorkload::new_dynamic(9);
         assert_ne!(w.spec_at(0).mix, w.spec_at(45).mix);
-        assert_eq!(w.spec_at(45).mix, TwitterWorkload::new_dynamic(9).spec_at(45).mix);
+        assert_eq!(
+            w.spec_at(45).mix,
+            TwitterWorkload::new_dynamic(9).spec_at(45).mix
+        );
     }
 
     #[test]
@@ -124,8 +127,13 @@ mod tests {
     fn queries_touch_the_twitter_schema() {
         let w = TwitterWorkload::new_dynamic(2);
         let queries = w.sample_queries(4, 40);
-        assert!(queries.iter().any(|q| q.contains("tweets") || q.contains("follow")));
+        assert!(queries
+            .iter()
+            .any(|q| q.contains("tweets") || q.contains("follow")));
         let selects = queries.iter().filter(|q| q.starts_with("SELECT")).count();
-        assert!(selects > queries.len() / 2, "read-heavy mix should produce mostly SELECTs");
+        assert!(
+            selects > queries.len() / 2,
+            "read-heavy mix should produce mostly SELECTs"
+        );
     }
 }

@@ -107,8 +107,14 @@ mod tests {
         assert!(ratios.iter().all(|r| (0.4..=1.0).contains(r)));
         let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!(min < 0.55, "the pattern should dip below 55% reads, min = {min}");
-        assert!(max > 0.9, "the pattern should approach read-only, max = {max}");
+        assert!(
+            min < 0.55,
+            "the pattern should dip below 55% reads, min = {min}"
+        );
+        assert!(
+            max > 0.9,
+            "the pattern should approach read-only, max = {max}"
+        );
     }
 
     #[test]

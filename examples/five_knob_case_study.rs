@@ -14,7 +14,11 @@ use workloads::WorkloadGenerator;
 
 fn main() {
     let catalogue = YcsbWorkload::case_study_catalogue();
-    println!("tuning {} knobs: {:?}\n", catalogue.len(), YcsbWorkload::CASE_STUDY_KNOBS);
+    println!(
+        "tuning {} knobs: {:?}\n",
+        catalogue.len(),
+        YcsbWorkload::CASE_STUDY_KNOBS
+    );
 
     let featurizer = ContextFeaturizer::with_defaults();
     let ycsb = YcsbWorkload::new(5);
@@ -64,7 +68,13 @@ fn main() {
         if tps < threshold * 0.95 {
             unsafe_count += 1;
         }
-        tuner.observe(&context, &suggestion.config, tps, Some(&eval.metrics), tps >= threshold * 0.95);
+        tuner.observe(
+            &context,
+            &suggestion.config,
+            tps,
+            Some(&eval.metrics),
+            tps >= threshold * 0.95,
+        );
 
         tuned_total += tps;
         default_total += threshold;
@@ -72,9 +82,18 @@ fn main() {
     }
 
     println!("mean throughput over {iterations} intervals (read ratio drifting 40%..100%):");
-    println!("  OnlineTune : {:>9.0} tps", tuned_total / iterations as f64);
-    println!("  DBA default: {:>9.0} tps", default_total / iterations as f64);
+    println!(
+        "  OnlineTune : {:>9.0} tps",
+        tuned_total / iterations as f64
+    );
+    println!(
+        "  DBA default: {:>9.0} tps",
+        default_total / iterations as f64
+    );
     println!("  Best (grid): {:>9.0} tps", best_total / iterations as f64);
-    println!("  unsafe intervals: {unsafe_count}, instance hangs: {}", db.failures());
+    println!(
+        "  unsafe intervals: {unsafe_count}, instance hangs: {}",
+        db.failures()
+    );
     println!("\nOnlineTune should sit between the DBA default and the per-phase Best, moving closer to Best as iterations accumulate while staying safe.");
 }

@@ -11,6 +11,7 @@
 
 pub use baselines;
 pub use featurize;
+pub use fleet;
 pub use gp;
 pub use linalg;
 pub use mlkit;

@@ -48,7 +48,13 @@ fn tune_session(
         }
         tuned += tps * 180.0;
         default += threshold * 180.0;
-        tuner.observe(&context, &suggestion.config, tps, Some(&eval.metrics), tps >= threshold * 0.95);
+        tuner.observe(
+            &context,
+            &suggestion.config,
+            tps,
+            Some(&eval.metrics),
+            tps >= threshold * 0.95,
+        );
     }
     (tuned, default, unsafe_count, db.failures())
 }
