@@ -22,6 +22,12 @@
 //!   fleet to JSON and restore it such that every session continues **bit-identically**
 //!   (see `OnlineTune::snapshot` / `SimDatabase::snapshot` for the per-layer state hooks).
 //!
+//! Per-iteration cost matters `N×` more in a fleet than in a single session: every
+//! tenant's model update runs the incremental `O(t²)` GP path — rank-1 Cholesky
+//! extension via `gp::GaussianProcess::observe` — rather than an `O(t³)` refit, and restored
+//! sessions replay bit-identically because both paths produce identical posteriors. The
+//! `bench --bin hotpath` binary records the fleet-level per-iteration latency.
+//!
 //! ```no_run
 //! use fleet::service::{FleetOptions, FleetService};
 //! use fleet::tenant::{TenantSpec, WorkloadFamily};

@@ -4,6 +4,17 @@
 //! the unit hypercube (see [`crate::normalize::MinMaxScaler`]); the context is the feature
 //! vector produced by the `featurize` crate. Internally the model simply concatenates
 //! `[θ, c]` and uses the additive contextual kernel.
+//!
+//! # Hot path
+//!
+//! [`ContextualGp::observe`] is the per-iteration update used by the online tuner: it
+//! appends the observation and extends the underlying GP incrementally in `O(n²)`
+//! ([`GaussianProcess::observe`]). The from-scratch [`ContextualGp::refit`] remains for
+//! the cases where the cached factorization is genuinely stale: hyper-parameter changes
+//! ([`ContextualGp::refit_with_hyperopt`], [`ContextualGp::set_hyperparams`]), bulk
+//! observation replacement ([`ContextualGp::set_observations`]) and snapshot restore.
+//! An optional [`ObservationBudget`] bounds memory and per-iteration cost by evicting
+//! low-information observations in batches once a window size is exceeded.
 
 use crate::hyperopt::{optimize_hyperparameters, HyperOptOptions, HyperOptReport};
 use crate::kernels::AdditiveContextKernel;
@@ -23,16 +34,48 @@ pub struct ContextObservation {
     pub performance: f64,
 }
 
+/// Bounds how many observations a [`ContextualGp`] retains.
+///
+/// When the store exceeds `window`, it is shrunk to `evict_to` observations in one batch
+/// (followed by a single full refit), so eviction cost is amortized: with
+/// `evict_to < window` the `O(n³)` refit happens once every `window - evict_to`
+/// observations, keeping the *amortized* per-observation cost `O(n²)`.
+///
+/// The retained set is the most recent `evict_to / 2` observations unconditionally, plus
+/// the older observations with the largest dual weight `|α_i|` (the highest-information
+/// points: those that shape the posterior mean the most). Selection is deterministic
+/// (ties break toward recency), which snapshot replay relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ObservationBudget {
+    /// Maximum number of observations retained; exceeding it triggers an eviction.
+    pub window: usize,
+    /// Number of observations kept after an eviction (`<= window`).
+    pub evict_to: usize,
+}
+
+impl ObservationBudget {
+    /// A budget that evicts down to 3/4 of `window`, amortizing refits over
+    /// `window / 4` observations.
+    pub fn new(window: usize) -> Self {
+        let window = window.max(1);
+        ObservationBudget {
+            window,
+            evict_to: (window * 3 / 4).max(1),
+        }
+    }
+}
+
 /// A Gaussian process over the joint context–configuration space.
 pub struct ContextualGp {
     gp: GaussianProcess,
     config_dim: usize,
     context_dim: usize,
     observations: Vec<ContextObservation>,
+    budget: Option<ObservationBudget>,
 }
 
 impl ContextualGp {
-    /// Creates an empty contextual GP for the given dimensions.
+    /// Creates an empty contextual GP for the given dimensions (no observation budget).
     pub fn new(config_dim: usize, context_dim: usize) -> Self {
         let kernel = AdditiveContextKernel::new(config_dim);
         ContextualGp {
@@ -40,7 +83,19 @@ impl ContextualGp {
             config_dim,
             context_dim,
             observations: Vec::new(),
+            budget: None,
         }
+    }
+
+    /// Sets (or clears) the observation budget. The budget is enforced on the next
+    /// [`ContextualGp::observe`]; it does not evict retroactively.
+    pub fn set_budget(&mut self, budget: Option<ObservationBudget>) {
+        self.budget = budget;
+    }
+
+    /// The current observation budget, if any.
+    pub fn budget(&self) -> Option<ObservationBudget> {
+        self.budget
     }
 
     /// Number of configuration dimensions.
@@ -76,15 +131,103 @@ impl ContextualGp {
     }
 
     /// Adds an observation without refitting (call [`ContextualGp::refit`] afterwards).
+    ///
+    /// Prefer [`ContextualGp::observe`] in per-iteration loops — it keeps the model
+    /// fitted at `O(n²)` instead of deferring an `O(n³)` refit.
     pub fn add_observation(&mut self, obs: ContextObservation) {
         debug_assert_eq!(obs.config.len(), self.config_dim);
         debug_assert_eq!(obs.context.len(), self.context_dim);
         self.observations.push(obs);
     }
 
-    /// Replaces all observations (used when re-clustering reassigns observations to models).
+    /// Adds an observation and updates the model incrementally in `O(n²)` (the hot path).
+    ///
+    /// When the underlying GP's training set is exactly the stored observations, the new
+    /// point is folded in via [`GaussianProcess::observe`] (Cholesky extension, no gram
+    /// rebuild). Otherwise — first observation, a prior refit failure, or an invalidated
+    /// fit after [`ContextualGp::set_hyperparams`] — it falls back to a full
+    /// [`ContextualGp::refit`]. Afterwards the observation budget, if any, is enforced.
+    ///
+    /// The resulting posterior is identical (bit-for-bit) to `add_observation` followed
+    /// by `refit`; only the cost differs.
+    ///
+    /// A wrong-dimension observation is rejected before it touches the store — unlike the
+    /// `debug_assert` in [`ContextualGp::add_observation`], this holds in release builds,
+    /// where a single malformed observation would otherwise poison every later refit.
+    pub fn observe(&mut self, obs: ContextObservation) -> Result<(), GpError> {
+        if obs.config.len() != self.config_dim {
+            return Err(GpError::DimensionMismatch {
+                expected: self.config_dim,
+                actual: obs.config.len(),
+            });
+        }
+        if obs.context.len() != self.context_dim {
+            return Err(GpError::DimensionMismatch {
+                expected: self.context_dim,
+                actual: obs.context.len(),
+            });
+        }
+        let joint = self.joint(&obs.config, &obs.context);
+        let performance = obs.performance;
+        self.observations.push(obs);
+        if self.gp.is_fitted() && self.gp.n_observations() + 1 == self.observations.len() {
+            self.gp.observe(&joint, performance)?;
+        } else {
+            self.refit()?;
+        }
+        self.enforce_budget()
+    }
+
+    /// Applies the observation budget: when the store exceeds `window`, keep the most
+    /// recent `evict_to / 2` observations plus the highest-`|α|` older ones, then refit.
+    fn enforce_budget(&mut self) -> Result<(), GpError> {
+        let Some(budget) = self.budget else {
+            return Ok(());
+        };
+        if self.observations.len() <= budget.window {
+            return Ok(());
+        }
+        let n_keep = budget.evict_to.min(budget.window).max(1);
+        let total = self.observations.len();
+        let recent_keep = (n_keep / 2).max(1).min(n_keep);
+        let recent_start = total - recent_keep;
+        let budget_slots = n_keep - recent_keep;
+
+        // Rank the older observations by their influence on the posterior mean. The dual
+        // weights are available iff the GP is fitted on exactly the stored observations;
+        // otherwise fall back to pure recency.
+        let scores: Vec<f64> = match self.gp.alpha() {
+            Some(alpha) if alpha.len() == total => alpha.iter().map(|a| a.abs()).collect(),
+            _ => (0..total).map(|i| i as f64).collect(),
+        };
+        let mut older: Vec<usize> = (0..recent_start).collect();
+        older.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.cmp(&a))
+        });
+        let mut keep_idx: Vec<usize> = older.into_iter().take(budget_slots).collect();
+        keep_idx.extend(recent_start..total);
+        // Chronological order keeps "most recent" semantics stable across evictions.
+        keep_idx.sort_unstable();
+
+        let kept: Vec<ContextObservation> = keep_idx
+            .into_iter()
+            .map(|i| self.observations[i].clone())
+            .collect();
+        self.observations = kept;
+        self.refit()
+    }
+
+    /// Replaces all observations (used when re-clustering reassigns observations to
+    /// models). Invalidates the underlying fit: the cached factorization belongs to the
+    /// old observation set, and a same-length replacement would otherwise be
+    /// indistinguishable from it on the next [`ContextualGp::observe`]. Call
+    /// [`ContextualGp::refit`] to fit on the new set.
     pub fn set_observations(&mut self, obs: Vec<ContextObservation>) {
         self.observations = obs;
+        self.gp.invalidate_fit();
     }
 
     /// Refits the underlying GP on the stored observations.
@@ -117,11 +260,16 @@ impl ContextualGp {
             .collect();
         let y: Vec<f64> = self.observations.iter().map(|o| o.performance).collect();
         let report = optimize_hyperparameters(&mut self.gp, &x, &y, options, rng);
-        // optimize_hyperparameters refits internally; make sure the fit succeeded.
-        if !self.gp.is_fitted() {
-            self.gp.fit(&x, &y)?;
+        // Invariant: `optimize_hyperparameters` refits the GP as its final step, so
+        // fitting again here would redo the O(n³) work it just did. If that internal fit
+        // failed, retrying the identical deterministic fit cannot succeed either —
+        // surface the failure instead of double-fitting.
+        if self.gp.is_fitted() {
+            self.enforce_budget()?;
+            Ok(report)
+        } else {
+            Err(GpError::KernelNotPositiveDefinite)
         }
-        Ok(report)
     }
 
     /// Predicts the performance of `config` under `context`.
@@ -238,6 +386,156 @@ mod tests {
         assert!(model.refit().is_err());
         assert!(model.is_empty());
         assert!(model.best_observation().is_none());
+    }
+
+    #[test]
+    fn observe_matches_add_then_refit_bitwise() {
+        let mut incremental = ContextualGp::new(1, 1);
+        let mut scratch = ContextualGp::new(1, 1);
+        for i in 0..12 {
+            let theta = i as f64 / 11.0;
+            let o = ContextObservation {
+                context: vec![0.3],
+                config: vec![theta],
+                performance: toy(theta, 0.3),
+            };
+            incremental.observe(o.clone()).unwrap();
+            scratch.add_observation(o);
+        }
+        scratch.refit().unwrap();
+        for i in 0..20 {
+            let theta = i as f64 / 19.0;
+            let a = incremental.predict(&[theta], &[0.3]).unwrap();
+            let b = scratch.predict(&[theta], &[0.3]).unwrap();
+            assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+            assert_eq!(a.std_dev.to_bits(), b.std_dev.to_bits());
+        }
+    }
+
+    #[test]
+    fn observe_refits_fully_after_hyperparam_change() {
+        let mut model = ContextualGp::new(1, 1);
+        for i in 0..6 {
+            let theta = i as f64 / 5.0;
+            model
+                .observe(ContextObservation {
+                    context: vec![0.2],
+                    config: vec![theta],
+                    performance: toy(theta, 0.2),
+                })
+                .unwrap();
+        }
+        let (params, _) = model.hyperparams();
+        model.set_hyperparams(&params, 5e-2); // invalidates the fit
+        assert!(!model.is_fitted());
+        model
+            .observe(ContextObservation {
+                context: vec![0.2],
+                config: vec![0.5],
+                performance: toy(0.5, 0.2),
+            })
+            .unwrap();
+        // The fallback refit must cover the whole store, not just the new point.
+        assert!(model.is_fitted());
+        assert_eq!(model.len(), 7);
+        let p = model.predict(&[0.2], &[0.2]).unwrap();
+        assert!(p.mean.is_finite());
+    }
+
+    #[test]
+    fn observe_rejects_wrong_dimensions_without_mutating_the_store() {
+        let mut model = ContextualGp::new(2, 1);
+        assert!(matches!(
+            model.observe(ContextObservation {
+                context: vec![0.1],
+                config: vec![0.5], // should be 2-dimensional
+                performance: 1.0,
+            }),
+            Err(GpError::DimensionMismatch { .. })
+        ));
+        assert!(model.is_empty());
+        assert!(!model.is_fitted());
+    }
+
+    #[test]
+    fn set_observations_invalidates_fit_so_observe_cannot_extend_stale_data() {
+        let obs_at = |theta: f64, c: f64| ContextObservation {
+            context: vec![c],
+            config: vec![theta],
+            performance: toy(theta, c),
+        };
+        let mut model = ContextualGp::new(1, 1);
+        for i in 0..8 {
+            model.observe(obs_at(i as f64 / 7.0, 0.2)).unwrap();
+        }
+        // Same-length bulk replacement: the observation count alone cannot distinguish
+        // the new store from the old one, so set_observations must drop the cached fit.
+        let replacement: Vec<ContextObservation> =
+            (0..8).map(|i| obs_at(i as f64 / 7.0, 0.8)).collect();
+        model.set_observations(replacement.clone());
+        assert!(!model.is_fitted());
+        model.observe(obs_at(0.5, 0.8)).unwrap();
+
+        let mut scratch = ContextualGp::new(1, 1);
+        scratch.set_observations(replacement);
+        scratch.add_observation(obs_at(0.5, 0.8));
+        scratch.refit().unwrap();
+        let a = model.predict(&[0.3], &[0.8]).unwrap();
+        let b = scratch.predict(&[0.3], &[0.8]).unwrap();
+        assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+        assert_eq!(a.std_dev.to_bits(), b.std_dev.to_bits());
+    }
+
+    #[test]
+    fn budget_evicts_in_batches_and_keeps_recent_points() {
+        let mut model = ContextualGp::new(1, 1);
+        model.set_budget(Some(ObservationBudget::new(20)));
+        for i in 0..50 {
+            let theta = (i % 10) as f64 / 10.0;
+            model
+                .observe(ContextObservation {
+                    context: vec![0.5],
+                    config: vec![theta],
+                    performance: i as f64,
+                })
+                .unwrap();
+        }
+        assert!(model.len() <= 20, "len = {}", model.len());
+        // The newest observation always survives eviction.
+        assert!(model.observations().iter().any(|o| o.performance == 49.0));
+        assert!(model.is_fitted());
+    }
+
+    #[test]
+    fn budget_retains_high_information_older_points() {
+        // One old observation sits far from the rest in performance: its |alpha| is large,
+        // so the budget must keep it even though it is the oldest point.
+        let mut model = ContextualGp::new(1, 1);
+        model.set_budget(Some(ObservationBudget {
+            window: 10,
+            evict_to: 6,
+        }));
+        model
+            .observe(ContextObservation {
+                context: vec![0.5],
+                config: vec![0.0],
+                performance: 100.0,
+            })
+            .unwrap();
+        for i in 0..10 {
+            model
+                .observe(ContextObservation {
+                    context: vec![0.5],
+                    config: vec![0.1 + 0.08 * i as f64],
+                    performance: 1.0 + 0.01 * i as f64,
+                })
+                .unwrap();
+        }
+        assert!(model.len() <= 10);
+        assert!(
+            model.observations().iter().any(|o| o.performance == 100.0),
+            "the outlier (highest-information point) must survive eviction"
+        );
     }
 
     #[test]

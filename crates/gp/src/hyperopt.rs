@@ -154,6 +154,11 @@ pub fn nelder_mead(
 
 /// Optimizes the GP's kernel hyper-parameters (and optionally its noise variance) by
 /// maximizing the log marginal likelihood of `(x, y)`, then refits the model.
+///
+/// Invariant: the final `fit` on `(x, y)` with the best hyper-parameters happens *inside*
+/// this function. Callers must not fit again afterwards — fitting is deterministic, so a
+/// second fit on the same data is pure redundant `O(n³)` work (and if the internal fit
+/// failed, a retry would fail identically; check [`GaussianProcess::is_fitted`] instead).
 pub fn optimize_hyperparameters<R: Rng>(
     gp: &mut GaussianProcess,
     x: &[Vec<f64>],

@@ -14,7 +14,23 @@
 //!   including the `β_t` schedule of Srinivas et al. referenced by the paper.
 //! * [`normalize`] — input min–max scaling and output standardization helpers.
 //! * [`contextual`] — a convenience wrapper that manages the `(context, configuration)`
-//!   joint input space.
+//!   joint input space, with an optional observation budget.
+//!
+//! ## The incremental-vs-refit contract
+//!
+//! Online tuning observes one point per iteration, so the per-iteration model update is
+//! the hot path of the whole system. [`GaussianProcess`] therefore offers two fitting
+//! paths with a strict equivalence contract (see [`regression`] for details):
+//!
+//! * [`GaussianProcess::observe`] / [`ContextualGp::observe`] — `O(n²)`: extend the
+//!   cached Cholesky factor by one row, refresh the output standardizer, re-solve the
+//!   dual weights. Use this whenever only the training set grew.
+//! * [`GaussianProcess::fit`] / [`ContextualGp::refit`] — `O(n³)`: rebuild everything.
+//!   Required after kernel hyper-parameter or noise changes (both invalidate the cached
+//!   factor automatically), bulk observation replacement, and snapshot restore.
+//!
+//! Both paths produce **bit-identical** posteriors, so callers may mix them freely —
+//! snapshot/restore (which refits) replays incrementally-built sessions exactly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,7 +45,7 @@ pub mod regression;
 pub use acquisition::{
     expected_improvement, lower_confidence_bound, ucb_beta, upper_confidence_bound,
 };
-pub use contextual::ContextualGp;
+pub use contextual::{ContextualGp, ObservationBudget};
 pub use kernels::{
     AdditiveContextKernel, Kernel, LinearKernel, Matern52Kernel, RbfKernel, ScaledKernel,
 };

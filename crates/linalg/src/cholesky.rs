@@ -1,5 +1,17 @@
 //! Cholesky factorization of symmetric positive-definite matrices and the associated
 //! solves used by Gaussian-process regression.
+//!
+//! Besides the from-scratch factorization, the factor supports two incremental
+//! operations that keep online GP updates at `O(n²)` per observation instead of `O(n³)`:
+//!
+//! * [`Cholesky::extend`] — append one row/column to the factored matrix, and
+//! * [`Cholesky::rank_one_update`] — replace the factored matrix `A` by `A + v vᵀ`.
+//!
+//! `extend` performs the *same* floating-point operations, in the same order, that
+//! [`Cholesky::decompose`] would perform for the appended row, so a factor grown
+//! incrementally is bit-identical to one computed from scratch on the full matrix
+//! (given the same diagonal jitter). Snapshot/replay determinism across the workspace
+//! relies on this property.
 
 use crate::{LinalgError, Matrix, Result};
 
@@ -74,6 +86,101 @@ impl Cholesky {
             }
         }
         Ok(Cholesky { l, jitter })
+    }
+
+    /// Appends one row/column to the factored matrix in `O(n²)`.
+    ///
+    /// `row` is the new last row of the *extended* matrix `A'`: `row[j] = A'[n][j]` for
+    /// `j < n` and `row[n]` is the new diagonal element. The jitter recorded at
+    /// factorization time is added to the new diagonal so the extended factor is exactly
+    /// the factor of the extended jittered matrix.
+    ///
+    /// The appended row is computed with the same operations, in the same order, that
+    /// [`Cholesky::decompose`] would use, so the result is bit-identical to a
+    /// from-scratch factorization of `A'` with the same jitter. On failure (the new
+    /// pivot is non-positive or non-finite, e.g. the appended point is numerically
+    /// dependent on existing ones) the factor is left unchanged and the caller should
+    /// fall back to a full [`Cholesky::decompose_with_jitter`].
+    pub fn extend(&mut self, row: &[f64]) -> Result<()> {
+        let n = self.dim();
+        if row.len() != n + 1 {
+            return Err(LinalgError::DimensionMismatch {
+                op: "extend",
+                lhs: (n + 1, n + 1),
+                rhs: (row.len(), 1),
+            });
+        }
+        let mut new_row = vec![0.0; n + 1];
+        #[allow(clippy::needless_range_loop)] // mirrors decompose_inner's index recurrence
+        for j in 0..=n {
+            let mut sum = row[j];
+            if j == n {
+                sum += self.jitter;
+            }
+            for k in 0..j {
+                let ljk = if j == n { new_row[k] } else { self.l.get(j, k) };
+                sum -= new_row[k] * ljk;
+            }
+            if j == n {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(LinalgError::NotPositiveDefinite {
+                        pivot: n,
+                        value: sum,
+                    });
+                }
+                new_row[n] = sum.sqrt();
+            } else {
+                new_row[j] = sum / self.l.get(j, j);
+            }
+        }
+        let mut l = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            for j in 0..=i {
+                l.set(i, j, self.l.get(i, j));
+            }
+        }
+        for (j, &v) in new_row.iter().enumerate() {
+            l.set(n, j, v);
+        }
+        self.l = l;
+        Ok(())
+    }
+
+    /// Rank-1 update: replaces the factored matrix `A = L Lᵀ` by `A + v vᵀ` in `O(n²)`.
+    ///
+    /// Uses the standard hyperbolic-rotation-free update (a sequence of Givens-like
+    /// scalings), which is unconditionally stable because `A + v vᵀ` remains positive
+    /// definite. The factor is only replaced when every pivot stays finite; otherwise an
+    /// error is returned and the factor is left unchanged.
+    pub fn rank_one_update(&mut self, v: &[f64]) -> Result<()> {
+        let n = self.dim();
+        if v.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "rank_one_update",
+                lhs: (n, n),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut l = self.l.clone();
+        let mut work = v.to_vec();
+        for k in 0..n {
+            let lkk = l.get(k, k);
+            let r = (lkk * lkk + work[k] * work[k]).sqrt();
+            if r <= 0.0 || !r.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: k, value: r });
+            }
+            let c = r / lkk;
+            let s = work[k] / lkk;
+            l.set(k, k, r);
+            #[allow(clippy::needless_range_loop)] // work[i] and l(i, k) advance in lockstep
+            for i in (k + 1)..n {
+                let lik = (l.get(i, k) + s * work[i]) / c;
+                work[i] = c * work[i] - s * lik;
+                l.set(i, k, lik);
+            }
+        }
+        self.l = l;
+        Ok(())
     }
 
     /// The lower-triangular factor `L`.
@@ -236,6 +343,107 @@ mod tests {
     }
 
     #[test]
+    fn extend_from_empty_factor_grows_to_one() {
+        // 0 → 1 growth: an empty factor extended with a single diagonal element.
+        let mut c = Cholesky::decompose(&Matrix::zeros(0, 0)).unwrap();
+        assert_eq!(c.dim(), 0);
+        c.extend(&[4.0]).unwrap();
+        assert_eq!(c.dim(), 1);
+        assert_eq!(c.factor().get(0, 0), 2.0);
+        let x = c.solve(&[6.0]).unwrap();
+        assert_eq!(x, vec![1.5]);
+    }
+
+    #[test]
+    fn extend_matches_from_scratch_bitwise() {
+        let a = spd3();
+        // Factor the leading 2x2 block, then extend by the third row: the result must be
+        // bit-identical to factoring the full 3x3 matrix.
+        let lead = Matrix::from_fn(2, 2, |i, j| a.get(i, j));
+        let mut c = Cholesky::decompose(&lead).unwrap();
+        c.extend(&[a.get(2, 0), a.get(2, 1), a.get(2, 2)]).unwrap();
+        let full = Cholesky::decompose(&a).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(c.factor().get(i, j), full.factor().get(i, j), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn extend_with_dependent_row_fails_and_leaves_factor_unchanged() {
+        // Appending a duplicate of an existing point makes the new pivot exactly 0: the
+        // extension must fail so the caller can fall back to a jittered full
+        // re-decomposition.
+        let a = Matrix::identity(2);
+        let mut c = Cholesky::decompose(&a).unwrap();
+        let before = c.factor().clone();
+        assert!(matches!(
+            c.extend(&[1.0, 0.0, 1.0]),
+            Err(LinalgError::NotPositiveDefinite { pivot: 2, .. })
+        ));
+        assert_eq!(c.dim(), 2);
+        assert!(c.factor().max_abs_diff(&before).unwrap() == 0.0);
+        // The fallback the GP layer uses: re-decompose the extended matrix with jitter.
+        let ext =
+            Matrix::from_vec(3, 3, vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0]).unwrap();
+        let rescued = Cholesky::decompose_with_jitter(&ext, 1e-2).unwrap();
+        assert!(rescued.jitter() > 0.0);
+    }
+
+    #[test]
+    fn extend_wrong_length_is_rejected() {
+        let mut c = Cholesky::decompose(&spd3()).unwrap();
+        assert!(matches!(
+            c.extend(&[1.0, 2.0]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn extend_preserves_jitter_on_the_new_diagonal() {
+        // A factor produced with jitter must add the same jitter to appended diagonals,
+        // so that the extended factor equals the from-scratch factor of the jittered
+        // extended matrix.
+        let a = Matrix::from_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        let mut c = Cholesky::decompose_with_jitter(&a, 1e-2).unwrap();
+        let j = c.jitter();
+        assert!(j > 0.0);
+        c.extend(&[0.5, 0.5, 2.0]).unwrap();
+        let mut ext =
+            Matrix::from_vec(3, 3, vec![1.0, 1.0, 0.5, 1.0, 1.0, 0.5, 0.5, 0.5, 2.0]).unwrap();
+        ext.add_diagonal(j).unwrap();
+        let scratch = Cholesky::decompose(&ext).unwrap();
+        assert!(c.factor().max_abs_diff(scratch.factor()).unwrap() < 1e-14);
+    }
+
+    #[test]
+    fn rank_one_update_matches_direct_factorization() {
+        let a = spd3();
+        let mut c = Cholesky::decompose(&a).unwrap();
+        let v = [0.5, -1.0, 2.0];
+        c.rank_one_update(&v).unwrap();
+        let mut updated = a.clone();
+        for i in 0..3 {
+            for j in 0..3 {
+                updated.set(i, j, updated.get(i, j) + v[i] * v[j]);
+            }
+        }
+        let direct = Cholesky::decompose(&updated).unwrap();
+        assert!(c.factor().max_abs_diff(direct.factor()).unwrap() < 1e-10);
+        assert!((c.log_det() - direct.log_det()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rank_one_update_wrong_length_is_rejected() {
+        let mut c = Cholesky::decompose(&spd3()).unwrap();
+        assert!(matches!(
+            c.rank_one_update(&[1.0]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
     fn inverse_times_matrix_is_identity() {
         let a = spd3();
         let c = Cholesky::decompose(&a).unwrap();
@@ -275,6 +483,38 @@ mod tests {
                 for (s, t) in solved.iter().zip(x.iter()) {
                     prop_assert!((s - t).abs() < 1e-6, "{} vs {}", s, t);
                 }
+            }
+
+            #[test]
+            fn prop_extend_agrees_with_decompose(a in spd_strategy(6)) {
+                // Grow the factor one row at a time from 1x1; at every size it must be
+                // bit-identical to the from-scratch factorization of the leading block.
+                let lead1 = Matrix::from_fn(1, 1, |i, j| a.get(i, j));
+                let mut c = Cholesky::decompose(&lead1).unwrap();
+                for n in 1..a.rows() {
+                    let row: Vec<f64> = (0..=n).map(|j| a.get(n, j)).collect();
+                    c.extend(&row).unwrap();
+                    let lead = Matrix::from_fn(n + 1, n + 1, |i, j| a.get(i, j));
+                    let scratch = Cholesky::decompose(&lead).unwrap();
+                    prop_assert!(c.factor().max_abs_diff(scratch.factor()).unwrap() == 0.0);
+                }
+            }
+
+            #[test]
+            fn prop_rank_one_update_agrees_with_decompose(
+                a in spd_strategy(5),
+                v in proptest::collection::vec(-2.0f64..2.0, 5),
+            ) {
+                let mut c = Cholesky::decompose(&a).unwrap();
+                c.rank_one_update(&v).unwrap();
+                let mut updated = a.clone();
+                for i in 0..5 {
+                    for j in 0..5 {
+                        updated.set(i, j, updated.get(i, j) + v[i] * v[j]);
+                    }
+                }
+                let direct = Cholesky::decompose(&updated).unwrap();
+                prop_assert!(c.factor().max_abs_diff(direct.factor()).unwrap() < 1e-8);
             }
 
             #[test]

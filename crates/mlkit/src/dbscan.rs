@@ -77,7 +77,7 @@ pub fn dbscan(points: &[Vec<f64>], params: &DbscanParams) -> Vec<i32> {
     labels
 }
 
-/// Number of clusters (excluding noise) in a labelling produced by [`dbscan`].
+/// Number of clusters (excluding noise) in a labelling produced by [`fn@dbscan`].
 pub fn cluster_count(labels: &[i32]) -> usize {
     labels
         .iter()

@@ -2,7 +2,7 @@
 //!
 //! Supporting machine-learning primitives for the OnlineTune reproduction:
 //!
-//! * [`dbscan`] — density-based clustering of context features (Algorithm 1, line 2).
+//! * [`mod@dbscan`] — density-based clustering of context features (Algorithm 1, line 2).
 //! * [`svm`] — a multi-class linear SVM used as the model-selection decision boundary
 //!   (Algorithm 1, line 4).
 //! * [`mutual_info`] — normalized mutual information between two clusterings, used to decide

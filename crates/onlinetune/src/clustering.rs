@@ -7,7 +7,7 @@
 //! the right model, and re-clusters only when a mutual-information score indicates the
 //! context distribution has shifted.
 
-use gp::contextual::{ContextObservation, ContextualGp};
+use gp::contextual::{ContextObservation, ContextualGp, ObservationBudget};
 use gp::hyperopt::HyperOptOptions;
 use mlkit::dbscan::{cluster_members, dbscan, DbscanParams};
 use mlkit::normalized_mutual_information;
@@ -26,8 +26,10 @@ pub struct ClusterOptions {
     pub recluster_check_period: usize,
     /// Minimum number of observations before the first clustering is attempted.
     pub min_observations_for_clustering: usize,
-    /// Per-model observation cap `P` (only the most recent `P` observations of a cluster
-    /// are used to fit its GP, bounding the cubic cost).
+    /// Per-model observation budget window `P`: a cluster model holds at most `P`
+    /// observations; overflowing triggers a batch eviction that keeps the most recent and
+    /// highest-information points (see [`gp::contextual::ObservationBudget`]), bounding
+    /// both memory and the quadratic incremental-update cost.
     pub max_observations_per_model: usize,
     /// Refit kernel hyper-parameters every this many model updates.
     pub hyperopt_period: usize,
@@ -66,16 +68,26 @@ pub struct ClusterManager {
     recluster_count: usize,
 }
 
+/// Builds a per-cluster model with the observation budget implied by `options`.
+fn budgeted_model(config_dim: usize, context_dim: usize, options: &ClusterOptions) -> ContextualGp {
+    let mut model = ContextualGp::new(config_dim, context_dim);
+    model.set_budget(Some(ObservationBudget::new(
+        options.max_observations_per_model,
+    )));
+    model
+}
+
 impl ClusterManager {
     /// Creates a manager with a single (initially empty) model.
     pub fn new(config_dim: usize, context_dim: usize, options: ClusterOptions) -> Self {
+        let model = budgeted_model(config_dim, context_dim, &options);
         ClusterManager {
             config_dim,
             context_dim,
             options,
             observations: Vec::new(),
             labels: Vec::new(),
-            models: vec![ContextualGp::new(config_dim, context_dim)],
+            models: vec![model],
             svm: None,
             updates_since_hyperopt: vec![0],
             observations_since_recluster_check: 0,
@@ -124,26 +136,33 @@ impl ClusterManager {
         }
     }
 
-    /// Adds an observation, assigns it to a cluster, refits that cluster's model and
-    /// (periodically) re-optimizes its hyper-parameters. Returns the cluster id.
+    /// Adds an observation, assigns it to a cluster and folds it into that cluster's
+    /// model **incrementally** (`O(n²)` via [`ContextualGp::observe`] — the hot path).
+    /// Periodically the cluster's kernel hyper-parameters are re-optimized, which is the
+    /// one case that requires a from-scratch `O(n³)` refit (the cached factorization is
+    /// invalidated by the new hyper-parameters). Returns the cluster id.
+    ///
+    /// A wrong-dimension observation is rejected wholesale — it enters neither the
+    /// repository nor any model (a poisoned repository would resurface at the next
+    /// re-clustering) — and cluster 0 is returned. The check holds in release builds.
     pub fn add_observation<R: Rng>(&mut self, obs: ContextObservation, rng: &mut R) -> usize {
+        if obs.config.len() != self.config_dim || obs.context.len() != self.context_dim {
+            return 0;
+        }
         let cluster = self.select_model(&obs.context);
         self.observations.push(obs.clone());
         self.labels.push(cluster as i32);
         self.observations_since_recluster_check += 1;
 
         let model = &mut self.models[cluster];
-        model.add_observation(obs);
-        // Enforce the per-model observation cap by keeping the most recent P observations.
-        if model.len() > self.options.max_observations_per_model {
-            let keep = self.options.max_observations_per_model;
-            let obs_vec = model.observations().to_vec();
-            let start = obs_vec.len() - keep;
-            model.set_observations(obs_vec[start..].to_vec());
-        }
         self.updates_since_hyperopt[cluster] += 1;
         if self.updates_since_hyperopt[cluster] >= self.options.hyperopt_period {
+            // Hyper-parameter re-optimization invalidates the cached factorization
+            // anyway, so skip the incremental update on this iteration: add the raw
+            // observation and let the hyperopt's internal refit (which also enforces the
+            // observation budget) do the one O(n³) fit.
             self.updates_since_hyperopt[cluster] = 0;
+            model.add_observation(obs);
             let _ = model.refit_with_hyperopt(
                 &HyperOptOptions {
                     restarts: 1,
@@ -153,7 +172,9 @@ impl ClusterManager {
                 rng,
             );
         } else {
-            let _ = model.refit();
+            // Incremental model update; the model's observation budget evicts (and
+            // refits) in batches once the window overflows.
+            let _ = model.observe(obs);
         }
         cluster
     }
@@ -201,7 +222,7 @@ impl ClusterManager {
         let mut models = Vec::with_capacity(groups.len());
         let mut labels = vec![0i32; self.observations.len()];
         for (cid, members) in groups.iter().enumerate() {
-            let mut model = ContextualGp::new(self.config_dim, self.context_dim);
+            let mut model = budgeted_model(self.config_dim, self.context_dim, &self.options);
             let cap = self.options.max_observations_per_model;
             let start = members.len().saturating_sub(cap);
             for &idx in &members[start..] {
@@ -310,7 +331,7 @@ impl ClusterManager {
             .models
             .iter()
             .map(|ms| {
-                let mut model = ContextualGp::new(state.config_dim, state.context_dim);
+                let mut model = budgeted_model(state.config_dim, state.context_dim, &options);
                 model.set_hyperparams(&ms.kernel_params, ms.noise_variance);
                 model.set_observations(ms.observations.clone());
                 if !ms.observations.is_empty() {
@@ -320,7 +341,11 @@ impl ClusterManager {
             })
             .collect();
         let models = if models.is_empty() {
-            vec![ContextualGp::new(state.config_dim, state.context_dim)]
+            vec![budgeted_model(
+                state.config_dim,
+                state.context_dim,
+                &options,
+            )]
         } else {
             models
         };
@@ -481,6 +506,21 @@ mod tests {
         }
         assert_eq!(mgr.len(), 60);
         assert!(mgr.model(0).len() <= 20);
+    }
+
+    #[test]
+    fn wrong_dimension_observations_never_enter_the_repository() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut mgr = ClusterManager::new(1, 2, ClusterOptions::default());
+        mgr.add_observation(obs(vec![0.5, 0.5], vec![0.5], 1.0), &mut rng);
+        // Wrong config dimension and wrong context dimension: both rejected wholesale.
+        mgr.add_observation(obs(vec![0.5, 0.5], vec![0.5, 0.9], 1.0), &mut rng);
+        mgr.add_observation(obs(vec![0.5], vec![0.5], 1.0), &mut rng);
+        assert_eq!(mgr.len(), 1);
+        assert_eq!(mgr.model(0).len(), 1);
+        // A later recluster sees only well-formed observations.
+        assert!(!mgr.maybe_recluster(&mut rng));
+        assert_eq!(mgr.len(), 1);
     }
 
     #[test]

@@ -21,10 +21,16 @@
 //! 5. **Candidate selection** ([`candidate`]) — ε-greedy between the UCB maximizer and the
 //!    most uncertain boundary point of the safety set.
 //! 6. **Apply & evaluate** happens outside this crate (the `simdb` instance).
-//! 7. **Model update** — [`tuner::OnlineTune::observe`] feeds the observation back.
+//! 7. **Model update** — [`tuner::OnlineTune::observe`] feeds the observation back. This
+//!    is the hot path: the cluster's GP is updated *incrementally* in `O(t²)` per
+//!    iteration (rank-1 Cholesky extension, see `gp::GaussianProcess::observe`) instead
+//!    of an `O(t³)` refit; a from-scratch refit only happens when hyper-parameters are
+//!    re-optimized, on re-clustering, or when the per-model observation budget evicts.
 //!
 //! Every stage records wall-clock timings in [`diagnostics::IterationDiagnostics`] so the
-//! overhead experiment (Figure 8 / Table A1) can be regenerated.
+//! overhead experiment (Figure 8 / Table A1) can be regenerated; the
+//! `bench --bin hotpath` binary tracks the incremental-vs-refit speedup
+//! (`BENCH_hotpath.json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

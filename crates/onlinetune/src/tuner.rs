@@ -432,6 +432,11 @@ impl OnlineTune {
     ///
     /// `performance` must be in higher-is-better units (negate latency objectives);
     /// `was_safe` states whether the measured performance met the safety threshold.
+    ///
+    /// This is the hot path of online tuning: the selected cluster model absorbs the
+    /// observation incrementally in `O(t²)` (Cholesky extension), falling back to a full
+    /// `O(t³)` refit only on periodic hyper-parameter re-optimization, re-clustering, or
+    /// an observation-budget eviction.
     pub fn observe(
         &mut self,
         context: &[f64],

@@ -9,6 +9,12 @@
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full system inventory.
 
+/// Compiles and runs the code blocks in `README.md` as doc tests, so the README examples
+/// can never drift from the real API. Exists only while rustdoc collects doc tests.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
+
 pub use baselines;
 pub use featurize;
 pub use fleet;
