@@ -8,7 +8,10 @@
 //! dozen likelihood evaluations — well within OnlineTune's per-iteration budget (the paper
 //! reports ≈1.4 s for "Model Update" on the Python implementation; ours is far cheaper).
 
+use crate::kernels::Kernel;
+use crate::normalize::Standardizer;
 use crate::regression::GaussianProcess;
+use linalg::{Cholesky, Matrix};
 use rand::Rng;
 
 /// Configuration for the marginal-likelihood optimization.
@@ -22,6 +25,12 @@ pub struct HyperOptOptions {
     pub tol: f64,
     /// Whether the observation-noise variance is optimized together with the kernel.
     pub optimize_noise: bool,
+    /// Precompute the pairwise kernel statistics (squared distances / dot products)
+    /// once and rebuild each trial's Gram matrix from the cache, turning the per-trial
+    /// Gram cost from `O(n²·d)` into `O(n²)`. The cached path selects bit-identical
+    /// hyper-parameters (see [`crate::kernels::Kernel::pair_stats`]); the switch exists
+    /// for kernels without pair-stat support and for equivalence testing.
+    pub use_distance_cache: bool,
 }
 
 impl Default for HyperOptOptions {
@@ -31,8 +40,37 @@ impl Default for HyperOptOptions {
             max_iters: 60,
             tol: 1e-4,
             optimize_noise: true,
+            use_distance_cache: true,
         }
     }
+}
+
+/// Log marginal likelihood evaluated from cached pairwise statistics.
+///
+/// Performs exactly the operations of [`GaussianProcess::log_marginal_likelihood`] —
+/// Gram entries via [`Kernel::eval_stats`] are bit-identical to [`Kernel::eval`], and
+/// the factorization/solve/log-det pipeline is unchanged — but rebuilding the Gram
+/// matrix costs `O(n²)` instead of `O(n²·d)` because the per-pair statistics were
+/// computed once up front. `stats` is row-major: the statistics of pair `(i, j)` live
+/// at `stats[(i·n + j)·n_stats ..][.. n_stats]`.
+fn lml_from_stats(
+    kernel: &dyn Kernel,
+    noise_variance: f64,
+    stats: &[f64],
+    n_stats: usize,
+    n: usize,
+    y_std: &[f64],
+) -> Option<f64> {
+    let mut k = Matrix::from_fn(n, n, |i, j| {
+        kernel.eval_stats(&stats[(i * n + j) * n_stats..][..n_stats])
+    });
+    k.add_diagonal(noise_variance).ok()?;
+    let chol = Cholesky::decompose_with_jitter(&k, 1e-3).ok()?;
+    let alpha = chol.solve(y_std).ok()?;
+    let data_fit: f64 = y_std.iter().zip(alpha.iter()).map(|(a, b)| a * b).sum();
+    Some(
+        -0.5 * data_fit - 0.5 * chol.log_det() - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln(),
+    )
 }
 
 /// Result summary of one hyper-parameter optimization.
@@ -188,6 +226,34 @@ pub fn optimize_hyperparameters<R: Rng>(
         .log_marginal_likelihood(x, y)
         .unwrap_or(f64::NEG_INFINITY);
 
+    // Every likelihood trial re-evaluates the full Gram matrix after a hyper-parameter
+    // change, but the pairwise statistics the kernel is computed from (squared
+    // distances, dot products) never change across trials. Precompute them — and the
+    // standardized targets — once, so each trial's Gram rebuild is `O(n²)` instead of
+    // `O(n²·d)` and the `O(n)` re-standardization of `y` is skipped. The cached
+    // objective is bit-identical to the uncached one, so the simplex search visits the
+    // same points and returns the same hyper-parameters.
+    let n = x.len();
+    let n_stats = gp.kernel().n_pair_stats();
+    let cache: Option<(Vec<f64>, Vec<f64>)> =
+        if options.use_distance_cache && n_stats > 0 && n > 0 && x.len() == y.len() {
+            let mut stats = vec![0.0; n * n * n_stats];
+            for i in 0..n {
+                for j in 0..n {
+                    gp.kernel().pair_stats(
+                        &x[i],
+                        &x[j],
+                        &mut stats[(i * n + j) * n_stats..][..n_stats],
+                    );
+                }
+            }
+            let standardizer = Standardizer::fit(y);
+            let y_std: Vec<f64> = y.iter().map(|&v| standardizer.transform(v)).collect();
+            Some((stats, y_std))
+        } else {
+            None
+        };
+
     let mut best_params = initial.clone();
     let mut best_neg = -baseline_lml;
     let mut total_evals = 0;
@@ -203,12 +269,25 @@ pub fn optimize_hyperparameters<R: Rng>(
 
     for start in starts {
         let mut objective = |params: &[f64]| -> f64 {
-            let mut trial = GaussianProcess::new(gp.kernel().clone_box(), gp.noise_variance());
             let (kernel_part, noise_part) = if options.optimize_noise {
                 params.split_at(n_kernel)
             } else {
                 (params, &[][..])
             };
+            if let Some((stats, y_std)) = &cache {
+                let mut trial_kernel = gp.kernel().clone_box();
+                trial_kernel.set_params(kernel_part);
+                let noise = noise_part
+                    .first()
+                    .map(|log_noise| log_noise.exp().clamp(1e-8, 1.0))
+                    .unwrap_or_else(|| gp.noise_variance());
+                return match lml_from_stats(trial_kernel.as_ref(), noise, stats, n_stats, n, y_std)
+                {
+                    Some(lml) => -lml,
+                    None => f64::MAX / 4.0,
+                };
+            }
+            let mut trial = GaussianProcess::new(gp.kernel().clone_box(), gp.noise_variance());
             trial.kernel_mut().set_params(kernel_part);
             if let Some(&log_noise) = noise_part.first() {
                 trial.set_noise_variance(log_noise.exp().clamp(1e-8, 1.0));
@@ -317,6 +396,58 @@ mod tests {
         let p = gp.predict(&[0.525]).unwrap();
         let truth = (2.0f64 * 0.525).sin() * 5.0 + 10.0;
         assert!((p.mean - truth).abs() < 0.5, "{} vs {}", p.mean, truth);
+    }
+
+    #[test]
+    fn distance_cached_hyperopt_picks_identical_hyperparameters() {
+        // The cached objective must be bit-identical to the uncached one, so the simplex
+        // search — driven by the same RNG stream — must select the same hyper-parameters
+        // and report the same likelihood, for both a plain scaled-Matérn kernel and the
+        // additive contextual kernel (whose cache mixes distances and dot products).
+        let kernels: Vec<Box<dyn crate::kernels::Kernel>> = vec![
+            Box::new(ScaledKernel::new(Box::new(Matern52Kernel::new(0.25)), 1.0)),
+            Box::new(crate::kernels::AdditiveContextKernel::new(2)),
+        ];
+        for kernel in kernels {
+            let xs: Vec<Vec<f64>> = (0..18)
+                .map(|i| {
+                    let t = i as f64 / 17.0;
+                    vec![t, (t * 5.0).sin() * 0.5 + 0.5, 1.0 - t]
+                })
+                .collect();
+            let ys: Vec<f64> = xs
+                .iter()
+                .map(|x| (3.0 * x[0]).sin() * 4.0 + x[2] * 2.0)
+                .collect();
+            let run = |use_cache: bool| {
+                let mut gp = GaussianProcess::new(kernel.clone_box(), 1e-3);
+                let mut rng = StdRng::seed_from_u64(11);
+                let report = optimize_hyperparameters(
+                    &mut gp,
+                    &xs,
+                    &ys,
+                    &HyperOptOptions {
+                        use_distance_cache: use_cache,
+                        ..Default::default()
+                    },
+                    &mut rng,
+                );
+                (gp.kernel().params(), gp.noise_variance(), report)
+            };
+            let (params_cached, noise_cached, report_cached) = run(true);
+            let (params_plain, noise_plain, report_plain) = run(false);
+            assert_eq!(params_cached.len(), params_plain.len());
+            for (a, b) in params_cached.iter().zip(params_plain.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "kernel {}", kernel.name());
+            }
+            assert_eq!(noise_cached.to_bits(), noise_plain.to_bits());
+            assert_eq!(
+                report_cached.best_lml.to_bits(),
+                report_plain.best_lml.to_bits()
+            );
+            assert_eq!(report_cached.evaluations, report_plain.evaluations);
+            assert_eq!(report_cached.improved, report_plain.improved);
+        }
     }
 
     #[test]

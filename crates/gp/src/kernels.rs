@@ -10,11 +10,49 @@
 //! [`crate::hyperopt`] an unconstrained problem.
 
 use linalg::vecops::{dot, squared_distance};
+use linalg::Matrix;
 
 /// A positive semi-definite covariance function over `R^d`.
 pub trait Kernel: Send + Sync {
     /// Evaluates the kernel at a pair of points.
     fn eval(&self, a: &[f64], b: &[f64]) -> f64;
+
+    /// Batch entry point: evaluates the kernel of every query point against every
+    /// training point into a `queries.len() × train.len()` matrix whose entry `(q, i)`
+    /// is `eval(&train[i], &queries[q])` — the same argument order the scalar
+    /// prediction path uses.
+    ///
+    /// The default implementation is the scalar fallback. Implementations that exploit
+    /// structure shared across queries (see [`AdditiveContextKernel`]) must stay
+    /// **bit-identical** to the fallback: batched prediction is contractually
+    /// indistinguishable from per-point prediction.
+    fn eval_cross(&self, train: &[Vec<f64>], queries: &[Vec<f64>]) -> Matrix {
+        Matrix::from_fn(queries.len(), train.len(), |q, i| {
+            self.eval(&train[i], &queries[q])
+        })
+    }
+
+    /// Number of hyper-parameter-invariant pairwise statistics this kernel can be
+    /// evaluated from (see [`Kernel::pair_stats`] / [`Kernel::eval_stats`]).
+    /// 0 means cached evaluation is unsupported.
+    fn n_pair_stats(&self) -> usize {
+        0
+    }
+
+    /// Computes the hyper-parameter-invariant statistics of a pair into `out`
+    /// (`out.len() == n_pair_stats()`): the squared distance for distance kernels, the
+    /// dot product for linear kernels. The statistics depend only on the data, never on
+    /// the hyper-parameters, so a Gram matrix can be re-evaluated from cached
+    /// statistics after every hyper-parameter change in `O(n²)` instead of `O(n²·d)`
+    /// (the hyper-parameter-optimization hot loop, see [`crate::hyperopt`]).
+    fn pair_stats(&self, _a: &[f64], _b: &[f64], _out: &mut [f64]) {}
+
+    /// Evaluates the kernel from statistics produced by [`Kernel::pair_stats`] on the
+    /// same pair. Must be bit-identical to [`Kernel::eval`] on that pair. Only called
+    /// when [`Kernel::n_pair_stats`] is non-zero.
+    fn eval_stats(&self, _stats: &[f64]) -> f64 {
+        unreachable!("eval_stats called on a kernel without pair-stat support")
+    }
 
     /// Returns the hyper-parameters in log space (empty when the kernel has none).
     fn params(&self) -> Vec<f64>;
@@ -72,6 +110,20 @@ impl Kernel for Matern52Kernel {
         (1.0 + s + s * s / 3.0) * (-s).exp()
     }
 
+    fn n_pair_stats(&self) -> usize {
+        1
+    }
+
+    fn pair_stats(&self, a: &[f64], b: &[f64], out: &mut [f64]) {
+        out[0] = squared_distance(a, b);
+    }
+
+    fn eval_stats(&self, stats: &[f64]) -> f64 {
+        let r = stats[0].sqrt();
+        let s = 5f64.sqrt() * r / self.lengthscale;
+        (1.0 + s + s * s / 3.0) * (-s).exp()
+    }
+
     fn params(&self) -> Vec<f64> {
         vec![self.lengthscale.ln()]
     }
@@ -109,6 +161,18 @@ impl Kernel for RbfKernel {
     fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
         let d2 = squared_distance(a, b);
         (-0.5 * d2 / (self.lengthscale * self.lengthscale)).exp()
+    }
+
+    fn n_pair_stats(&self) -> usize {
+        1
+    }
+
+    fn pair_stats(&self, a: &[f64], b: &[f64], out: &mut [f64]) {
+        out[0] = squared_distance(a, b);
+    }
+
+    fn eval_stats(&self, stats: &[f64]) -> f64 {
+        (-0.5 * stats[0] / (self.lengthscale * self.lengthscale)).exp()
     }
 
     fn params(&self) -> Vec<f64> {
@@ -151,6 +215,18 @@ impl LinearKernel {
 impl Kernel for LinearKernel {
     fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
         self.variance * (dot(a, b) + self.bias)
+    }
+
+    fn n_pair_stats(&self) -> usize {
+        1
+    }
+
+    fn pair_stats(&self, a: &[f64], b: &[f64], out: &mut [f64]) {
+        out[0] = dot(a, b);
+    }
+
+    fn eval_stats(&self, stats: &[f64]) -> f64 {
+        self.variance * (stats[0] + self.bias)
     }
 
     fn params(&self) -> Vec<f64> {
@@ -198,6 +274,18 @@ impl ScaledKernel {
 impl Kernel for ScaledKernel {
     fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
         self.signal_variance * self.inner.eval(a, b)
+    }
+
+    fn n_pair_stats(&self) -> usize {
+        self.inner.n_pair_stats()
+    }
+
+    fn pair_stats(&self, a: &[f64], b: &[f64], out: &mut [f64]) {
+        self.inner.pair_stats(a, b, out);
+    }
+
+    fn eval_stats(&self, stats: &[f64]) -> f64 {
+        self.signal_variance * self.inner.eval_stats(stats)
     }
 
     fn params(&self) -> Vec<f64> {
@@ -267,6 +355,87 @@ impl Kernel for AdditiveContextKernel {
             0.0
         } else {
             self.context_kernel.eval(ca, cb)
+        };
+        config_part + context_part
+    }
+
+    /// Batched cross-kernel exploiting the additive structure: when every query carries
+    /// the same context — the suggest sweep, where `C` candidate configurations are all
+    /// evaluated under the current context — the context column `k_C(c, cᵢ)` is computed
+    /// **once** per training point and shared across all queries, dropping the kernel
+    /// cost from `O(C·n·(d_θ + d_c))` to `O(n·d_c + C·n·d_θ)`.
+    ///
+    /// Bit-identity with the scalar fallback holds because the shared context column is
+    /// produced by exactly the evaluation the scalar path would perform (identical
+    /// inputs, identical operations), and floating-point evaluation is deterministic.
+    /// Queries with differing contexts fall back to the pairwise sweep.
+    fn eval_cross(&self, train: &[Vec<f64>], queries: &[Vec<f64>]) -> Matrix {
+        let shared_context = match queries.split_first() {
+            Some((first, rest)) => {
+                let (_, c0) = self.split(first);
+                rest.iter().all(|q| {
+                    let (_, c) = self.split(q);
+                    c == c0
+                })
+            }
+            // An empty batch has no context to share; the pairwise fallback returns the
+            // empty matrix without ever indexing into `queries`.
+            None => false,
+        };
+        if !shared_context {
+            return Matrix::from_fn(queries.len(), train.len(), |q, i| {
+                self.eval(&train[i], &queries[q])
+            });
+        }
+        // The context column, computed once per training point. The emptiness check
+        // mirrors `eval`, which keys on the *training* point's context slice.
+        let context_col: Vec<f64> = train
+            .iter()
+            .map(|t| {
+                let (_, ct) = self.split(t);
+                if ct.is_empty() {
+                    0.0
+                } else {
+                    let (_, cq) = self.split(&queries[0]);
+                    self.context_kernel.eval(ct, cq)
+                }
+            })
+            .collect();
+        let mut out = Matrix::zeros(queries.len(), train.len());
+        for (q, query) in queries.iter().enumerate() {
+            let (tq, _) = self.split(query);
+            for (i, t) in train.iter().enumerate() {
+                let (tt, _) = self.split(t);
+                out.set(q, i, self.config_kernel.eval(tt, tq) + context_col[i]);
+            }
+        }
+        out
+    }
+
+    fn n_pair_stats(&self) -> usize {
+        // Configuration stats + context stats + the context-emptiness flag `eval` keys on.
+        self.config_kernel.n_pair_stats() + self.context_kernel.n_pair_stats() + 1
+    }
+
+    fn pair_stats(&self, a: &[f64], b: &[f64], out: &mut [f64]) {
+        let (ta, ca) = self.split(a);
+        let (tb, cb) = self.split(b);
+        let nc = self.config_kernel.n_pair_stats();
+        let nk = self.context_kernel.n_pair_stats();
+        self.config_kernel.pair_stats(ta, tb, &mut out[..nc]);
+        self.context_kernel
+            .pair_stats(ca, cb, &mut out[nc..nc + nk]);
+        out[nc + nk] = if ca.is_empty() { 0.0 } else { 1.0 };
+    }
+
+    fn eval_stats(&self, stats: &[f64]) -> f64 {
+        let nc = self.config_kernel.n_pair_stats();
+        let nk = self.context_kernel.n_pair_stats();
+        let config_part = self.config_kernel.eval_stats(&stats[..nc]);
+        let context_part = if stats[nc + nk] == 0.0 {
+            0.0
+        } else {
+            self.context_kernel.eval_stats(&stats[nc..nc + nk])
         };
         config_part + context_part
     }
@@ -384,6 +553,93 @@ mod tests {
         let b = [0.2, 0.8];
         let cfg_only = ScaledKernel::new(Box::new(Matern52Kernel::new(0.3)), 1.0);
         assert!((k.eval(&a, &b) - cfg_only.eval(&a, &b)).abs() < 1e-12);
+    }
+
+    fn all_kernels() -> Vec<Box<dyn Kernel>> {
+        vec![
+            Box::new(Matern52Kernel::new(0.42)),
+            Box::new(RbfKernel::new(1.7)),
+            Box::new(LinearKernel::new(0.9, 0.1)),
+            Box::new(ScaledKernel::new(Box::new(Matern52Kernel::new(0.3)), 2.0)),
+            Box::new(AdditiveContextKernel::new(2)),
+        ]
+    }
+
+    #[test]
+    fn eval_cross_matches_scalar_eval_bitwise() {
+        let train: Vec<Vec<f64>> = (0..6)
+            .map(|i| (0..4).map(|j| (i * 4 + j) as f64 * 0.13 - 1.0).collect())
+            .collect();
+        // Shared context across queries (exercises the additive kernel's shared-context
+        // fast path) and a mixed-context batch (exercises its fallback).
+        let shared: Vec<Vec<f64>> = (0..5)
+            .map(|q| vec![q as f64 * 0.2, 0.3 - q as f64 * 0.1, 0.7, 0.4])
+            .collect();
+        let mixed: Vec<Vec<f64>> = (0..5)
+            .map(|q| (0..4).map(|j| (q * 3 + j) as f64 * 0.17 - 0.5).collect())
+            .collect();
+        for k in all_kernels() {
+            for queries in [&shared, &mixed] {
+                let cross = k.eval_cross(&train, queries);
+                assert_eq!(cross.rows(), queries.len());
+                assert_eq!(cross.cols(), train.len());
+                for (q, query) in queries.iter().enumerate() {
+                    for (i, t) in train.iter().enumerate() {
+                        assert_eq!(
+                            cross.get(q, i).to_bits(),
+                            k.eval(t, query).to_bits(),
+                            "{} ({q},{i})",
+                            k.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_cross_handles_empty_batches() {
+        let k = AdditiveContextKernel::new(2);
+        let train = vec![vec![0.1, 0.2, 0.3]];
+        assert_eq!(k.eval_cross(&train, &[]).rows(), 0);
+        assert_eq!(k.eval_cross(&[], &train).cols(), 0);
+    }
+
+    #[test]
+    fn pair_stats_evaluation_matches_eval_bitwise_across_hyperparams() {
+        let a = vec![0.15, -0.4, 0.8, 0.33];
+        let b = vec![-0.2, 0.5, 0.12, 0.9];
+        for mut k in all_kernels() {
+            let n = k.n_pair_stats();
+            assert!(n > 0, "{} should support cached evaluation", k.name());
+            let mut stats = vec![0.0; n];
+            k.pair_stats(&a, &b, &mut stats);
+            // The statistics are hyper-parameter invariant: re-evaluating after a
+            // hyper-parameter change must still agree with `eval` bit-for-bit.
+            for shift in [0.0, 0.7, -1.1] {
+                let p: Vec<f64> = k.params().iter().map(|v| v + shift).collect();
+                k.set_params(&p);
+                assert_eq!(
+                    k.eval_stats(&stats).to_bits(),
+                    k.eval(&a, &b).to_bits(),
+                    "{} with shift {shift}",
+                    k.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn additive_pair_stats_respect_missing_context() {
+        // Inputs without context dimensions: the cached path must reproduce the scalar
+        // eval's empty-context special case (no bias term), not evaluate the linear
+        // kernel on empty slices.
+        let k = AdditiveContextKernel::new(2);
+        let a = vec![0.5, 0.5];
+        let b = vec![0.2, 0.8];
+        let mut stats = vec![0.0; k.n_pair_stats()];
+        k.pair_stats(&a, &b, &mut stats);
+        assert_eq!(k.eval_stats(&stats).to_bits(), k.eval(&a, &b).to_bits());
     }
 
     mod properties {

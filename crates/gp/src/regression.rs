@@ -319,9 +319,55 @@ impl GaussianProcess {
         })
     }
 
-    /// Predicts at many points at once.
+    /// Predicts at many points at once — the suggest-path hot loop.
+    ///
+    /// Instead of `C` scalar predictions (each paying an `O(n·d)` kernel row, an `O(n²)`
+    /// triangular solve and two heap allocations), the batch is computed as one `C × n`
+    /// cross-kernel matrix ([`crate::kernels::Kernel::eval_cross`], which lets additive
+    /// contextual kernels share the context column across candidates) followed by one
+    /// multi-RHS forward solve ([`linalg::Cholesky::solve_lower_multi`], which streams
+    /// the factor through cache once per row block instead of once per candidate). No
+    /// per-candidate allocation is performed.
+    ///
+    /// **Bit-identity contract:** the returned posteriors are bit-for-bit equal to
+    /// calling [`GaussianProcess::predict`] on each point — the batched code performs
+    /// the same floating-point operations in the same order per candidate (the same
+    /// contract [`linalg::Cholesky::extend`] honors on the observe path). Snapshot
+    /// replay and the safety assessment rely on this.
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<Posterior>, GpError> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        let state = self.fitted.as_ref().ok_or(GpError::NotFitted)?;
+        for x in xs {
+            if x.len() != state.dim {
+                return Err(GpError::DimensionMismatch {
+                    expected: state.dim,
+                    actual: x.len(),
+                });
+            }
+        }
+        if xs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let k_cross = self.kernel.eval_cross(&state.x, xs);
+        let v = state
+            .chol
+            .solve_lower_multi(&k_cross)
+            .map_err(|_| GpError::KernelNotPositiveDefinite)?;
+        let mut out = Vec::with_capacity(xs.len());
+        for (q, x_star) in xs.iter().enumerate() {
+            let mean_std = k_cross
+                .row(q)
+                .iter()
+                .zip(state.alpha.iter())
+                .map(|(k, a)| k * a)
+                .sum::<f64>();
+            let prior = self.kernel.eval(x_star, x_star);
+            let var_std = (prior - v.row(q).iter().map(|vi| vi * vi).sum::<f64>()).max(1e-12);
+            out.push(Posterior {
+                mean: state.standardizer.inverse(mean_std),
+                std_dev: var_std.sqrt() * state.standardizer.scale(),
+            });
+        }
+        Ok(out)
     }
 
     /// Log marginal likelihood of the given data under the current hyper-parameters.
@@ -561,16 +607,84 @@ mod tests {
         let batch = gp.predict_batch(&queries).unwrap();
         for (q, b) in queries.iter().zip(batch.iter()) {
             let p = gp.predict(q).unwrap();
-            assert_eq!(p, *b);
+            assert_eq!(p.mean.to_bits(), b.mean.to_bits());
+            assert_eq!(p.std_dev.to_bits(), b.std_dev.to_bits());
         }
+    }
+
+    #[test]
+    fn batch_prediction_edge_cases() {
+        let (xs, ys) = sample_problem();
+        let mut gp = default_gp();
+        assert_eq!(
+            gp.predict_batch(&[vec![0.5]]).unwrap_err(),
+            GpError::NotFitted
+        );
+        gp.fit(&xs, &ys).unwrap();
+        assert!(gp.predict_batch(&[]).unwrap().is_empty());
+        // A single malformed query fails the whole batch with the scalar path's error.
+        assert!(matches!(
+            gp.predict_batch(&[vec![0.5], vec![0.1, 0.2]]).unwrap_err(),
+            GpError::DimensionMismatch { .. }
+        ));
     }
 
     mod properties {
         use super::*;
+        use crate::acquisition::{lower_confidence_bound, upper_confidence_bound};
+        use crate::kernels::AdditiveContextKernel;
         use proptest::prelude::*;
 
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(32))]
+            #[test]
+            fn prop_predict_batch_bit_identical_to_pointwise(
+                kernel_idx in 0usize..4,
+                data in proptest::collection::vec(
+                    (proptest::collection::vec(-1.0f64..1.0, 3), -5.0f64..5.0), 3..16),
+                queries in proptest::collection::vec(
+                    proptest::collection::vec(-1.5f64..1.5, 3), 1..12),
+                shared_ctx in -1.0f64..1.0,
+                beta in 0.5f64..3.0,
+            ) {
+                // The batched posterior — and everything derived from it (LCB safety
+                // bound, UCB acquisition) — must equal the per-point path bit-for-bit
+                // across kernels, training-set sizes, batch sizes and contexts.
+                let kernel: Box<dyn Kernel> = match kernel_idx {
+                    0 => Box::new(Matern52Kernel::new(0.3)),
+                    1 => Box::new(RbfKernel::new(0.5)),
+                    2 => Box::new(ScaledKernel::new(Box::new(Matern52Kernel::new(0.4)), 2.0)),
+                    _ => Box::new(AdditiveContextKernel::new(2)),
+                };
+                let xs: Vec<Vec<f64>> = data.iter().map(|(x, _)| x.clone()).collect();
+                let ys: Vec<f64> = data.iter().map(|(_, y)| *y).collect();
+                let mut gp = GaussianProcess::new(kernel, 1e-4);
+                gp.fit(&xs, &ys).unwrap();
+                // Mixed per-query contexts and a shared-context batch (the latter takes
+                // the additive kernel's context-column-sharing fast path).
+                let mut shared = queries.clone();
+                for q in shared.iter_mut() {
+                    q[2] = shared_ctx;
+                }
+                for batch_queries in [&queries, &shared] {
+                    let batch = gp.predict_batch(batch_queries).unwrap();
+                    prop_assert_eq!(batch.len(), batch_queries.len());
+                    for (q, b) in batch_queries.iter().zip(batch.iter()) {
+                        let p = gp.predict(q).unwrap();
+                        prop_assert_eq!(p.mean.to_bits(), b.mean.to_bits());
+                        prop_assert_eq!(p.std_dev.to_bits(), b.std_dev.to_bits());
+                        prop_assert_eq!(
+                            lower_confidence_bound(&p, beta).to_bits(),
+                            lower_confidence_bound(b, beta).to_bits()
+                        );
+                        prop_assert_eq!(
+                            upper_confidence_bound(&p, beta).to_bits(),
+                            upper_confidence_bound(b, beta).to_bits()
+                        );
+                    }
+                }
+            }
+
             #[test]
             fn prop_predictions_finite_for_random_data(
                 raw in proptest::collection::vec((-1.0f64..1.0, -10.0f64..10.0), 3..20),

@@ -256,6 +256,128 @@ impl Cholesky {
         self.solve_upper(&y)
     }
 
+    /// Multi-RHS forward substitution: solves `L xᵣ = bᵣ` for every **row** `bᵣ` of `b`.
+    ///
+    /// `b` is an `m × n` matrix holding one right-hand side per row (`n = dim()`), and the
+    /// result has the same layout. Row-major storage keeps each right-hand side contiguous,
+    /// which is the natural layout for the `C × n` cross-kernel matrices batched GP
+    /// prediction produces.
+    ///
+    /// Rows are solved sixteen at a time per sweep over `L`. Each group is transposed
+    /// into lane-major layout (`t[j·16 + r]` holds lane `r`'s element `j`), so one
+    /// factor element `L[i][j]` drives one contiguous 16-wide multiply-subtract: the
+    /// sixteen forward recurrences are independent, which both vectorizes across lanes
+    /// and overlaps their serial reduction chains — a scalar forward solve is bound by
+    /// the latency of its single floating-point add chain, which is exactly what the
+    /// per-candidate suggest loop used to pay `C` times. A final partial group is
+    /// padded with zero lanes (discarded afterwards) so every row takes the fast path.
+    ///
+    /// SIMD across lanes does **not** reassociate within a lane: each lane performs the
+    /// operations of the scalar [`Cholesky::solve_lower`], in the same order, so row
+    /// `r` of the result is bit-identical to `solve_lower(b.row(r))`.
+    pub fn solve_lower_multi(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.cols() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "solve_lower_multi",
+                lhs: (n, n),
+                rhs: (b.rows(), b.cols()),
+            });
+        }
+        const LANES: usize = 16;
+        let m = b.rows();
+        let mut out: Vec<f64> = b.data().to_vec();
+        let mut t = vec![0.0; LANES * n];
+        let mut rb = 0;
+        while rb < m {
+            let g = LANES.min(m - rb);
+            if g < LANES {
+                // Partial group: the padding lanes run the recurrence on zeros and are
+                // never copied back.
+                t.iter_mut().for_each(|v| *v = 0.0);
+            }
+            for r in 0..g {
+                for j in 0..n {
+                    t[j * LANES + r] = out[(rb + r) * n + j];
+                }
+            }
+            for i in 0..n {
+                let li = self.l.row(i);
+                let d = li[i];
+                if d == 0.0 {
+                    return Err(LinalgError::Singular);
+                }
+                let mut sums: [f64; LANES] = t[i * LANES..(i + 1) * LANES]
+                    .try_into()
+                    .expect("lane slice has LANES elements");
+                // `chunks_exact` tells the optimizer every `tj` is exactly LANES wide,
+                // so the lane loop compiles to branch-free vector code.
+                for (&lij, tj) in li[..i].iter().zip(t.chunks_exact(LANES)) {
+                    for (s, x) in sums.iter_mut().zip(tj.iter()) {
+                        *s -= lij * x;
+                    }
+                }
+                for (r, s) in sums.iter().enumerate() {
+                    t[i * LANES + r] = s / d;
+                }
+            }
+            for r in 0..g {
+                for j in 0..n {
+                    out[(rb + r) * n + j] = t[j * LANES + r];
+                }
+            }
+            rb += g;
+        }
+        Matrix::from_vec(m, n, out)
+    }
+
+    /// Multi-RHS backward substitution: solves `Lᵀ xᵣ = bᵣ` for every **row** `bᵣ` of `b`
+    /// (same layout contract as [`Cholesky::solve_lower_multi`]).
+    ///
+    /// The backward sweep reads a *column* of `L` per pivot; it is gathered into a scratch
+    /// buffer once per pivot and reused across all right-hand sides, so the strided column
+    /// loads are paid once instead of once per row. Each row's floating-point operations
+    /// match the scalar [`Cholesky::solve_upper`] exactly, so row `r` of the result is
+    /// bit-identical to `solve_upper(b.row(r))`.
+    pub fn solve_upper_multi(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.cols() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "solve_upper_multi",
+                lhs: (n, n),
+                rhs: (b.rows(), b.cols()),
+            });
+        }
+        let m = b.rows();
+        let mut out: Vec<f64> = b.data().to_vec();
+        let mut col = vec![0.0; n];
+        for i in (0..n).rev() {
+            let d = self.l.get(i, i);
+            if d == 0.0 {
+                return Err(LinalgError::Singular);
+            }
+            for (j, c) in col.iter_mut().enumerate().take(n).skip(i + 1) {
+                *c = self.l.get(j, i);
+            }
+            for r in 0..m {
+                let x = &mut out[r * n..(r + 1) * n];
+                let mut sum = x[i];
+                for j in (i + 1)..n {
+                    sum -= col[j] * x[j];
+                }
+                x[i] = sum / d;
+            }
+        }
+        Matrix::from_vec(m, n, out)
+    }
+
+    /// Multi-RHS solve of `A xᵣ = bᵣ` (`A = L Lᵀ`) for every row of `b`: forward then
+    /// backward substitution, each row bit-identical to the scalar [`Cholesky::solve`].
+    pub fn solve_multi(&self, b: &Matrix) -> Result<Matrix> {
+        let y = self.solve_lower_multi(b)?;
+        self.solve_upper_multi(&y)
+    }
+
     /// Log-determinant of `A = L L^T`: `2 * Σ log(L_ii)`.
     pub fn log_det(&self) -> f64 {
         (0..self.dim()).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
@@ -444,6 +566,53 @@ mod tests {
     }
 
     #[test]
+    fn multi_rhs_solves_match_scalar_rows_bitwise() {
+        let a = spd3();
+        let c = Cholesky::decompose(&a).unwrap();
+        // 40 right-hand sides so the row-blocking (block size 16) is exercised across
+        // full and partial blocks.
+        let b = Matrix::from_fn(40, 3, |r, j| (r as f64 * 0.37 - 2.0) + (j as f64).sin());
+        let lower = c.solve_lower_multi(&b).unwrap();
+        let upper = c.solve_upper_multi(&b).unwrap();
+        let full = c.solve_multi(&b).unwrap();
+        for r in 0..b.rows() {
+            let sl = c.solve_lower(b.row(r)).unwrap();
+            let su = c.solve_upper(b.row(r)).unwrap();
+            let sf = c.solve(b.row(r)).unwrap();
+            for j in 0..3 {
+                assert_eq!(
+                    lower.get(r, j).to_bits(),
+                    sl[j].to_bits(),
+                    "lower ({r},{j})"
+                );
+                assert_eq!(
+                    upper.get(r, j).to_bits(),
+                    su[j].to_bits(),
+                    "upper ({r},{j})"
+                );
+                assert_eq!(full.get(r, j).to_bits(), sf[j].to_bits(), "solve ({r},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_rhs_solve_rejects_wrong_width_and_handles_empty() {
+        let c = Cholesky::decompose(&spd3()).unwrap();
+        let bad = Matrix::zeros(4, 2);
+        assert!(matches!(
+            c.solve_lower_multi(&bad),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            c.solve_upper_multi(&bad),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        let empty = Matrix::zeros(0, 3);
+        assert_eq!(c.solve_lower_multi(&empty).unwrap().rows(), 0);
+        assert_eq!(c.solve_multi(&empty).unwrap().rows(), 0);
+    }
+
+    #[test]
     fn inverse_times_matrix_is_identity() {
         let a = spd3();
         let c = Cholesky::decompose(&a).unwrap();
@@ -515,6 +684,22 @@ mod tests {
                 }
                 let direct = Cholesky::decompose(&updated).unwrap();
                 prop_assert!(c.factor().max_abs_diff(direct.factor()).unwrap() < 1e-8);
+            }
+
+            #[test]
+            fn prop_multi_rhs_solve_bit_identical_to_scalar(
+                a in spd_strategy(5),
+                rhs in proptest::collection::vec(proptest::collection::vec(-5.0f64..5.0, 5), 1..40),
+            ) {
+                let c = Cholesky::decompose(&a).unwrap();
+                let b = Matrix::from_rows(&rhs).unwrap();
+                let multi = c.solve_multi(&b).unwrap();
+                for (r, row) in rhs.iter().enumerate() {
+                    let scalar = c.solve(row).unwrap();
+                    for (j, s) in scalar.iter().enumerate() {
+                        prop_assert_eq!(multi.get(r, j).to_bits(), s.to_bits());
+                    }
+                }
             }
 
             #[test]

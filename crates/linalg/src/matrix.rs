@@ -152,7 +152,12 @@ impl Matrix {
         t
     }
 
-    /// Matrix product `self * rhs`.
+    /// Matrix product `self * rhs`, cache-blocked over the contraction dimension.
+    ///
+    /// The `k` loop is tiled so a band of `rhs` rows stays resident in cache while every
+    /// row of `self` sweeps over it; within each output element the contraction still
+    /// accumulates over `k` in ascending order, so the result is bit-identical to the
+    /// naive triple loop.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(LinalgError::DimensionMismatch {
@@ -161,32 +166,47 @@ impl Matrix {
                 rhs: (rhs.rows, rhs.cols),
             });
         }
+        const BLOCK: usize = 64;
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
-                if a == 0.0 {
-                    continue;
-                }
-                for j in 0..rhs.cols {
-                    let v = out.get(i, j) + a * rhs.get(k, j);
-                    out.set(i, j, v);
+        let mut kb = 0;
+        while kb < self.cols {
+            let ke = (kb + BLOCK).min(self.cols);
+            for i in 0..self.rows {
+                let lhs_row = self.row(i);
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (k, &a) in lhs_row.iter().enumerate().take(ke).skip(kb) {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let rhs_row = rhs.row(k);
+                    for (o, &r) in out_row.iter_mut().zip(rhs_row.iter()) {
+                        *o += a * r;
+                    }
                 }
             }
+            kb = ke;
         }
         Ok(out)
     }
 
     /// Matrix-vector product `self * v`.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
-        if self.cols != v.len() {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v` written into a caller-provided buffer, so hot
+    /// loops can reuse one allocation across calls. `out.len()` must equal `rows()`.
+    /// Bit-identical to [`Matrix::matvec`].
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) -> Result<()> {
+        if self.cols != v.len() || out.len() != self.rows {
             return Err(LinalgError::DimensionMismatch {
-                op: "matvec",
+                op: "matvec_into",
                 lhs: (self.rows, self.cols),
-                rhs: (v.len(), 1),
+                rhs: (v.len(), out.len()),
             });
         }
-        let mut out = vec![0.0; self.rows];
         for (i, out_i) in out.iter_mut().enumerate() {
             let row = self.row(i);
             let mut acc = 0.0;
@@ -195,7 +215,7 @@ impl Matrix {
             }
             *out_i = acc;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Element-wise sum `self + rhs`.
@@ -342,6 +362,40 @@ mod tests {
         let v = vec![5.0, 6.0];
         let mv = a.matvec(&v).unwrap();
         assert_eq!(mv, vec![17.0, 39.0]);
+    }
+
+    #[test]
+    fn matvec_into_reuses_buffer_and_matches_matvec() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut out = vec![9.0, 9.0];
+        a.matvec_into(&[5.0, 6.0], &mut out).unwrap();
+        assert_eq!(out, a.matvec(&[5.0, 6.0]).unwrap());
+        let mut wrong = vec![0.0; 3];
+        assert!(a.matvec_into(&[5.0, 6.0], &mut wrong).is_err());
+        assert!(a.matvec_into(&[5.0], &mut out).is_err());
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_on_sizes_spanning_block_boundaries() {
+        // 70×70 crosses the 64-wide contraction block; the blocked product must equal
+        // the naive triple loop exactly (same ascending-k accumulation order).
+        let n = 70;
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 13) as f64 * 0.25 - 1.0);
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 29) % 11) as f64 * 0.5 - 2.0);
+        let blocked = a.matmul(&b).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    let v = a.get(i, k);
+                    if v == 0.0 {
+                        continue;
+                    }
+                    acc += v * b.get(k, j);
+                }
+                assert_eq!(blocked.get(i, j).to_bits(), acc.to_bits(), "({i},{j})");
+            }
+        }
     }
 
     #[test]

@@ -37,6 +37,15 @@ pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
         .sum::<f64>()
 }
 
+/// Whether `a` lies within Euclidean distance `radius` of `b`, decided on squared
+/// distances (`‖a − b‖² ≤ radius²`) so proximity sweeps over many points skip the
+/// square root entirely. A negative `radius` matches nothing (squaring would
+/// otherwise silently turn a fail-closed comparison into a fail-open one).
+#[inline]
+pub fn within_radius(a: &[f64], b: &[f64], radius: f64) -> bool {
+    radius >= 0.0 && squared_distance(a, b) <= radius * radius
+}
+
 /// `y += alpha * x` in place.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
@@ -139,6 +148,15 @@ mod tests {
     fn distances() {
         assert!((euclidean_distance(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
         assert!((squared_distance(&[0.0, 0.0], &[3.0, 4.0]) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn within_radius_agrees_with_euclidean_distance() {
+        assert!(within_radius(&[0.0, 0.0], &[3.0, 4.0], 5.0));
+        assert!(!within_radius(&[0.0, 0.0], &[3.0, 4.0], 4.999));
+        assert!(within_radius(&[1.0], &[1.0], 0.0));
+        // A negative radius stays fail-closed even though its square is positive.
+        assert!(!within_radius(&[1.0], &[1.0], -0.5));
     }
 
     #[test]

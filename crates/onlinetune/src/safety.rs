@@ -57,6 +57,14 @@ impl Default for SafetyOptions {
 /// * `beta` — confidence-bound multiplier (from [`gp::acquisition::ucb_beta`]).
 /// * `known_safe` — configurations already known to be safe (normalized); used only in the
 ///   cold-start fallback.
+///
+/// The whole candidate sweep is **one batched posterior call**
+/// ([`ContextualGp::predict_batch_with_scratch`]): one cross-kernel matrix with a shared
+/// context column, one multi-RHS triangular solve, no per-candidate allocation. The
+/// resulting assessments are bit-identical to evaluating each candidate through the
+/// scalar [`ContextualGp::predict`] (the batched path's contract); a batch-level failure
+/// (e.g. a malformed candidate) recovers through the scalar per-candidate loop so
+/// well-formed candidates are still assessed exactly as before.
 pub fn assess_candidates(
     model: &ContextualGp,
     context: &[f64],
@@ -66,36 +74,81 @@ pub fn assess_candidates(
     known_safe: &[Vec<f64>],
     options: &SafetyOptions,
 ) -> Vec<CandidateAssessment> {
+    let mut scratch = Vec::new();
+    assess_candidates_with_scratch(
+        model,
+        context,
+        candidates,
+        threshold,
+        beta,
+        known_safe,
+        options,
+        &mut scratch,
+    )
+}
+
+/// [`assess_candidates`] with a caller-owned scratch buffer for the joint query
+/// vectors, so a per-iteration suggest loop allocates nothing once warmed up.
+#[allow(clippy::too_many_arguments)]
+pub fn assess_candidates_with_scratch(
+    model: &ContextualGp,
+    context: &[f64],
+    candidates: &[Vec<f64>],
+    threshold: f64,
+    beta: f64,
+    known_safe: &[Vec<f64>],
+    options: &SafetyOptions,
+    scratch: &mut Vec<Vec<f64>>,
+) -> Vec<CandidateAssessment> {
     let model_ready = model.is_fitted() && model.len() >= options.min_observations;
     let threshold = threshold - options.threshold_margin * threshold.abs();
-    candidates
-        .iter()
-        .enumerate()
-        .map(|(index, candidate)| {
-            if model_ready {
-                match model.predict(candidate, context) {
-                    Ok(posterior) => {
-                        let lcb = lower_confidence_bound(&posterior, beta);
-                        let ucb = upper_confidence_bound(&posterior, beta);
-                        CandidateAssessment {
-                            index,
-                            posterior: Some(posterior),
-                            lcb,
-                            ucb,
-                            black_safe: lcb >= threshold,
-                        }
-                    }
-                    Err(_) => CandidateAssessment {
-                        index,
-                        posterior: None,
-                        lcb: f64::NEG_INFINITY,
-                        ucb: f64::NEG_INFINITY,
-                        black_safe: false,
+    // Both the batched arm and the scalar recovery arm derive assessments the same way;
+    // one shared constructor keeps them bit-identical by construction.
+    let assess = |index: usize, posterior: Posterior| {
+        let lcb = lower_confidence_bound(&posterior, beta);
+        let ucb = upper_confidence_bound(&posterior, beta);
+        CandidateAssessment {
+            index,
+            posterior: Some(posterior),
+            lcb,
+            ucb,
+            black_safe: lcb >= threshold,
+        }
+    };
+    let unassessable = |index: usize| CandidateAssessment {
+        index,
+        posterior: None,
+        lcb: f64::NEG_INFINITY,
+        ucb: f64::NEG_INFINITY,
+        black_safe: false,
+    };
+    if model_ready {
+        match model.predict_batch_with_scratch(candidates, context, scratch) {
+            Ok(posteriors) => posteriors
+                .into_iter()
+                .enumerate()
+                .map(|(index, posterior)| assess(index, posterior))
+                .collect(),
+            Err(_) => candidates
+                .iter()
+                .enumerate()
+                .map(
+                    |(index, candidate)| match model.predict(candidate, context) {
+                        Ok(posterior) => assess(index, posterior),
+                        Err(_) => unassessable(index),
                     },
-                }
-            } else {
+                )
+                .collect(),
+        }
+    } else {
+        // Cold start: proximity to a known-safe configuration, decided on squared
+        // distances so the C × |known_safe| sweep performs no square roots.
+        candidates
+            .iter()
+            .enumerate()
+            .map(|(index, candidate)| {
                 let near_safe = known_safe.iter().any(|safe| {
-                    linalg::vecops::euclidean_distance(candidate, safe) <= options.cold_start_radius
+                    linalg::vecops::within_radius(candidate, safe, options.cold_start_radius)
                 });
                 CandidateAssessment {
                     index,
@@ -108,9 +161,9 @@ pub fn assess_candidates(
                     ucb: threshold,
                     black_safe: near_safe,
                 }
-            }
-        })
-        .collect()
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +236,53 @@ mod tests {
             &SafetyOptions::default(),
         );
         assert!(relaxed[0].lcb > strict[0].lcb);
+    }
+
+    #[test]
+    fn batched_assessment_is_bit_identical_to_scalar_prediction() {
+        let model = trained_model();
+        let beta = 2.2;
+        let threshold = 8.0;
+        let options = SafetyOptions::default();
+        let candidates: Vec<Vec<f64>> = (0..25).map(|i| vec![i as f64 / 24.0]).collect();
+        let out = assess_candidates(&model, &[0.0], &candidates, threshold, beta, &[], &options);
+        let margin = threshold - options.threshold_margin * threshold.abs();
+        for (candidate, a) in candidates.iter().zip(out.iter()) {
+            let p = model.predict(candidate, &[0.0]).unwrap();
+            let posterior = a.posterior.as_ref().expect("posterior present");
+            assert_eq!(p.mean.to_bits(), posterior.mean.to_bits());
+            assert_eq!(p.std_dev.to_bits(), posterior.std_dev.to_bits());
+            assert_eq!(a.lcb.to_bits(), lower_confidence_bound(&p, beta).to_bits());
+            assert_eq!(a.ucb.to_bits(), upper_confidence_bound(&p, beta).to_bits());
+            assert_eq!(a.black_safe, a.lcb >= margin);
+        }
+    }
+
+    #[test]
+    fn malformed_candidate_degrades_gracefully_without_poisoning_the_batch() {
+        // A wrong-dimension candidate fails the batched call; the scalar recovery loop
+        // must still assess the well-formed candidates exactly as before and mark only
+        // the malformed one unsafe.
+        let model = trained_model();
+        let candidates = vec![vec![0.5], vec![0.5, 0.9], vec![0.55]];
+        let out = assess_candidates(
+            &model,
+            &[0.0],
+            &candidates,
+            8.0,
+            2.0,
+            &[],
+            &SafetyOptions::default(),
+        );
+        assert!(out[0].black_safe);
+        assert!(!out[1].black_safe);
+        assert!(out[1].posterior.is_none());
+        assert_eq!(out[1].lcb, f64::NEG_INFINITY);
+        let p = model.predict(&candidates[2], &[0.0]).unwrap();
+        assert_eq!(
+            out[2].posterior.as_ref().unwrap().mean.to_bits(),
+            p.mean.to_bits()
+        );
     }
 
     #[test]

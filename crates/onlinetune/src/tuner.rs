@@ -16,7 +16,7 @@
 use crate::candidate::{select_candidate, SelectionReason};
 use crate::clustering::{ClusterManager, ClusterManagerState, ClusterOptions};
 use crate::diagnostics::{IterationDiagnostics, StageTimings};
-use crate::safety::{assess_candidates, SafetyOptions};
+use crate::safety::{assess_candidates_with_scratch, SafetyOptions};
 use crate::subspace::{Subspace, SubspaceOptions};
 use crate::whitebox::{RuleContext, RuleEngine, RuleStateSnapshot};
 use gp::acquisition::ucb_beta;
@@ -134,6 +134,9 @@ pub struct OnlineTune {
     iteration: usize,
     rng: StdRng,
     pending: Option<Pending>,
+    /// Reusable joint-vector buffers for the batched safety assessment (runtime-only
+    /// scratch — never serialized, carries no tuner state).
+    predict_scratch: Vec<Vec<f64>>,
 }
 
 impl OnlineTune {
@@ -170,6 +173,7 @@ impl OnlineTune {
             iteration: 0,
             rng: StdRng::seed_from_u64(seed),
             pending: None,
+            predict_scratch: Vec::new(),
         }
     }
 
@@ -319,7 +323,10 @@ impl OnlineTune {
             } else {
                 f64::NEG_INFINITY
             };
-        let assessments = assess_candidates(
+        // The whole candidate sweep is one batched posterior call: one cross-kernel
+        // matrix (shared context column), one multi-RHS triangular solve. Assessments
+        // are bit-identical to the scalar per-candidate path.
+        let assessments = assess_candidates_with_scratch(
             self.clusters.model(model_id),
             context,
             &candidates,
@@ -327,6 +334,7 @@ impl OnlineTune {
             beta,
             &self.known_safe,
             &self.options.safety,
+            &mut self.predict_scratch,
         );
         diagnostics.blackbox_rejections = assessments.iter().filter(|a| !a.black_safe).count();
 
@@ -338,17 +346,25 @@ impl OnlineTune {
             clients,
             metrics: metrics_ref.as_ref(),
         };
-        let mut white_safe: Vec<bool> = if use_whitebox {
-            candidates
-                .iter()
-                .map(|c| {
-                    let cfg = Configuration::from_normalized(&self.catalogue, c);
-                    self.whitebox.passes(&cfg, &rule_ctx)
-                })
-                .collect()
-        } else {
-            vec![true; candidates.len()]
-        };
+        let mut white_safe: Vec<bool> = vec![true; candidates.len()];
+        if use_whitebox {
+            // One Configuration reused across the rule sweep: `set_from_normalized`
+            // overwrites it in place, so the loop performs no per-candidate allocation.
+            let mut cfg_scratch: Option<Configuration> = None;
+            for (flag, c) in white_safe.iter_mut().zip(candidates.iter()) {
+                let cfg = match cfg_scratch.as_mut() {
+                    Some(cfg) => {
+                        cfg.set_from_normalized(&self.catalogue, c);
+                        &*cfg
+                    }
+                    None => {
+                        cfg_scratch = Some(Configuration::from_normalized(&self.catalogue, c));
+                        cfg_scratch.as_ref().expect("just inserted")
+                    }
+                };
+                *flag = self.whitebox.passes(cfg, &rule_ctx);
+            }
+        }
         diagnostics.whitebox_rejections = white_safe.iter().filter(|s| !**s).count();
 
         // Decision-conflict handling (§6.2.2): if the black box's favourite candidate is
@@ -611,6 +627,7 @@ impl OnlineTune {
             iteration: state.iteration,
             rng: state.rng,
             pending: state.pending,
+            predict_scratch: Vec::new(),
         })
     }
 

@@ -37,13 +37,25 @@ impl Configuration {
 
     /// Builds a configuration from a normalized `[0, 1]^m` vector.
     pub fn from_normalized(catalogue: &KnobCatalogue, unit: &[f64]) -> Self {
+        let mut cfg = Configuration {
+            values: Vec::with_capacity(unit.len()),
+        };
+        cfg.set_from_normalized(catalogue, unit);
+        cfg
+    }
+
+    /// Overwrites this configuration in place from a normalized vector, reusing the
+    /// existing allocation. Per-candidate sweeps (the white-box rule check evaluates
+    /// every candidate of every suggest call) use this so the loop performs no
+    /// allocations; the result is identical to [`Configuration::from_normalized`].
+    pub fn set_from_normalized(&mut self, catalogue: &KnobCatalogue, unit: &[f64]) {
         assert_eq!(unit.len(), catalogue.len());
-        let values = unit
-            .iter()
-            .zip(catalogue.knobs().iter())
-            .map(|(u, k)| k.denormalize(*u))
-            .collect();
-        Configuration { values }
+        self.values.clear();
+        self.values.extend(
+            unit.iter()
+                .zip(catalogue.knobs().iter())
+                .map(|(u, k)| k.denormalize(*u)),
+        );
     }
 
     /// The raw values in catalogue order.
@@ -154,6 +166,21 @@ mod tests {
             let rel = (a - b).abs() / a.abs().max(1.0);
             assert!(rel < 0.02, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn set_from_normalized_matches_from_normalized() {
+        let cat = KnobCatalogue::mysql57();
+        let unit_a: Vec<f64> = (0..cat.len())
+            .map(|i| i as f64 / cat.len() as f64)
+            .collect();
+        let unit_b: Vec<f64> = (0..cat.len())
+            .map(|i| 1.0 - i as f64 / cat.len() as f64)
+            .collect();
+        let mut scratch = Configuration::from_normalized(&cat, &unit_a);
+        assert_eq!(scratch, Configuration::from_normalized(&cat, &unit_a));
+        scratch.set_from_normalized(&cat, &unit_b);
+        assert_eq!(scratch, Configuration::from_normalized(&cat, &unit_b));
     }
 
     #[test]
