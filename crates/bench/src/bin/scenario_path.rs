@@ -1,0 +1,307 @@
+//! Scenario path: a scripted drift + resize + churn timeline with the replay gate.
+//!
+//! Replays a Fig. 15-style dynamic run through the fleet scenario engine: one tenant
+//! suffers an abrupt workload-family switch (OLTP YCSB → analytical JOB — the context
+//! shift that must engage DBSCAN/NMI re-clustering and SVM re-routing), one tenant is
+//! vertically resized and bulk-loaded mid-run, and one tenant leaves and later rejoins
+//! (warm-started from the knowledge its earlier self left in the knowledge base).
+//!
+//! Two contracts are enforced (the process exits non-zero when either fails):
+//!
+//! 1. **Mid-scenario replay bit-identity** — a fleet snapshot taken between two
+//!    environment events restores into a service that finishes the timeline
+//!    bit-identically to the uninterrupted run.
+//! 2. **Re-clustering engagement** — after the abrupt shift, the drifting tenant's tuner
+//!    re-clusters (or changes its model count): the safety machinery observably reacts
+//!    to the environment change instead of sleeping through it.
+//!
+//! Run with `cargo run --release -p bench --bin scenario_path [-- --smoke]`; the full
+//! mode writes `BENCH_scenario.json` (committed) with the per-round curves; `--smoke`
+//! runs the same scenario and gates without writing the artifact — CI uses it.
+
+use bench::report::section;
+use fleet::scenario::{run_scenario, Scenario, ScenarioEvent, ScenarioReport};
+use fleet::service::{small_tuner_options, FleetOptions, FleetService};
+use fleet::tenant::{TenantSpec, WorkloadDrift, WorkloadFamily};
+use simdb::HardwareSpec;
+
+/// Round at which the abrupt family switch fires.
+const SHIFT_ROUND: usize = 24;
+/// Round at which the mid-scenario snapshot is taken (between the resize and the shift).
+const SNAPSHOT_ROUND: usize = 18;
+/// Total scenario rounds.
+const TOTAL_ROUNDS: usize = 72;
+
+fn tenant(name: &str, family: WorkloadFamily, seed: u64) -> TenantSpec {
+    let mut spec = TenantSpec::named(name, family, seed);
+    spec.deterministic = true; // the curves are the artifact; keep them exactly reproducible
+    spec
+}
+
+fn build_fleet() -> FleetService {
+    let mut svc = FleetService::new(FleetOptions {
+        workers: 2,
+        tuner: small_tuner_options(),
+        ..Default::default()
+    });
+    svc.admit(tenant("shift", WorkloadFamily::Ycsb, 4001));
+    svc.admit(tenant("writer", WorkloadFamily::Tpcc, 4002));
+    svc.admit(tenant("churner", WorkloadFamily::Twitter, 4003));
+    svc.admit(tenant("steady", WorkloadFamily::Job, 4004));
+    svc
+}
+
+fn scenario() -> Scenario {
+    Scenario::new("drift-resize-churn")
+        .at(
+            8,
+            ScenarioEvent::ScaleData {
+                tenant: "writer".into(),
+                factor: 1.5,
+            },
+        )
+        .at(
+            14,
+            ScenarioEvent::Resize {
+                tenant: "shift".into(),
+                hardware: HardwareSpec::default().scaled(2.0),
+            },
+        )
+        .at(
+            SHIFT_ROUND,
+            ScenarioEvent::Drift {
+                tenant: "shift".into(),
+                drift: WorkloadDrift::FamilySwitch {
+                    at: 0,
+                    to: WorkloadFamily::Job,
+                },
+            },
+        )
+        .at(
+            30,
+            ScenarioEvent::Remove {
+                tenant: "churner".into(),
+            },
+        )
+        .at(
+            42,
+            ScenarioEvent::Admit {
+                spec: tenant("churner", WorkloadFamily::Twitter, 4003),
+            },
+        )
+        .at(
+            50,
+            ScenarioEvent::Drift {
+                tenant: "writer".into(),
+                drift: WorkloadDrift::RateRamp {
+                    start: 0,
+                    over: 30,
+                    from_scale: 1.0,
+                    to_scale: 1.7,
+                },
+            },
+        )
+}
+
+/// One tenant's per-round curve (Fig. 15-style: the dynamic response over the timeline).
+#[derive(Debug, serde::Serialize)]
+struct TenantCurve {
+    name: String,
+    /// Mean objective score per iteration in each round (`None` while not in the fleet).
+    score_per_iteration: Vec<Option<f64>>,
+    /// Cumulative regret at the end of each round.
+    cumulative_regret: Vec<Option<f64>>,
+    /// Cluster models maintained by the tenant's tuner at the end of each round.
+    n_models: Vec<Option<usize>>,
+    /// Re-clusterings performed by the tenant's tuner at the end of each round.
+    recluster_count: Vec<Option<usize>>,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct FiredEvent {
+    round: usize,
+    description: String,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct ReplayCheck {
+    snapshot_round: usize,
+    bits_identical: bool,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct ReclusterCheck {
+    shift_round: usize,
+    reclusters_before_shift: usize,
+    reclusters_at_end: usize,
+    models_before_shift: usize,
+    models_at_end: usize,
+    engaged: bool,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct ScenarioBenchReport {
+    scenario: String,
+    rounds: usize,
+    total_iterations: usize,
+    wall_s: f64,
+    events: Vec<FiredEvent>,
+    curves: Vec<TenantCurve>,
+    replay: ReplayCheck,
+    recluster: ReclusterCheck,
+}
+
+fn curve_for(report: &ScenarioReport, name: &str) -> TenantCurve {
+    let mut score_per_iteration = Vec::with_capacity(report.rounds.len());
+    let mut prev: Option<(usize, f64)> = None; // (iterations, total_score) at previous round
+    for round in &report.rounds {
+        let t = round.tenants.iter().find(|t| t.name == name);
+        score_per_iteration.push(t.and_then(|t| {
+            let (pi, ps) = match prev {
+                // A fresh session (rejoin) restarts its counters.
+                Some((pi, _)) if t.iterations < pi => (0, 0.0),
+                Some(p) => p,
+                None => (0, 0.0),
+            };
+            let di = t.iterations - pi;
+            (di > 0).then(|| (t.total_score - ps) / di as f64)
+        }));
+        prev = t.map(|t| (t.iterations, t.total_score));
+    }
+    TenantCurve {
+        name: name.to_string(),
+        score_per_iteration,
+        cumulative_regret: report.tenant_series(name, |t| t.cumulative_regret),
+        n_models: report.tenant_series(name, |t| t.n_models),
+        recluster_count: report.tenant_series(name, |t| t.recluster_count),
+    }
+}
+
+fn summaries_bits_identical(a: &FleetService, b: &FleetService) -> bool {
+    let (sa, sb) = (a.summaries(), b.summaries());
+    sa.len() == sb.len()
+        && a.rounds() == b.rounds()
+        && a.granted_slots() == b.granted_slots()
+        && sa.iter().zip(sb.iter()).all(|(x, y)| {
+            x.name == y.name
+                && x.iterations == y.iterations
+                && x.unsafe_count == y.unsafe_count
+                && x.n_models == y.n_models
+                && x.recluster_count == y.recluster_count
+                && x.cumulative_regret.to_bits() == y.cumulative_regret.to_bits()
+                && x.total_score.to_bits() == y.total_score.to_bits()
+        })
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scenario = scenario();
+
+    section("Scenario path: drift + resize + churn timeline");
+    let start = std::time::Instant::now();
+    let mut uninterrupted = build_fleet();
+    let report = run_scenario(&mut uninterrupted, &scenario, TOTAL_ROUNDS)
+        .expect("scenario replays against the scripted fleet");
+    let wall_s = start.elapsed().as_secs_f64();
+    let total_iterations: usize = report.rounds.iter().map(|r| r.iterations).sum();
+    println!(
+        "  {} rounds, {} iterations in {:.2}s ({:.0} iters/s)",
+        TOTAL_ROUNDS,
+        total_iterations,
+        wall_s,
+        total_iterations as f64 / wall_s.max(1e-9)
+    );
+    for round in &report.rounds {
+        for event in &round.fired {
+            println!("  round {:>3}: {event}", round.round);
+        }
+    }
+
+    section("Mid-scenario snapshot/restore replay");
+    let mut first_half = build_fleet();
+    run_scenario(&mut first_half, &scenario, SNAPSHOT_ROUND).expect("first half runs");
+    let json = first_half.snapshot_json().expect("snapshot serializes");
+    drop(first_half);
+    let mut resumed = FleetService::restore_json(&json).expect("snapshot restores");
+    run_scenario(&mut resumed, &scenario, TOTAL_ROUNDS - SNAPSHOT_ROUND)
+        .expect("resumed run finishes the timeline");
+    let bits_identical = summaries_bits_identical(&uninterrupted, &resumed);
+    println!(
+        "  snapshot at round {SNAPSHOT_ROUND}, replayed {} rounds: bit-identical = {bits_identical}",
+        TOTAL_ROUNDS - SNAPSHOT_ROUND
+    );
+
+    section("Re-clustering engagement after the abrupt shift");
+    let shift_curve = curve_for(&report, "shift");
+    let before = SHIFT_ROUND - 1;
+    let reclusters_before = shift_curve.recluster_count[before].unwrap_or(0);
+    let reclusters_end = shift_curve
+        .recluster_count
+        .last()
+        .copied()
+        .flatten()
+        .unwrap_or(0);
+    let models_before = shift_curve.n_models[before].unwrap_or(1);
+    let models_end = shift_curve.n_models.last().copied().flatten().unwrap_or(1);
+    let engaged = reclusters_end > reclusters_before || models_end != models_before;
+    println!(
+        "  shift at round {SHIFT_ROUND}: reclusters {reclusters_before} -> {reclusters_end}, models {models_before} -> {models_end}, engaged = {engaged}"
+    );
+
+    let events: Vec<FiredEvent> = report
+        .rounds
+        .iter()
+        .flat_map(|r| {
+            r.fired.iter().map(|e| FiredEvent {
+                round: r.round,
+                description: e.clone(),
+            })
+        })
+        .collect();
+    let curves: Vec<TenantCurve> = ["shift", "writer", "churner", "steady"]
+        .iter()
+        .map(|name| curve_for(&report, name))
+        .collect();
+    let bench_report = ScenarioBenchReport {
+        scenario: report.scenario.clone(),
+        rounds: TOTAL_ROUNDS,
+        total_iterations,
+        wall_s,
+        events,
+        curves,
+        replay: ReplayCheck {
+            snapshot_round: SNAPSHOT_ROUND,
+            bits_identical,
+        },
+        recluster: ReclusterCheck {
+            shift_round: SHIFT_ROUND,
+            reclusters_before_shift: reclusters_before,
+            reclusters_at_end: reclusters_end,
+            models_before_shift: models_before,
+            models_at_end: models_end,
+            engaged,
+        },
+    };
+
+    if !smoke {
+        let json = serde_json::to_string_pretty(&bench_report).expect("report serializes");
+        std::fs::write("BENCH_scenario.json", &json).expect("write BENCH_scenario.json");
+        println!();
+        println!("wrote BENCH_scenario.json");
+    }
+
+    if !bits_identical {
+        eprintln!(
+            "FAIL: mid-scenario snapshot/restore diverged from the uninterrupted run \
+             (environment-event replay contract violated)"
+        );
+        std::process::exit(1);
+    }
+    if !engaged {
+        eprintln!("FAIL: the abrupt family switch did not engage re-clustering / SVM re-routing");
+        std::process::exit(1);
+    }
+    println!(
+        "scenario contracts verified: mid-scenario replay bit-identical, re-clustering engaged"
+    );
+}

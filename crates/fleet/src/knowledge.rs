@@ -65,12 +65,16 @@ impl Default for KnowledgeBaseOptions {
 /// One pool of knowledge for a (hardware class, workload family) coordinate.
 #[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct KnowledgePool {
-    /// Normalized configurations observed to be safe, newest last.
+    /// Normalized configurations observed to be safe, newest (last confirmed) last.
     pub safe_configs: Vec<Vec<f64>>,
     /// Transferred observations, newest last.
     pub observations: Vec<ContextObservation>,
     /// Number of contribution merges this pool received.
     pub contributions: usize,
+    /// Safe configurations evicted (oldest-first) to enforce the pool bound.
+    pub evicted_safe: usize,
+    /// Observations evicted (oldest-first) to enforce the pool bound.
+    pub evicted_observations: usize,
 }
 
 /// What a newly admitted tenant receives from the knowledge base.
@@ -142,18 +146,28 @@ impl KnowledgeBase {
         );
         let pool = self.pool_mut(key);
         for cfg in safe_configs {
-            if !pool.safe_configs.contains(&cfg) {
+            // A re-confirmed configuration refreshes its recency instead of keeping its
+            // original slot: "oldest evicted first" means oldest *last confirmation*, and
+            // the warm-start tail ("most recent safe configs") must include configurations
+            // the fleet keeps re-proving safe. Without this, a long-lived config aged
+            // toward eviction no matter how often tenants re-confirmed it.
+            if let Some(pos) = pool.safe_configs.iter().position(|c| c == &cfg) {
+                let refreshed = pool.safe_configs.remove(pos);
+                pool.safe_configs.push(refreshed);
+            } else {
                 pool.safe_configs.push(cfg);
             }
         }
         if pool.safe_configs.len() > max_safe {
             let excess = pool.safe_configs.len() - max_safe;
             pool.safe_configs.drain(0..excess);
+            pool.evicted_safe += excess;
         }
         pool.observations.extend(observations);
         if pool.observations.len() > max_obs {
             let excess = pool.observations.len() - max_obs;
             pool.observations.drain(0..excess);
+            pool.evicted_observations += excess;
         }
         pool.contributions += 1;
     }
@@ -247,6 +261,79 @@ mod tests {
         // Newest entries survive.
         assert_eq!(pool.safe_configs.last().unwrap()[0], 9.0);
         assert_eq!(pool.contributions, 10);
+    }
+
+    #[test]
+    fn eviction_is_oldest_first_and_observable() {
+        let mut kb = KnowledgeBase::new(KnowledgeBaseOptions {
+            max_safe_per_pool: 3,
+            max_observations_per_pool: 2,
+            ..Default::default()
+        });
+        for i in 0..5 {
+            kb.contribute(&key(), vec![vec![i as f64]], vec![obs(i as f64)]);
+        }
+        let pool = kb.pool(&key()).unwrap();
+        // Exactly the bound survives, and it is the newest entries in insertion order —
+        // the oldest were evicted first.
+        assert_eq!(pool.safe_configs, vec![vec![2.0], vec![3.0], vec![4.0]]);
+        assert_eq!(
+            pool.observations
+                .iter()
+                .map(|o| o.performance)
+                .collect::<Vec<_>>(),
+            vec![3.0, 4.0]
+        );
+        assert_eq!(pool.evicted_safe, 2);
+        assert_eq!(pool.evicted_observations, 3);
+        assert_eq!(pool.contributions, 5);
+    }
+
+    #[test]
+    fn oversized_single_contribution_is_bounded_too() {
+        let mut kb = KnowledgeBase::new(KnowledgeBaseOptions {
+            max_safe_per_pool: 2,
+            max_observations_per_pool: 2,
+            ..Default::default()
+        });
+        kb.contribute(
+            &key(),
+            (0..6).map(|i| vec![i as f64]).collect(),
+            (0..6).map(|i| obs(i as f64)).collect(),
+        );
+        let pool = kb.pool(&key()).unwrap();
+        assert_eq!(pool.safe_configs, vec![vec![4.0], vec![5.0]]);
+        assert_eq!(pool.observations.len(), 2);
+        assert_eq!(pool.evicted_safe, 4);
+        assert_eq!(pool.evicted_observations, 4);
+    }
+
+    #[test]
+    fn reconfirmed_safe_config_refreshes_recency_and_survives_eviction() {
+        let mut kb = KnowledgeBase::new(KnowledgeBaseOptions {
+            max_safe_per_pool: 3,
+            ..Default::default()
+        });
+        kb.contribute(&key(), vec![vec![1.0], vec![2.0], vec![3.0]], vec![]);
+        // Re-confirm the oldest config: it moves to the newest slot (no duplicate)...
+        kb.contribute(&key(), vec![vec![1.0]], vec![]);
+        assert_eq!(
+            kb.pool(&key()).unwrap().safe_configs,
+            vec![vec![2.0], vec![3.0], vec![1.0]]
+        );
+        // ...so the next eviction removes the *least recently confirmed* config instead.
+        kb.contribute(&key(), vec![vec![4.0]], vec![]);
+        let pool = kb.pool(&key()).unwrap();
+        assert_eq!(pool.safe_configs, vec![vec![3.0], vec![1.0], vec![4.0]]);
+        assert_eq!(pool.evicted_safe, 1);
+        // And the warm-start tail reflects confirmation recency.
+        let mut kb2 = KnowledgeBase::new(KnowledgeBaseOptions {
+            warm_start_safe: 1,
+            ..Default::default()
+        });
+        kb2.contribute(&key(), vec![vec![7.0], vec![8.0]], vec![]);
+        kb2.contribute(&key(), vec![vec![7.0]], vec![]);
+        assert_eq!(kb2.warm_start(&key()).safe_configs, vec![vec![7.0]]);
     }
 
     #[test]

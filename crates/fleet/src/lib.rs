@@ -21,6 +21,10 @@
 //!   knowledge base, executes rounds on a worker thread pool, and can snapshot the entire
 //!   fleet to JSON and restore it such that every session continues **bit-identically**
 //!   (see `OnlineTune::snapshot` / `SimDatabase::snapshot` for the per-layer state hooks).
+//! * [`scenario`] — a declarative [`scenario::Scenario`] scripts timed environment events
+//!   against a running fleet (workload drift, hardware resizes, data growth, tenant
+//!   churn); [`scenario::run_scenario`] fires them deterministically off the service's
+//!   round counter, extending the bit-identical replay contract to environment change.
 //!
 //! Per-iteration cost matters `N×` more in a fleet than in a single session: every
 //! tenant's model update runs the incremental `O(t²)` GP path — rank-1 Cholesky
@@ -46,11 +50,15 @@
 #![warn(missing_docs)]
 
 pub mod knowledge;
+pub mod scenario;
 pub mod scheduler;
 pub mod service;
 pub mod tenant;
 
 pub use knowledge::{KnowledgeBase, KnowledgeBaseOptions, PoolKey, WarmStart};
+pub use scenario::{run_scenario, Scenario, ScenarioEvent, ScenarioReport, ScenarioStep};
 pub use scheduler::{RoundPlan, SchedulerOptions, SessionScheduler, TenantStatus};
 pub use service::{FleetOptions, FleetReport, FleetService, FleetSnapshot};
-pub use tenant::{TenantSession, TenantSessionState, TenantSpec, TenantSummary, WorkloadFamily};
+pub use tenant::{
+    TenantSession, TenantSessionState, TenantSpec, TenantSummary, WorkloadDrift, WorkloadFamily,
+};

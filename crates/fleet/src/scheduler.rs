@@ -84,6 +84,25 @@ impl SessionScheduler {
         &self.granted
     }
 
+    /// Removes the tenant at `index` (a churn event), keeping the grant totals aligned
+    /// with the shrunken tenant list. The rotation cursor is shifted so the tenants that
+    /// would have led the next round still do — the adjustment is a pure function of the
+    /// scheduler state, so churn stays deterministic.
+    pub fn remove(&mut self, index: usize) {
+        if index < self.granted.len() {
+            self.granted.remove(index);
+        }
+        if self.cursor > index {
+            self.cursor -= 1;
+        }
+        let n = self.granted.len();
+        if n == 0 {
+            self.cursor = 0;
+        } else {
+            self.cursor %= n;
+        }
+    }
+
     /// Plans the next round for the given tenant statuses.
     ///
     /// Deterministic: ties in the priority ranking break by tenant index.
@@ -206,6 +225,27 @@ mod tests {
             }
         }
         assert_eq!(s.granted(), &expected);
+    }
+
+    #[test]
+    fn remove_keeps_grant_totals_aligned_and_cursor_in_range() {
+        let mut s = SessionScheduler::default();
+        let statuses = vec![status(1.0), status(2.0), status(3.0)];
+        s.plan_round(&statuses);
+        s.plan_round(&statuses); // cursor now 2
+        let before = s.granted().to_vec();
+        s.remove(0);
+        assert_eq!(s.granted(), &before[1..]);
+        // Cursor pointed at index 2; after removing index 0 it must track the same
+        // tenant, now at index 1.
+        let plan = s.plan_round(&statuses[1..]);
+        assert_eq!(plan.order[0], 1);
+        // Removing the remaining tenants never leaves the cursor out of range.
+        s.remove(1);
+        s.remove(0);
+        assert_eq!(s.granted().len(), 0);
+        let plan = s.plan_round(&[]);
+        assert_eq!(plan.total_slots(), 0);
     }
 
     #[test]

@@ -141,7 +141,7 @@ impl FleetService {
     /// hardware class + workload family) warm-starts it from the knowledge base. Returns
     /// the tenant's index.
     pub fn admit(&mut self, spec: TenantSpec) -> usize {
-        let key = PoolKey::for_tenant(&spec.hardware, spec.family);
+        let key = PoolKey::for_tenant(&spec.hardware, spec.family_at(0));
         let mut session = TenantSession::new(spec, self.options.tuner.clone());
         if self.options.warm_start_on_admit {
             let warm = self.knowledge.warm_start(&key);
@@ -156,6 +156,80 @@ impl FleetService {
     /// Per-tenant summaries.
     pub fn summaries(&self) -> Vec<TenantSummary> {
         self.tenants.iter().map(TenantSession::summary).collect()
+    }
+
+    /// Index of the tenant named `name` (first match).
+    pub fn tenant_index(&self, name: &str) -> Option<usize> {
+        self.tenants.iter().position(|t| t.spec().name == name)
+    }
+
+    /// Read access to the session of the tenant named `name`.
+    pub fn session(&self, name: &str) -> Option<&TenantSession> {
+        self.tenant_index(name).map(|i| &self.tenants[i])
+    }
+
+    /// Mutable access to the session of the tenant named `name` (scenario events use this
+    /// to apply drift, resizes and data growth).
+    pub fn session_mut(&mut self, name: &str) -> Option<&mut TenantSession> {
+        self.tenant_index(name).map(|i| &mut self.tenants[i])
+    }
+
+    /// Removes the tenant named `name` (a leave/churn event) and returns its spec (so a
+    /// migration can re-admit it with modifications). The session's pending knowledge is
+    /// merged into the knowledge base first: what a leaving tenant learned stays with the
+    /// fleet and warm-starts the tenant if it later rejoins.
+    pub fn remove_tenant(&mut self, name: &str) -> Result<TenantSpec, String> {
+        let idx = self
+            .tenant_index(name)
+            .ok_or_else(|| format!("no tenant named `{name}`"))?;
+        self.merge_contribution(idx);
+        let session = self.tenants.remove(idx);
+        self.scheduler.remove(idx);
+        Ok(session.spec().clone())
+    }
+
+    /// Drains tenant `i`'s pending knowledge into the shared knowledge base. The pool is
+    /// keyed by the workload family the tenant *currently runs* (`TenantSpec::family_at`),
+    /// so knowledge collected after a scripted family switch lands in the switched-to
+    /// family's pool instead of leaking into the original one.
+    fn merge_contribution(&mut self, i: usize) {
+        let contribution = self.tenants[i].drain_contribution();
+        if contribution.is_empty() {
+            return;
+        }
+        let spec = self.tenants[i].spec();
+        let family = spec.family_at(self.tenants[i].iteration());
+        let key = PoolKey::for_tenant(&spec.hardware, family);
+        self.knowledge
+            .contribute(&key, contribution.safe_configs, contribution.observations);
+    }
+
+    /// Migrates the tenant named `name` to a new hardware class: the session leaves
+    /// (pending knowledge drained to the base) and rejoins re-initialized on `hardware`
+    /// with a knowledge-base warm start — the hardware-change strategy of §5.1.2. The
+    /// rejoined spec is re-based on the workload the tenant *currently* runs (effective
+    /// family, cleared drift anchors) and the instance's data volume is carried along,
+    /// so the environment does not rewind to the pre-drift state. Returns the new index.
+    pub fn migrate_tenant(
+        &mut self,
+        name: &str,
+        hardware: simdb::HardwareSpec,
+    ) -> Result<usize, String> {
+        let (iteration, data_size) = {
+            let session = self
+                .session(name)
+                .ok_or_else(|| format!("no tenant named `{name}`"))?;
+            (session.iteration(), session.data_size_gib())
+        };
+        let mut spec = self.remove_tenant(name)?;
+        spec.family = spec.family_at(iteration);
+        spec.drift.clear();
+        spec.hardware = hardware;
+        let idx = self.admit(spec);
+        if let Some(gib) = data_size {
+            self.tenants[idx].set_data_size(gib);
+        }
+        Ok(idx)
     }
 
     fn effective_workers(&self) -> usize {
@@ -210,14 +284,7 @@ impl FleetService {
 
         // Deterministic knowledge merge.
         for i in 0..self.tenants.len() {
-            let contribution = self.tenants[i].drain_contribution();
-            if contribution.is_empty() {
-                continue;
-            }
-            let spec = self.tenants[i].spec();
-            let key = PoolKey::for_tenant(&spec.hardware, spec.family);
-            self.knowledge
-                .contribute(&key, contribution.safe_configs, contribution.observations);
+            self.merge_contribution(i);
         }
 
         self.rounds += 1;

@@ -83,9 +83,73 @@ impl WorkloadFamily {
     }
 }
 
+/// A serializable workload-drift transform applied on top of a tenant's base family.
+///
+/// Iteration fields are absolute positions in the *tenant's* iteration stream. The
+/// drifts a tenant has accumulated live in its [`TenantSpec`], so a snapshot-restored
+/// session rebuilds the exact same composed generator (drift combinators are pure
+/// functions of the iteration index — see [`workloads::drift`]).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum WorkloadDrift {
+    /// Gradual load ramp: scale clients/arrival rate from `from_scale` to `to_scale`
+    /// over the `[start, start + over]` iteration window.
+    RateRamp {
+        /// First iteration of the ramp.
+        start: usize,
+        /// Ramp length in iterations (0 = step change).
+        over: usize,
+        /// Scale factor before the ramp.
+        from_scale: f64,
+        /// Scale factor after the ramp.
+        to_scale: f64,
+    },
+    /// Abrupt switch to another workload family at iteration `at`.
+    FamilySwitch {
+        /// First iteration served by the new family.
+        at: usize,
+        /// The family switched to.
+        to: WorkloadFamily,
+    },
+    /// Periodic alternation between the current workload and another family; phases are
+    /// anchored at iteration 0 of the tenant's stream.
+    PeriodicFamilies {
+        /// Phase length in iterations.
+        period: usize,
+        /// The family alternated with.
+        other: WorkloadFamily,
+    },
+}
+
+impl WorkloadDrift {
+    /// Shifts the drift's iteration anchors forward by `offset`. Scenario events carry
+    /// drift positions relative to "now"; the session anchors them to its current
+    /// iteration before storing them in the spec, so the spec always holds absolute
+    /// positions. `PeriodicFamilies` has no anchor and is returned unchanged.
+    pub fn anchored_at(self, offset: usize) -> WorkloadDrift {
+        match self {
+            WorkloadDrift::RateRamp {
+                start,
+                over,
+                from_scale,
+                to_scale,
+            } => WorkloadDrift::RateRamp {
+                start: start + offset,
+                over,
+                from_scale,
+                to_scale,
+            },
+            WorkloadDrift::FamilySwitch { at, to } => WorkloadDrift::FamilySwitch {
+                at: at + offset,
+                to,
+            },
+            periodic @ WorkloadDrift::PeriodicFamilies { .. } => periodic,
+        }
+    }
+}
+
 /// Static description of a tenant: everything needed to (re)build its session apart from
 /// the dynamic tuning state.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TenantSpec {
     /// Human-readable tenant name.
     pub name: String,
@@ -99,10 +163,13 @@ pub struct TenantSpec {
     pub interval_s: f64,
     /// Whether the instance's measurement noise is disabled (used by determinism tests).
     pub deterministic: bool,
+    /// Drift transforms accumulated by scenario events, oldest first (absolute iteration
+    /// anchors — see [`WorkloadDrift::anchored_at`]).
+    pub drift: Vec<WorkloadDrift>,
 }
 
 impl TenantSpec {
-    /// A spec with default hardware, a 180 s interval and noise enabled.
+    /// A spec with default hardware, a 180 s interval, noise enabled and no drift.
     pub fn named(name: impl Into<String>, family: WorkloadFamily, seed: u64) -> Self {
         TenantSpec {
             name: name.into(),
@@ -111,7 +178,71 @@ impl TenantSpec {
             hardware: HardwareSpec::default(),
             interval_s: 180.0,
             deterministic: false,
+            drift: Vec::new(),
         }
+    }
+
+    /// The workload family actually running at `iteration`, accounting for the drift
+    /// stack (a `FamilySwitch` past its anchor replaces the family; a `PeriodicFamilies`
+    /// alternates it). Knowledge-base contributions are keyed by this, not by the static
+    /// base family — safe configurations proven under a switched-to workload must not
+    /// leak into the original family's pool.
+    pub fn family_at(&self, iteration: usize) -> WorkloadFamily {
+        let mut family = self.family;
+        for drift in &self.drift {
+            match drift {
+                WorkloadDrift::FamilySwitch { at, to } => {
+                    if iteration >= *at {
+                        family = *to;
+                    }
+                }
+                WorkloadDrift::PeriodicFamilies { period, other } => {
+                    if !(iteration / (*period).max(1)).is_multiple_of(2) {
+                        family = *other;
+                    }
+                }
+                WorkloadDrift::RateRamp { .. } => {}
+            }
+        }
+        family
+    }
+
+    /// Builds the tenant's workload generator: the base family wrapped in the spec's
+    /// drift stack, oldest drift innermost. Deterministic: the switched-to family of the
+    /// `i`-th drift derives its seed from the tenant seed and `i`, so two builds of the
+    /// same spec (fresh admit vs snapshot restore) produce identical streams.
+    pub fn build_generator(&self) -> Box<dyn WorkloadGenerator> {
+        let mut generator = self.family.build(self.seed);
+        for (i, drift) in self.drift.iter().enumerate() {
+            let drift_seed = self
+                .seed
+                .wrapping_add(0x5EED_D81F_u64.wrapping_mul(i as u64 + 1));
+            generator = match drift {
+                WorkloadDrift::RateRamp {
+                    start,
+                    over,
+                    from_scale,
+                    to_scale,
+                } => Box::new(workloads::drift::RateRamp::new(
+                    generator,
+                    *start,
+                    *over,
+                    *from_scale,
+                    *to_scale,
+                )),
+                WorkloadDrift::FamilySwitch { at, to } => Box::new(
+                    workloads::drift::AbruptSwitch::new(generator, to.build(drift_seed), *at),
+                ),
+                WorkloadDrift::PeriodicFamilies { period, other } => {
+                    Box::new(workloads::drift::PeriodicAlternation::new(
+                        generator,
+                        other.build(drift_seed),
+                        (*period).max(1),
+                    ))
+                }
+            };
+        }
+        generator
     }
 }
 
@@ -149,6 +280,10 @@ pub struct TenantSummary {
     pub unsafe_count: usize,
     /// Sum of achieved objective scores.
     pub total_score: f64,
+    /// Per-cluster models the tuner currently maintains.
+    pub n_models: usize,
+    /// Re-clusterings the tuner has performed (drift-triggered SVM re-routing).
+    pub recluster_count: usize,
 }
 
 /// A running tuning session for one tenant.
@@ -196,7 +331,7 @@ impl TenantSession {
     pub fn new(spec: TenantSpec, tuner_options: OnlineTuneOptions) -> Self {
         let catalogue = simdb::KnobCatalogue::mysql57();
         let featurizer = ContextFeaturizer::with_defaults();
-        let generator = spec.family.build(spec.seed);
+        let generator = spec.build_generator();
         let reference = Configuration::dba_default(&catalogue);
         let mut db = SimDatabase::with_catalogue(catalogue.clone(), spec.hardware, spec.seed);
         db.set_data_size(generator.initial_data_size_gib());
@@ -217,7 +352,7 @@ impl TenantSession {
         sized0.data_size_gib = db.data_size_gib().unwrap_or(spec0.data_size_gib);
         let stats0 = OptimizerStats::estimate(&sized0);
         let context0 = featurizer.featurize(&queries0, spec0.arrival_rate_qps, &stats0);
-        let objective = generator.objective();
+        let objective = generator.objective_at(0);
         let score0 = objective.score(&db.peek(&reference, &spec0));
         tuner.observe(&context0, &reference, score0, None, true);
 
@@ -265,12 +400,58 @@ impl TenantSession {
         self.recent_regret.iter().sum::<f64>() / self.recent_regret.len() as f64
     }
 
+    /// Number of per-cluster models the tuner currently maintains.
+    pub fn model_count(&self) -> usize {
+        self.tuner.model_count()
+    }
+
+    /// Number of re-clusterings the tuner has performed.
+    pub fn recluster_count(&self) -> usize {
+        self.tuner.recluster_count()
+    }
+
     /// Warm-starts the session from fleet knowledge: known-safe configurations join the
     /// tuner's safety set and transferred observations join its models.
     pub fn warm_start(&mut self, warm: &crate::knowledge::WarmStart) {
         self.tuner
             .extend_known_safe(warm.safe_configs.iter().cloned());
         self.tuner.absorb_observations(&warm.observations);
+    }
+
+    /// Applies a workload drift to the running session. The drift's iteration anchors are
+    /// interpreted relative to "now" (the session's current iteration), stored absolutely
+    /// in the spec, and the generator is rebuilt — so the change is part of every later
+    /// snapshot and a restored session drifts identically.
+    pub fn apply_drift(&mut self, drift: WorkloadDrift) {
+        let anchored = drift.anchored_at(self.iteration);
+        self.spec.drift.push(anchored);
+        self.generator = self.spec.build_generator();
+    }
+
+    /// Resizes the tenant's instance in place: the simulated database's performance model
+    /// and the tuner's white-box rules see the new hardware from the next iteration on,
+    /// while the learned models keep their observations (the resulting performance shift
+    /// surfaces as ordinary context/observation drift). Future knowledge-base
+    /// contributions go to the new hardware class's pool.
+    pub fn resize_hardware(&mut self, hardware: HardwareSpec) {
+        self.spec.hardware = hardware;
+        self.db.set_hardware(hardware);
+        self.tuner.set_hardware(hardware);
+    }
+
+    /// Scales the instance's tracked data volume by `factor` (bulk load / purge).
+    pub fn scale_data(&mut self, factor: f64) {
+        self.db.scale_data(factor);
+    }
+
+    /// The instance's tracked data volume, if any.
+    pub fn data_size_gib(&self) -> Option<f64> {
+        self.db.data_size_gib()
+    }
+
+    /// Sets the instance's tracked data volume (migration carries the data along).
+    pub fn set_data_size(&mut self, gib: f64) {
+        self.db.set_data_size(gib);
     }
 
     /// Runs one suggest→apply→observe iteration and returns the achieved regret.
@@ -284,7 +465,7 @@ impl TenantSession {
         let context = self
             .featurizer
             .featurize(&queries, spec.arrival_rate_qps, &stats);
-        let objective = self.generator.objective();
+        let objective = self.generator.objective_at(it);
 
         // Safety threshold: the reference configuration's performance under the current
         // workload and data size.
@@ -346,6 +527,8 @@ impl TenantSession {
             recent_regret: self.recent_regret(),
             unsafe_count: self.unsafe_count,
             total_score: self.total_score,
+            n_models: self.tuner.model_count(),
+            recluster_count: self.tuner.recluster_count(),
         }
     }
 
@@ -371,7 +554,7 @@ impl TenantSession {
         let tuner = OnlineTune::restore(state.tuner)?;
         let db = SimDatabase::restore(state.db)?;
         let featurizer = ContextFeaturizer::with_defaults();
-        let generator = state.spec.family.build(state.spec.seed);
+        let generator = state.spec.build_generator();
         let reference = Configuration::dba_default(tuner.catalogue());
         Ok(TenantSession {
             spec: state.spec,
@@ -433,6 +616,55 @@ mod tests {
             restored.cumulative_regret().to_bits()
         );
         assert_eq!(original.unsafe_count(), restored.unsafe_count());
+    }
+
+    #[test]
+    fn applied_drift_is_anchored_and_survives_snapshot_restore() {
+        let mut spec = TenantSpec::named("drifter", WorkloadFamily::Ycsb, 21);
+        spec.deterministic = true;
+        let mut original = TenantSession::new(spec, small_tuner_options());
+        for _ in 0..4 {
+            original.step();
+        }
+        // "Switch to JOB 2 iterations from now" anchors at absolute iteration 6.
+        original.apply_drift(WorkloadDrift::FamilySwitch {
+            at: 2,
+            to: WorkloadFamily::Job,
+        });
+        assert_eq!(
+            original.spec().drift,
+            vec![WorkloadDrift::FamilySwitch {
+                at: 6,
+                to: WorkloadFamily::Job
+            }]
+        );
+        original.drain_contribution();
+        let mut restored = TenantSession::restore(original.export_state()).unwrap();
+        // Both sessions cross the switch boundary and must stay bit-identical through it.
+        for i in 0..6 {
+            let a = original.step();
+            let b = restored.step();
+            assert_eq!(a.to_bits(), b.to_bits(), "diverged at post-drift step {i}");
+        }
+    }
+
+    #[test]
+    fn hardware_resize_applies_to_db_tuner_and_spec() {
+        let mut spec = TenantSpec::named("resizer", WorkloadFamily::Twitter, 31);
+        spec.deterministic = true;
+        let mut s = TenantSession::new(spec, small_tuner_options());
+        s.step();
+        let big = simdb::HardwareSpec::default().scaled(2.0);
+        s.resize_hardware(big);
+        assert_eq!(s.spec().hardware, big);
+        s.step();
+        // The resize is part of the snapshot: the restored session continues on the new
+        // hardware bit-identically.
+        s.drain_contribution();
+        let mut restored = TenantSession::restore(s.export_state()).unwrap();
+        for _ in 0..3 {
+            assert_eq!(s.step().to_bits(), restored.step().to_bits());
+        }
     }
 
     #[test]

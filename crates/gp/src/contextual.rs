@@ -624,6 +624,118 @@ mod tests {
         ));
     }
 
+    mod budget_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One observation of a drifting stream: the context wanders with `i`, so
+        /// successive evictions happen under a shifting data distribution — the scenario
+        /// regime the budget must stay stable in.
+        fn drifting_obs(i: usize, drift: f64) -> ContextObservation {
+            let t = i as f64;
+            ContextObservation {
+                context: vec![(t * drift * 0.05).sin() * 0.5 + 0.5],
+                config: vec![(t * 0.37).fract()],
+                performance: (t * 0.61).sin() * 10.0 + t,
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(10))]
+
+            /// The most recent `max(1, evict_to / 2)` observations are present at all
+            /// times, no matter where the eviction batches fall: the newest half of the
+            /// retained set is kept unconditionally, and appends between evictions only
+            /// add to the tail.
+            #[test]
+            fn prop_newest_half_always_kept(
+                window in 4usize..16,
+                n in 20usize..70,
+                drift in 0.1f64..2.0,
+            ) {
+                let budget = ObservationBudget::new(window);
+                let recent_keep = (budget.evict_to / 2).max(1);
+                let mut model = ContextualGp::new(1, 1);
+                model.set_budget(Some(budget));
+                for i in 0..n {
+                    model.observe(drifting_obs(i, drift)).unwrap();
+                    assert!(model.len() <= window, "budget bound violated: {}", model.len());
+                    // Every one of the `recent_keep` newest fed observations is retained,
+                    // in chronological order at the tail of the store.
+                    let tail_len = recent_keep.min(i + 1);
+                    let tail = &model.observations()[model.len() - tail_len..];
+                    for (k, o) in tail.iter().enumerate() {
+                        let expected = drifting_obs(i + 1 - tail_len + k, drift);
+                        assert_eq!(
+                            o.performance.to_bits(),
+                            expected.performance.to_bits(),
+                            "newest-half invariant broken at observe {i}, tail slot {k}"
+                        );
+                    }
+                }
+            }
+
+            /// Eviction decisions (including |α| ties) are deterministic: two models fed
+            /// the identical stream retain bitwise-identical observation sets and produce
+            /// bitwise-identical posteriors. Snapshot replay relies on this.
+            #[test]
+            fn prop_eviction_is_deterministic(
+                window in 4usize..12,
+                n in 30usize..60,
+            ) {
+                let mut a = ContextualGp::new(1, 1);
+                let mut b = ContextualGp::new(1, 1);
+                a.set_budget(Some(ObservationBudget::new(window)));
+                b.set_budget(Some(ObservationBudget::new(window)));
+                for i in 0..n {
+                    // Duplicated performances and configs produce exactly equal |α|
+                    // values, forcing the tie-break path.
+                    let o = ContextObservation {
+                        context: vec![0.5],
+                        config: vec![(i % 4) as f64 / 4.0],
+                        performance: (i % 3) as f64,
+                    };
+                    a.observe(o.clone()).unwrap();
+                    b.observe(o).unwrap();
+                }
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.observations().iter().zip(b.observations().iter()) {
+                    assert_eq!(x.performance.to_bits(), y.performance.to_bits());
+                    assert_eq!(x.config[0].to_bits(), y.config[0].to_bits());
+                }
+                let pa = a.predict(&[0.4], &[0.5]).unwrap();
+                let pb = b.predict(&[0.4], &[0.5]).unwrap();
+                assert_eq!(pa.mean.to_bits(), pb.mean.to_bits());
+                assert_eq!(pa.std_dev.to_bits(), pb.std_dev.to_bits());
+            }
+
+            /// After many drift-driven evictions the model posterior stays finite and its
+            /// uncertainty stays positive — repeated refits on evicted subsets must not
+            /// accumulate numerical damage.
+            #[test]
+            fn prop_posterior_stays_finite_under_repeated_eviction(
+                window in 4usize..14,
+                drift in 0.1f64..3.0,
+            ) {
+                let mut model = ContextualGp::new(1, 1);
+                model.set_budget(Some(ObservationBudget::new(window)));
+                for i in 0..120 {
+                    model.observe(drifting_obs(i, drift)).unwrap();
+                }
+                assert!(model.is_fitted());
+                for probe in [0.0, 0.25, 0.5, 0.75, 1.0] {
+                    let p = model.predict(&[probe], &[probe]).unwrap();
+                    assert!(p.mean.is_finite(), "mean diverged at {probe}: {}", p.mean);
+                    assert!(
+                        p.std_dev.is_finite() && p.std_dev >= 0.0,
+                        "std diverged at {probe}: {}",
+                        p.std_dev
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn hyperopt_path_produces_a_fitted_model() {
         let mut model = build_model();

@@ -202,6 +202,20 @@ impl OnlineTune {
         &self.whitebox
     }
 
+    /// The hardware the tuner currently assumes for its white-box rules.
+    pub fn hardware(&self) -> &HardwareSpec {
+        &self.hardware
+    }
+
+    /// Updates the hardware the white-box rules reason about (a mid-session instance
+    /// resize). The black-box models are *not* reset: performance shifts caused by the
+    /// resize surface as ordinary observations, and a sustained context-distribution
+    /// shift triggers re-clustering through the normal NMI check. The hardware is part of
+    /// the tuner snapshot, so a restored session continues with the resized value.
+    pub fn set_hardware(&mut self, hardware: HardwareSpec) {
+        self.hardware = hardware;
+    }
+
     fn sync_model_structures(&mut self) {
         let n = self.clusters.n_models();
         while self.subspaces.len() < n {

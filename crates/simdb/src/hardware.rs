@@ -6,8 +6,10 @@ use serde::{Deserialize, Serialize};
 ///
 /// The paper's experiments run on an 8 vCPU / 16 GB RDS instance; that is the default here.
 /// The OnlineTune design discussion (§5.1.2) notes that hardware changes can be handled by
-/// encoding hardware into the context or re-initializing the tuning task — the experiment
-/// harness keeps hardware fixed, as the paper does.
+/// encoding hardware into the context or re-initializing the tuning task — the scenario
+/// engine scripts exactly such changes: `SimDatabase::set_hardware` resizes a running
+/// instance in place, and a fleet `Migrate` event re-initializes the tuning task on the
+/// new hardware class with a knowledge-base warm start.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct HardwareSpec {
     /// Number of virtual CPUs.
@@ -45,6 +47,21 @@ impl HardwareSpec {
     pub fn total_ram_bytes(&self) -> f64 {
         self.ram_gib * 1024.0 * 1024.0 * 1024.0
     }
+
+    /// A copy of this spec with every capacity axis (vCPUs, RAM, IOPS, bandwidth) scaled
+    /// by `factor`; per-IO latency is a device property and stays unchanged. vCPUs are
+    /// rounded and never drop below 1. Scenario resize events use this to express "double
+    /// the instance" without enumerating fields.
+    pub fn scaled(&self, factor: f64) -> HardwareSpec {
+        let factor = factor.max(0.0);
+        HardwareSpec {
+            vcpus: ((self.vcpus as f64 * factor).round() as usize).max(1),
+            ram_gib: self.ram_gib * factor,
+            disk_iops: self.disk_iops * factor,
+            disk_mib_per_s: self.disk_mib_per_s * factor,
+            io_latency_ms: self.io_latency_ms,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -63,6 +80,18 @@ mod tests {
         let hw = HardwareSpec::default();
         assert!(hw.usable_ram_bytes() < hw.total_ram_bytes());
         assert!(hw.usable_ram_bytes() > 0.0);
+    }
+
+    #[test]
+    fn scaled_doubles_capacity_but_not_latency() {
+        let hw = HardwareSpec::default();
+        let big = hw.scaled(2.0);
+        assert_eq!(big.vcpus, 16);
+        assert_eq!(big.ram_gib, 32.0);
+        assert_eq!(big.disk_iops, 16000.0);
+        assert_eq!(big.io_latency_ms, hw.io_latency_ms);
+        // Shrinking never reaches zero vCPUs.
+        assert_eq!(hw.scaled(0.01).vcpus, 1);
     }
 
     #[test]

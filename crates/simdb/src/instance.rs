@@ -149,6 +149,25 @@ impl SimDatabase {
         self.data_size_gib = Some(gib.max(0.1));
     }
 
+    /// Scales the tracked data size by `factor` (scenario-scripted data-volume growth,
+    /// e.g. a bulk load or an archival purge). No-op until the instance tracks a size —
+    /// i.e. before the first interval or [`SimDatabase::set_data_size`] call.
+    pub fn scale_data(&mut self, factor: f64) {
+        if let Some(size) = self.data_size_gib {
+            self.set_data_size(size * factor.max(0.0));
+        }
+    }
+
+    /// Resizes the instance's hardware in place (a cloud vertical scaling event). The
+    /// analytic performance model consults the hardware on every evaluation, so the next
+    /// [`SimDatabase::run_interval`] / [`SimDatabase::peek`] responds immediately: buffer
+    /// pools compete for the new RAM budget, CPU and IO capacity change, and the currently
+    /// applied configuration keeps its values (which may now overcommit or underuse the
+    /// instance — exactly the situation a tuner must adapt to).
+    pub fn set_hardware(&mut self, hardware: HardwareSpec) {
+        self.hardware = hardware;
+    }
+
     /// Applies a configuration to the running instance (no restart — only dynamic knobs are
     /// in the catalogue, as in the paper). Values are sanitized into their legal domains.
     pub fn apply_config(&mut self, config: &Configuration) {
@@ -407,6 +426,42 @@ mod tests {
         assert!(outcome.throughput_tps > 0.0);
         assert_eq!(db.intervals_run(), before_intervals);
         assert_eq!(db.data_size_gib(), before_size);
+    }
+
+    #[test]
+    fn hardware_resize_changes_the_performance_model_immediately() {
+        let mut db = SimDatabase::new(8);
+        db.set_deterministic(true);
+        db.apply_dba_default();
+        db.set_data_size(18.0);
+        let wl = tpcc_like();
+        let small = db.peek(db.current_config(), &wl).throughput_tps;
+        let mut bigger = *db.hardware();
+        bigger.vcpus *= 4;
+        bigger.ram_gib *= 4.0;
+        bigger.disk_iops *= 4.0;
+        db.set_hardware(bigger);
+        assert_eq!(db.hardware().vcpus, 32);
+        let large = db.peek(db.current_config(), &wl).throughput_tps;
+        assert!(
+            large > small,
+            "4x hardware must not slow the model down: {large} vs {small}"
+        );
+        // The resize survives a snapshot round-trip.
+        let restored = SimDatabase::restore(db.snapshot()).unwrap();
+        assert_eq!(restored.hardware(), &bigger);
+    }
+
+    #[test]
+    fn scale_data_multiplies_the_tracked_size_and_ignores_untracked() {
+        let mut db = SimDatabase::new(9);
+        db.scale_data(2.0); // not tracked yet: no-op
+        assert!(db.data_size_gib().is_none());
+        db.set_data_size(10.0);
+        db.scale_data(1.5);
+        assert!((db.data_size_gib().unwrap() - 15.0).abs() < 1e-12);
+        db.scale_data(0.0); // clamped to the minimum tracked size, never negative
+        assert!(db.data_size_gib().unwrap() > 0.0);
     }
 
     #[test]

@@ -1,0 +1,332 @@
+//! Drift combinators: environment change as a pure function of the iteration index.
+//!
+//! The paper's central claim is safe tuning under *dynamic* environments, and each base
+//! generator already carries its own intra-family dynamics (sine-modulated mixes, diurnal
+//! arrival rates). This module adds the *adversarial* dynamics a scenario engine scripts
+//! on top: gradual load ramps, abrupt workload-family switches and periodic family
+//! alternation. Each combinator wraps one or two inner [`WorkloadGenerator`]s and is
+//! itself a [`WorkloadGenerator`], so drifts compose (a ramp of a switch of a cycle).
+//!
+//! Like the base generators, every combinator is a pure function of the iteration index:
+//! two generators built from the same parameters produce identical streams, which is what
+//! lets a snapshot-restored tenant rebuild its (unserializable, `Box<dyn>`) generator from
+//! its serialized spec and continue bit-identically.
+
+use crate::{Objective, WorkloadGenerator};
+use simdb::WorkloadSpec;
+
+/// Gradually scales the load (client count and arrival rate) of an inner workload.
+///
+/// The scale factor moves linearly from `from_scale` to `to_scale` over the
+/// `[start, start + over]` iteration window and stays at `to_scale` afterwards; with
+/// `over == 0` the ramp degenerates to a step at `start`.
+pub struct RateRamp {
+    inner: Box<dyn WorkloadGenerator>,
+    start: usize,
+    over: usize,
+    from_scale: f64,
+    to_scale: f64,
+    name: String,
+}
+
+impl RateRamp {
+    /// Wraps `inner` in a load ramp.
+    pub fn new(
+        inner: Box<dyn WorkloadGenerator>,
+        start: usize,
+        over: usize,
+        from_scale: f64,
+        to_scale: f64,
+    ) -> Self {
+        let name = format!("{}+ramp", inner.name());
+        RateRamp {
+            inner,
+            start,
+            over,
+            from_scale,
+            to_scale,
+            name,
+        }
+    }
+
+    /// The load scale factor applied at `iteration`.
+    pub fn scale_at(&self, iteration: usize) -> f64 {
+        let progress = if iteration < self.start {
+            0.0
+        } else if self.over == 0 {
+            1.0
+        } else {
+            ((iteration - self.start) as f64 / self.over as f64).min(1.0)
+        };
+        self.from_scale + (self.to_scale - self.from_scale) * progress
+    }
+}
+
+impl WorkloadGenerator for RateRamp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn spec_at(&self, iteration: usize) -> WorkloadSpec {
+        let mut spec = self.inner.spec_at(iteration);
+        let scale = self.scale_at(iteration);
+        spec.clients = ((spec.clients as f64 * scale).round() as usize).max(1);
+        spec.arrival_rate_qps = spec.arrival_rate_qps.map(|q| q * scale);
+        spec
+    }
+
+    fn sample_queries(&self, iteration: usize, n: usize) -> Vec<String> {
+        self.inner.sample_queries(iteration, n)
+    }
+
+    fn objective(&self) -> Objective {
+        self.inner.objective()
+    }
+
+    fn objective_at(&self, iteration: usize) -> Objective {
+        self.inner.objective_at(iteration)
+    }
+
+    fn initial_data_size_gib(&self) -> f64 {
+        self.inner.initial_data_size_gib()
+    }
+}
+
+/// Switches abruptly from one workload to another at a fixed iteration.
+///
+/// This is the sharpest environment change the scenario engine can script: the context
+/// features jump between families (e.g. OLTP point lookups to analytical multi-joins),
+/// which is exactly the shift that must drive the tuner's DBSCAN/NMI re-clustering and
+/// SVM re-routing.
+pub struct AbruptSwitch {
+    before: Box<dyn WorkloadGenerator>,
+    after: Box<dyn WorkloadGenerator>,
+    at: usize,
+    name: String,
+}
+
+impl AbruptSwitch {
+    /// Runs `before` for iterations `< at` and `after` from `at` onwards.
+    pub fn new(
+        before: Box<dyn WorkloadGenerator>,
+        after: Box<dyn WorkloadGenerator>,
+        at: usize,
+    ) -> Self {
+        let name = format!("{}->{}", before.name(), after.name());
+        AbruptSwitch {
+            before,
+            after,
+            at,
+            name,
+        }
+    }
+
+    fn active(&self, iteration: usize) -> &dyn WorkloadGenerator {
+        if iteration < self.at {
+            self.before.as_ref()
+        } else {
+            self.after.as_ref()
+        }
+    }
+}
+
+impl WorkloadGenerator for AbruptSwitch {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn spec_at(&self, iteration: usize) -> WorkloadSpec {
+        self.active(iteration).spec_at(iteration)
+    }
+
+    fn sample_queries(&self, iteration: usize, n: usize) -> Vec<String> {
+        self.active(iteration).sample_queries(iteration, n)
+    }
+
+    fn objective(&self) -> Objective {
+        // The static objective is the pre-switch one; iteration-aware callers should use
+        // `objective_at`, which follows the switch.
+        self.before.objective()
+    }
+
+    fn objective_at(&self, iteration: usize) -> Objective {
+        self.active(iteration).objective_at(iteration)
+    }
+
+    fn initial_data_size_gib(&self) -> f64 {
+        self.before.initial_data_size_gib()
+    }
+}
+
+/// Alternates between two workloads every `period` iterations, starting with the first.
+///
+/// The transactional–analytical daily cycle of §7.1.2 is a special case; this combinator
+/// generalizes it to any pair of generators so scenarios can script periodic drift on any
+/// tenant.
+pub struct PeriodicAlternation {
+    a: Box<dyn WorkloadGenerator>,
+    b: Box<dyn WorkloadGenerator>,
+    period: usize,
+    name: String,
+}
+
+impl PeriodicAlternation {
+    /// Alternates `a` and `b` with the given phase length (must be non-zero).
+    pub fn new(
+        a: Box<dyn WorkloadGenerator>,
+        b: Box<dyn WorkloadGenerator>,
+        period: usize,
+    ) -> Self {
+        assert!(period > 0, "alternation period must be non-zero");
+        let name = format!("{}~{}", a.name(), b.name());
+        PeriodicAlternation { a, b, period, name }
+    }
+
+    /// Whether iteration `iteration` falls into an `a` phase.
+    pub fn in_first_phase(&self, iteration: usize) -> bool {
+        (iteration / self.period).is_multiple_of(2)
+    }
+
+    fn active(&self, iteration: usize) -> &dyn WorkloadGenerator {
+        if self.in_first_phase(iteration) {
+            self.a.as_ref()
+        } else {
+            self.b.as_ref()
+        }
+    }
+}
+
+impl WorkloadGenerator for PeriodicAlternation {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn spec_at(&self, iteration: usize) -> WorkloadSpec {
+        self.active(iteration).spec_at(iteration)
+    }
+
+    fn sample_queries(&self, iteration: usize, n: usize) -> Vec<String> {
+        self.active(iteration).sample_queries(iteration, n)
+    }
+
+    fn objective(&self) -> Objective {
+        self.a.objective()
+    }
+
+    fn objective_at(&self, iteration: usize) -> Objective {
+        self.active(iteration).objective_at(iteration)
+    }
+
+    fn initial_data_size_gib(&self) -> f64 {
+        self.a.initial_data_size_gib()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobWorkload;
+    use crate::tpcc::TpccWorkload;
+    use crate::ycsb::YcsbWorkload;
+
+    fn ycsb() -> Box<dyn WorkloadGenerator> {
+        Box::new(YcsbWorkload::new(7))
+    }
+
+    fn job() -> Box<dyn WorkloadGenerator> {
+        Box::new(JobWorkload::new_dynamic(7))
+    }
+
+    #[test]
+    fn rate_ramp_scales_clients_linearly_and_saturates() {
+        let base_clients = ycsb().spec_at(0).clients;
+        let ramp = RateRamp::new(ycsb(), 10, 20, 1.0, 2.0);
+        assert_eq!(ramp.scale_at(0), 1.0);
+        assert_eq!(ramp.scale_at(10), 1.0);
+        assert!((ramp.scale_at(20) - 1.5).abs() < 1e-12);
+        assert_eq!(ramp.scale_at(30), 2.0);
+        assert_eq!(ramp.scale_at(500), 2.0);
+        assert_eq!(ramp.spec_at(0).clients, base_clients);
+        assert_eq!(ramp.spec_at(500).clients, base_clients * 2);
+        // The mix and the objective are untouched by a load ramp.
+        assert_eq!(ramp.objective_at(500), Objective::Throughput);
+    }
+
+    #[test]
+    fn rate_ramp_with_zero_length_is_a_step_at_start() {
+        let ramp = RateRamp::new(ycsb(), 5, 0, 1.0, 3.0);
+        assert_eq!(ramp.scale_at(4), 1.0);
+        assert_eq!(ramp.scale_at(5), 3.0);
+        assert_eq!(ramp.scale_at(6), 3.0);
+    }
+
+    #[test]
+    fn rate_ramp_never_drops_clients_to_zero() {
+        let ramp = RateRamp::new(ycsb(), 0, 0, 0.0, 0.0);
+        assert_eq!(ramp.spec_at(10).clients, 1);
+    }
+
+    #[test]
+    fn abrupt_switch_changes_spec_queries_and_objective_at_the_boundary() {
+        let sw = AbruptSwitch::new(ycsb(), job(), 50);
+        assert_eq!(sw.spec_at(49).name, "ycsb");
+        assert_eq!(sw.spec_at(50).name, "job-dynamic");
+        assert_eq!(sw.objective_at(49), Objective::Throughput);
+        assert_eq!(sw.objective_at(50), Objective::ExecutionTime);
+        // The static objective stays the pre-switch one (documented behaviour).
+        assert_eq!(sw.objective(), Objective::Throughput);
+        // Query text follows the active family.
+        assert!(sw
+            .sample_queries(49, 5)
+            .iter()
+            .any(|q| q.contains("usertable")));
+        assert!(sw
+            .sample_queries(50, 5)
+            .iter()
+            .all(|q| !q.contains("usertable")));
+        // Initial data size comes from the family the session starts with.
+        assert_eq!(sw.initial_data_size_gib(), YcsbWorkload::INITIAL_DATA_GIB);
+    }
+
+    #[test]
+    fn periodic_alternation_cycles_phases() {
+        let alt = PeriodicAlternation::new(
+            Box::new(TpccWorkload::new_dynamic(3)),
+            Box::new(JobWorkload::new_dynamic(3)),
+            25,
+        );
+        assert!(alt.in_first_phase(0));
+        assert!(alt.in_first_phase(24));
+        assert!(!alt.in_first_phase(25));
+        assert!(alt.in_first_phase(50));
+        assert_eq!(alt.spec_at(10).name, "tpcc-dynamic");
+        assert_eq!(alt.spec_at(30).name, "job-dynamic");
+        assert_eq!(alt.objective_at(30), Objective::ExecutionTime);
+    }
+
+    #[test]
+    fn combinators_are_pure_functions_of_the_iteration() {
+        // Two independently built stacks of the same parameters must agree exactly — the
+        // snapshot-restore path rebuilds generators from serialized parameters and relies
+        // on this.
+        let build = || {
+            RateRamp::new(
+                Box::new(AbruptSwitch::new(ycsb(), job(), 40)),
+                10,
+                30,
+                1.0,
+                1.8,
+            )
+        };
+        let a = build();
+        let b = build();
+        for it in [0, 9, 10, 39, 40, 41, 100] {
+            let sa = a.spec_at(it);
+            let sb = b.spec_at(it);
+            assert_eq!(sa.name, sb.name);
+            assert_eq!(sa.clients, sb.clients);
+            assert_eq!(sa.mix.weights(), sb.mix.weights());
+            assert_eq!(a.sample_queries(it, 8), b.sample_queries(it, 8));
+        }
+    }
+}

@@ -10,6 +10,11 @@
 //! * **Real-world** ([`realworld`]) — a diurnal trace with a fluctuating arrival rate and a
 //!   read/write ratio varying between 3:1 and 74:1.
 //!
+//! On top of the base families, the [`drift`] module provides *drift combinators* —
+//! gradual load ramps, abrupt family switches and periodic family alternation — that wrap
+//! any generator and are themselves generators, so a scenario engine can script
+//! adversarial environment change as a pure function of the iteration index.
+//!
 //! Each generator implements [`WorkloadGenerator`]: it produces the [`simdb::WorkloadSpec`]
 //! for a given tuning iteration (this is where the *dynamics* live — sine-modulated
 //! transaction weights, alternating OLTP/OLAP phases, arrival-rate schedules) and a sample
@@ -20,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod cycle;
+pub mod drift;
 pub mod job;
 pub mod realworld;
 pub mod sql;
@@ -73,6 +79,13 @@ pub trait WorkloadGenerator: Send + Sync {
 
     /// The optimization objective for this workload.
     fn objective(&self) -> Objective;
+
+    /// The objective at a specific iteration. Defaults to the static [`Self::objective`];
+    /// drift combinators that switch workload families mid-stream (see [`crate::drift`])
+    /// override this so the objective follows the active family.
+    fn objective_at(&self, _iteration: usize) -> Objective {
+        self.objective()
+    }
 
     /// Initial logical data size in GiB.
     fn initial_data_size_gib(&self) -> f64 {
