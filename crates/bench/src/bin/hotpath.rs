@@ -10,16 +10,14 @@
 //! Run with `cargo run --release -p bench --bin hotpath [fleet_rounds]`; writes
 //! `BENCH_hotpath.json` into the current directory.
 
-use bench::report::{iterations_from_env, section};
+use bench::report::{iterations_from_env, median, section};
+use bench::synthetic::{random_observation, CONFIG_DIM, CONTEXT_DIM};
 use fleet::service::{small_tuner_options, FleetOptions, FleetService};
 use fleet::tenant::{TenantSpec, WorkloadFamily};
 use gp::contextual::{ContextObservation, ContextualGp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
-
-const CONFIG_DIM: usize = 8;
-const CONTEXT_DIM: usize = 4;
 
 /// One measured training-set size.
 #[derive(Debug, serde::Serialize)]
@@ -54,24 +52,6 @@ struct HotpathReport {
     context_dim: usize,
     single_session: Vec<SizePoint>,
     fleet: FleetPoint,
-}
-
-fn random_observation(rng: &mut StdRng, i: usize) -> ContextObservation {
-    let config: Vec<f64> = (0..CONFIG_DIM).map(|_| rng.gen_range(0.0..1.0)).collect();
-    let context: Vec<f64> = (0..CONTEXT_DIM).map(|_| rng.gen_range(0.0..1.0)).collect();
-    let performance = config.iter().map(|v| -(v - 0.6) * (v - 0.6)).sum::<f64>() * 50.0
-        + context[0] * 10.0
-        + (i % 7) as f64 * 0.1;
-    ContextObservation {
-        context,
-        config,
-        performance,
-    }
-}
-
-fn median(mut samples: Vec<f64>) -> f64 {
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    samples[samples.len() / 2]
 }
 
 fn measure_size(t: usize) -> SizePoint {

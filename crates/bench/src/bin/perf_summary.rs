@@ -1,0 +1,96 @@
+//! One-line per-PR performance summary of the three tuning hot paths at `n = 800`.
+//!
+//! Prints a single `PERF …` line with the median latencies of
+//!
+//! * **observe** — one incremental model update (`ContextualGp::observe`, `O(n²)`
+//!   Cholesky extension);
+//! * **suggest** — one batched 300-candidate posterior sweep
+//!   (`ContextualGp::predict_batch_with_scratch`);
+//! * **fit** — one full from-scratch refit (`ContextualGp::refit`, blocked `O(n³)`
+//!   factorization);
+//! * **hyperopt** — one periodic hyper-parameter re-optimization
+//!   (`ContextualGp::refit_with_hyperopt`, default options, parallel restarts).
+//!
+//! The committed `BENCH_*.json` files hold the full sweeps; this binary exists so the
+//! per-PR trajectory of the same three numbers is comparable at a glance (CI prints it
+//! on every run). Keep the format stable: one line, `key=value` pairs, milliseconds.
+
+use bench::report::median;
+use bench::synthetic::{fitted_model, random_observation, CONFIG_DIM, CONTEXT_DIM};
+use gp::hyperopt::HyperOptOptions;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const N: usize = 800;
+const CANDIDATES: usize = 300;
+
+fn main() {
+    let mut model = fitted_model(N);
+    let mut rng = StdRng::seed_from_u64(N as u64 + 1);
+
+    // observe: median of 5 single-point updates (rolled back by rebuilding from the
+    // same seed would be costly, so the model simply grows by 5 points — at n = 800 the
+    // size drift is < 1%).
+    let observe_ms = median(
+        (0..5)
+            .map(|k| {
+                let obs = random_observation(&mut rng, N + k);
+                let start = Instant::now();
+                model.observe(obs).unwrap();
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .collect(),
+    );
+
+    let candidates: Vec<Vec<f64>> = (0..CANDIDATES)
+        .map(|_| (0..CONFIG_DIM).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let context: Vec<f64> = (0..CONTEXT_DIM).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let mut scratch = Vec::new();
+    let suggest_ms = median(
+        (0..5)
+            .map(|_| {
+                let start = Instant::now();
+                let posteriors = model
+                    .predict_batch_with_scratch(&candidates, &context, &mut scratch)
+                    .unwrap();
+                std::hint::black_box(posteriors.len());
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .collect(),
+    );
+
+    let fit_ms = median(
+        (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                model.refit().unwrap();
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .collect(),
+    );
+
+    // The tuner's periodic re-optimization budget (ClusterManager uses restarts = 1,
+    // max_iters = 30), with parallel restarts — keep these constants stable so the
+    // per-PR trajectory stays comparable.
+    let mut hyperopt_rng = StdRng::seed_from_u64(7);
+    let start = Instant::now();
+    model
+        .refit_with_hyperopt(
+            &HyperOptOptions {
+                restarts: 1,
+                max_iters: 30,
+                workers: 0,
+                ..Default::default()
+            },
+            &mut hyperopt_rng,
+        )
+        .unwrap();
+    let hyperopt_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    println!(
+        "PERF n={} observe={:.3}ms suggest={:.3}ms fit={:.3}ms hyperopt={:.1}ms",
+        N, observe_ms, suggest_ms, fit_ms, hyperopt_ms
+    );
+}

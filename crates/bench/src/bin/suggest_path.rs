@@ -15,18 +15,17 @@
 //! batched and scalar posteriors differ in any bit** — CI runs `--smoke` so the
 //! bit-identity contract is enforced on every PR.
 
-use bench::report::{iterations_from_env, section};
+use bench::report::{iterations_from_env, median, section};
+use bench::synthetic::{fitted_model, CONFIG_DIM, CONTEXT_DIM};
 use fleet::service::{small_tuner_options, FleetOptions, FleetService};
 use fleet::tenant::{TenantSpec, WorkloadFamily};
 use gp::acquisition::{lower_confidence_bound, upper_confidence_bound};
-use gp::contextual::{ContextObservation, ContextualGp};
+use gp::contextual::ContextualGp;
 use gp::hyperopt::HyperOptOptions;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
-const CONFIG_DIM: usize = 8;
-const CONTEXT_DIM: usize = 4;
 const BETA: f64 = 2.0;
 
 /// One measured `(training-set size, candidate count)` combination.
@@ -86,33 +85,6 @@ struct SuggestReport {
     suggest: Vec<SweepPoint>,
     hyperopt: HyperoptPoint,
     fleet: FleetPoint,
-}
-
-fn random_observation(rng: &mut StdRng, i: usize) -> ContextObservation {
-    let config: Vec<f64> = (0..CONFIG_DIM).map(|_| rng.gen_range(0.0..1.0)).collect();
-    let context: Vec<f64> = (0..CONTEXT_DIM).map(|_| rng.gen_range(0.0..1.0)).collect();
-    let performance = config.iter().map(|v| -(v - 0.6) * (v - 0.6)).sum::<f64>() * 50.0
-        + context[0] * 10.0
-        + (i % 7) as f64 * 0.1;
-    ContextObservation {
-        context,
-        config,
-        performance,
-    }
-}
-
-fn median(mut samples: Vec<f64>) -> f64 {
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    samples[samples.len() / 2]
-}
-
-fn fitted_model(n: usize) -> ContextualGp {
-    let mut rng = StdRng::seed_from_u64(n as u64);
-    let mut model = ContextualGp::new(CONFIG_DIM, CONTEXT_DIM);
-    for i in 0..n {
-        model.observe(random_observation(&mut rng, i)).unwrap();
-    }
-    model
 }
 
 fn measure_sweep(model: &ContextualGp, n: usize, c: usize) -> SweepPoint {

@@ -6,7 +6,9 @@
 //! * [`harness`] — runs one tuning session (a tuner driving the simulated database over a
 //!   workload generator for N intervals) and records per-iteration results;
 //! * [`tuners`] — a factory that builds every baseline from the paper by name;
-//! * [`report`] — table/series printing and JSON export used by the `fig*` binaries.
+//! * [`report`] — table/series printing and JSON export used by the `fig*` binaries;
+//! * [`synthetic`] — the shared synthetic contextual-GP workload the perf binaries
+//!   (`hotpath`, `suggest_path`, `fit_path`, `perf_summary`) measure against.
 //!
 //! The actual experiments live in `src/bin/` (one binary per figure/table); Criterion
 //! micro-benchmarks for the overhead analysis (Figure 8 / Table A1) live in `benches/`.
@@ -16,6 +18,7 @@
 
 pub mod harness;
 pub mod report;
+pub mod synthetic;
 pub mod tuners;
 
 pub use harness::{run_session, IterationRecord, SessionOptions, SessionResult};

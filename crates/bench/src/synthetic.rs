@@ -1,0 +1,42 @@
+//! Shared synthetic contextual-GP workload used by the perf benchmark binaries.
+//!
+//! `hotpath`, `suggest_path`, `fit_path` and `perf_summary` all measure against the
+//! same synthetic model so their numbers are comparable across PRs (the committed
+//! `BENCH_*.json` trajectory and the one-line `PERF` summary). The observation
+//! formula and the model dimensions live here **once** — editing them in a single
+//! binary would silently desynchronize that trajectory.
+
+use gp::contextual::{ContextObservation, ContextualGp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration dimensionality of the synthetic model.
+pub const CONFIG_DIM: usize = 8;
+/// Context dimensionality of the synthetic model.
+pub const CONTEXT_DIM: usize = 4;
+
+/// The `i`-th synthetic observation: a random configuration/context pair with a smooth
+/// performance surface (optimum near 0.6 per knob) plus a small deterministic ripple.
+pub fn random_observation(rng: &mut StdRng, i: usize) -> ContextObservation {
+    let config: Vec<f64> = (0..CONFIG_DIM).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let context: Vec<f64> = (0..CONTEXT_DIM).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let performance = config.iter().map(|v| -(v - 0.6) * (v - 0.6)).sum::<f64>() * 50.0
+        + context[0] * 10.0
+        + (i % 7) as f64 * 0.1;
+    ContextObservation {
+        context,
+        config,
+        performance,
+    }
+}
+
+/// A contextual GP fitted on `n` synthetic observations (RNG seeded with `n`, so every
+/// binary measuring at the same size measures the identical model).
+pub fn fitted_model(n: usize) -> ContextualGp {
+    let mut rng = StdRng::seed_from_u64(n as u64);
+    let mut model = ContextualGp::new(CONFIG_DIM, CONTEXT_DIM);
+    for i in 0..n {
+        model.observe(random_observation(&mut rng, i)).unwrap();
+    }
+    model
+}

@@ -19,6 +19,17 @@ use onlinetune::OnlineTuneOptions;
 pub struct FleetOptions {
     /// Worker threads used per round (0 = one per available CPU, capped by tenant count).
     pub workers: usize,
+    /// Worker threads each tenant's periodic hyper-parameter optimization may use for
+    /// its restart searches (see [`gp::hyperopt::HyperOptOptions::workers`]; 0 = one
+    /// per available CPU).
+    ///
+    /// **Combined budget:** tenant-level and hyperopt-level parallelism multiply — every
+    /// tenant worker can be inside a hyperopt refit at once — so the service enforces
+    /// `tenant_workers × hyperopt_workers ≤ available_parallelism` by clamping this
+    /// value at admission ([`FleetService::effective_hyperopt_workers`]). Selected
+    /// hyper-parameters are worker-count independent bit for bit, so the clamp affects
+    /// wall-clock time only, never replay determinism.
+    pub hyperopt_workers: usize,
     /// Scheduler configuration.
     pub scheduler: SchedulerOptions,
     /// Knowledge-base bounds.
@@ -26,6 +37,13 @@ pub struct FleetOptions {
     /// Whether newly admitted tenants are warm-started from the knowledge base.
     pub warm_start_on_admit: bool,
     /// Tuner options applied to every tenant.
+    ///
+    /// Note: `tuner.cluster.hyperopt_workers` is *managed by the service* — it is
+    /// overwritten with the clamped grant derived from
+    /// [`FleetOptions::hyperopt_workers`] at admission and on snapshot restore, so a
+    /// value set here directly has no effect at fleet level. Configure the fleet's
+    /// hyperopt parallelism through [`FleetOptions::hyperopt_workers`] instead (the
+    /// nested field remains meaningful for standalone, non-fleet tuners).
     pub tuner: OnlineTuneOptions,
 }
 
@@ -33,6 +51,7 @@ impl Default for FleetOptions {
     fn default() -> Self {
         FleetOptions {
             workers: 0,
+            hyperopt_workers: 1,
             scheduler: SchedulerOptions::default(),
             knowledge: KnowledgeBaseOptions::default(),
             warm_start_on_admit: true,
@@ -142,7 +161,11 @@ impl FleetService {
     /// the tenant's index.
     pub fn admit(&mut self, spec: TenantSpec) -> usize {
         let key = PoolKey::for_tenant(&spec.hardware, spec.family_at(0));
-        let mut session = TenantSession::new(spec, self.options.tuner.clone());
+        let mut tuner = self.options.tuner.clone();
+        // Enforce the combined parallelism budget (see `FleetOptions::hyperopt_workers`)
+        // at admission, when the session's tuner options are fixed.
+        tuner.cluster.hyperopt_workers = self.effective_hyperopt_workers();
+        let mut session = TenantSession::new(spec, tuner);
         if self.options.warm_start_on_admit {
             let warm = self.knowledge.warm_start(&key);
             if !warm.is_empty() {
@@ -232,6 +255,8 @@ impl FleetService {
         Ok(idx)
     }
 
+    /// Tenant-level worker threads actually used per round: the configured value
+    /// (0 = one per CPU), clamped to `[1, n_tenants]`.
     fn effective_workers(&self) -> usize {
         let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
         let configured = if self.options.workers == 0 {
@@ -240,6 +265,29 @@ impl FleetService {
             self.options.workers
         };
         configured.clamp(1, self.tenants.len().max(1))
+    }
+
+    /// Hyperopt-level worker threads granted to each tenant's periodic refit, clamped so
+    /// the combined budget `tenant_workers × hyperopt_workers ≤ available_parallelism`
+    /// holds. The tenant side of the product uses the *configured* worker count (not the
+    /// tenant-count-clamped one) so a tenant admitted early does not get a grant the
+    /// budget cannot honor once the fleet fills up.
+    ///
+    /// A request of 0 ("one per CPU") resolves to the full remaining budget. Selected
+    /// hyper-parameters are worker-count independent, so this clamp only shapes
+    /// wall-clock time, never results.
+    pub fn effective_hyperopt_workers(&self) -> usize {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let tenant_workers = if self.options.workers == 0 {
+            hw
+        } else {
+            self.options.workers.max(1)
+        };
+        let budget = (hw / tenant_workers).max(1);
+        match self.options.hyperopt_workers {
+            0 => budget,
+            w => w.min(budget),
+        }
     }
 
     /// Executes one scheduling round; returns the number of iterations run.
@@ -339,19 +387,30 @@ impl FleetService {
     }
 
     /// Rebuilds a service from a snapshot; every session continues bit-identically.
+    ///
+    /// The hyperopt worker grant is re-clamped against *this* machine's parallelism
+    /// (snapshots may have been taken on a machine with a different CPU count, and the
+    /// combined budget of [`FleetOptions::hyperopt_workers`] must hold where the fleet
+    /// actually runs). Hyperopt results are worker-count independent, so the re-grant
+    /// cannot perturb replay.
     pub fn restore(snapshot: FleetSnapshot) -> Result<Self, String> {
         let tenants = snapshot
             .tenants
             .into_iter()
             .map(TenantSession::restore)
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(FleetService {
+        let mut svc = FleetService {
             options: snapshot.options,
             tenants,
             knowledge: snapshot.knowledge,
             scheduler: snapshot.scheduler,
             rounds: snapshot.rounds,
-        })
+        };
+        let grant = svc.effective_hyperopt_workers();
+        for session in &mut svc.tenants {
+            session.set_hyperopt_workers(grant);
+        }
+        Ok(svc)
     }
 
     /// Restores a service from JSON produced by [`FleetService::snapshot_json`].
@@ -425,6 +484,71 @@ mod tests {
         let mut svc = small_service(2, 2);
         svc.run_rounds(4);
         assert!(svc.knowledge().n_pools() >= 1);
+    }
+
+    #[test]
+    fn hyperopt_worker_budget_is_clamped_against_tenant_parallelism() {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        // Fleet saturated with tenant workers: hyperopt must fold down to ≤ hw/workers.
+        for (workers, requested) in [(1usize, 64usize), (2, 64), (hw, 64), (1, 0), (hw, 0)] {
+            let svc = FleetService::new(FleetOptions {
+                workers,
+                hyperopt_workers: requested,
+                tuner: small_tuner_options(),
+                ..Default::default()
+            });
+            let granted = svc.effective_hyperopt_workers();
+            assert!(granted >= 1);
+            assert!(
+                workers * granted <= hw.max(workers),
+                "budget violated: {workers} tenant × {granted} hyperopt > {hw} CPUs"
+            );
+        }
+        // workers = 0 resolves to one per CPU, so the hyperopt grant must be 1.
+        let svc = FleetService::new(FleetOptions {
+            workers: 0,
+            hyperopt_workers: 64,
+            tuner: small_tuner_options(),
+            ..Default::default()
+        });
+        assert_eq!(svc.effective_hyperopt_workers(), 1);
+        // The grant lands in the admitted tenant's tuner options.
+        let mut svc = FleetService::new(FleetOptions {
+            workers: 1,
+            hyperopt_workers: 64,
+            tuner: small_tuner_options(),
+            ..Default::default()
+        });
+        let idx = svc.admit(TenantSpec::named(
+            "t0".to_string(),
+            WorkloadFamily::ALL[0],
+            1,
+        ));
+        let granted = svc.effective_hyperopt_workers();
+        let snapshot = svc.tenants[idx].export_state();
+        assert_eq!(snapshot.tuner.options.cluster.hyperopt_workers, granted);
+    }
+
+    #[test]
+    fn restore_re_clamps_a_foreign_hyperopt_grant() {
+        // A snapshot taken on a bigger machine may carry a larger per-tenant hyperopt
+        // grant than this machine's budget allows; restore must re-clamp it.
+        let mut svc = small_service(2, 1);
+        svc.run_rounds(1);
+        let mut snapshot = svc.snapshot();
+        for t in &mut snapshot.tenants {
+            t.tuner.options.cluster.hyperopt_workers = 999;
+        }
+        let restored = FleetService::restore(snapshot).unwrap();
+        let granted = restored.effective_hyperopt_workers();
+        assert!(granted >= 1);
+        for t in &restored.tenants {
+            assert_eq!(
+                t.export_state().tuner.options.cluster.hyperopt_workers,
+                granted,
+                "restored session kept a foreign worker grant"
+            );
+        }
     }
 
     #[test]

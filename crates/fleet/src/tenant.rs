@@ -454,6 +454,14 @@ impl TenantSession {
         self.db.set_data_size(gib);
     }
 
+    /// Re-grants the tuner's hyperopt worker budget (runtime-only; see
+    /// [`crate::service::FleetOptions::hyperopt_workers`]). The service calls this
+    /// after snapshot restore so a grant computed on the snapshotting machine cannot
+    /// oversubscribe the current one.
+    pub fn set_hyperopt_workers(&mut self, workers: usize) {
+        self.tuner.set_hyperopt_workers(workers);
+    }
+
     /// Runs one suggest→apply→observe iteration and returns the achieved regret.
     pub fn step(&mut self) -> f64 {
         let it = self.iteration;

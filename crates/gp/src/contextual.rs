@@ -72,6 +72,12 @@ pub struct ContextualGp {
     context_dim: usize,
     observations: Vec<ContextObservation>,
     budget: Option<ObservationBudget>,
+    /// Reusable joint-input buffer for refits (runtime-only scratch, never serialized):
+    /// a periodic refit or hyperopt pass rebuilds the `[θ, c]` rows into these vectors
+    /// instead of collecting a fresh `Vec<Vec<f64>>` each time.
+    refit_x: Vec<Vec<f64>>,
+    /// Reusable target buffer for refits.
+    refit_y: Vec<f64>,
 }
 
 impl ContextualGp {
@@ -84,7 +90,28 @@ impl ContextualGp {
             context_dim,
             observations: Vec::new(),
             budget: None,
+            refit_x: Vec::new(),
+            refit_y: Vec::new(),
         }
+    }
+
+    /// Rebuilds the joint-input and target refit buffers from the stored observations,
+    /// reusing both the outer and inner vector allocations.
+    fn fill_refit_buffers(&mut self) {
+        let n = self.observations.len();
+        let joint_dim = self.config_dim + self.context_dim;
+        self.refit_x.truncate(n);
+        while self.refit_x.len() < n {
+            self.refit_x.push(Vec::with_capacity(joint_dim));
+        }
+        for (dst, o) in self.refit_x.iter_mut().zip(self.observations.iter()) {
+            dst.clear();
+            dst.extend_from_slice(&o.config);
+            dst.extend_from_slice(&o.context);
+        }
+        self.refit_y.clear();
+        self.refit_y
+            .extend(self.observations.iter().map(|o| o.performance));
     }
 
     /// Sets (or clears) the observation budget. The budget is enforced on the next
@@ -230,18 +257,15 @@ impl ContextualGp {
         self.gp.invalidate_fit();
     }
 
-    /// Refits the underlying GP on the stored observations.
+    /// Refits the underlying GP on the stored observations. The joint-input rows are
+    /// rebuilt into a reused buffer and the GP's own fit arena recycles the Gram matrix
+    /// and factor storage, so periodic refits at a stable window size do not allocate.
     pub fn refit(&mut self) -> Result<(), GpError> {
         if self.observations.is_empty() {
             return Err(GpError::EmptyTrainingSet);
         }
-        let x: Vec<Vec<f64>> = self
-            .observations
-            .iter()
-            .map(|o| self.joint(&o.config, &o.context))
-            .collect();
-        let y: Vec<f64> = self.observations.iter().map(|o| o.performance).collect();
-        self.gp.fit(&x, &y)
+        self.fill_refit_buffers();
+        self.gp.fit(&self.refit_x, &self.refit_y)
     }
 
     /// Refits and additionally optimizes the kernel hyper-parameters.
@@ -253,13 +277,9 @@ impl ContextualGp {
         if self.observations.is_empty() {
             return Err(GpError::EmptyTrainingSet);
         }
-        let x: Vec<Vec<f64>> = self
-            .observations
-            .iter()
-            .map(|o| self.joint(&o.config, &o.context))
-            .collect();
-        let y: Vec<f64> = self.observations.iter().map(|o| o.performance).collect();
-        let report = optimize_hyperparameters(&mut self.gp, &x, &y, options, rng);
+        self.fill_refit_buffers();
+        let report =
+            optimize_hyperparameters(&mut self.gp, &self.refit_x, &self.refit_y, options, rng);
         // Invariant: `optimize_hyperparameters` refits the GP as its final step, so
         // fitting again here would redo the O(n³) work it just did. If that internal fit
         // failed, retrying the identical deterministic fit cannot succeed either —

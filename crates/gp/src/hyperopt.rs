@@ -10,8 +10,8 @@
 
 use crate::kernels::Kernel;
 use crate::normalize::Standardizer;
-use crate::regression::GaussianProcess;
-use linalg::{Cholesky, Matrix};
+use crate::regression::{FitArena, GaussianProcess};
+use linalg::Cholesky;
 use rand::Rng;
 
 /// Configuration for the marginal-likelihood optimization.
@@ -31,6 +31,25 @@ pub struct HyperOptOptions {
     /// hyper-parameters (see [`crate::kernels::Kernel::pair_stats`]); the switch exists
     /// for kernels without pair-stat support and for equivalence testing.
     pub use_distance_cache: bool,
+    /// Worker threads for the restart searches: `1` runs them serially (the default),
+    /// `0` uses one per available CPU, any other value caps the pool at that many.
+    ///
+    /// **Determinism contract:** the selected hyper-parameters, the reported likelihood
+    /// and the evaluation count are *worker-count independent, bit for bit*. The restart
+    /// starting points are drawn from the RNG serially before any worker runs (so the
+    /// RNG stream is identical to the serial implementation), each restart's simplex
+    /// search is independent and deterministic, and the winner is reduced in restart
+    /// index order with a strict `<` — exactly the fold the serial loop performs.
+    /// Property-tested across `workers ∈ {1, 2, 4}`.
+    pub workers: usize,
+    /// Equivalence/benchmark switch: run each likelihood trial through the *reference*
+    /// fit path — full Gram rebuild into a fresh allocation, the retained unblocked
+    /// [`Cholesky::decompose_reference`], allocating solves — i.e. the trial loop as it
+    /// existed before the blocked factorization and the fit arena. Selected
+    /// hyper-parameters are bit-identical either way (the blocked factorization
+    /// reproduces the reference exactly and the arena only recycles storage); the
+    /// switch exists so `bench --bin fit_path` can measure the old fit path honestly.
+    pub use_reference_factorization: bool,
 }
 
 impl Default for HyperOptOptions {
@@ -41,6 +60,8 @@ impl Default for HyperOptOptions {
             tol: 1e-4,
             optimize_noise: true,
             use_distance_cache: true,
+            workers: 1,
+            use_reference_factorization: false,
         }
     }
 }
@@ -53,6 +74,11 @@ impl Default for HyperOptOptions {
 /// matrix costs `O(n²)` instead of `O(n²·d)` because the per-pair statistics were
 /// computed once up front. `stats` is row-major: the statistics of pair `(i, j)` live
 /// at `stats[(i·n + j)·n_stats ..][.. n_stats]`.
+///
+/// All working storage (Gram buffer, factor, dual weights) comes from `arena`, so the
+/// trial loop that calls this thousands of times per optimization performs no
+/// allocation after its first evaluation.
+#[allow(clippy::too_many_arguments)] // internal: one call site per path, all args hot
 fn lml_from_stats(
     kernel: &dyn Kernel,
     noise_variance: f64,
@@ -60,17 +86,50 @@ fn lml_from_stats(
     n_stats: usize,
     n: usize,
     y_std: &[f64],
+    arena: &mut FitArena,
+    reference_factorization: bool,
 ) -> Option<f64> {
-    let mut k = Matrix::from_fn(n, n, |i, j| {
-        kernel.eval_stats(&stats[(i * n + j) * n_stats..][..n_stats])
+    if reference_factorization {
+        // The pre-blocking trial loop, verbatim: full Gram rebuild into a fresh
+        // allocation, unblocked factorization, allocating solve. Benchmark-only.
+        let mut k = linalg::Matrix::from_fn(n, n, |i, j| {
+            kernel.eval_stats(&stats[(i * n + j) * n_stats..][..n_stats])
+        });
+        k.add_diagonal(noise_variance).ok()?;
+        let chol = Cholesky::decompose_reference_with_jitter(&k, 1e-3).ok()?;
+        let alpha = chol.solve(y_std).ok()?;
+        let data_fit: f64 = y_std.iter().zip(alpha.iter()).map(|(a, b)| a * b).sum();
+        return Some(
+            -0.5 * data_fit
+                - 0.5 * chol.log_det()
+                - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln(),
+        );
+    }
+    arena.gram.reshape(n, n);
+    // Only the lower triangle (+ diagonal) is filled: the Cholesky factorization never
+    // reads above the diagonal, pair statistics are exactly symmetric, and skipping the
+    // mirror halves the `O(n²)` kernel re-evaluation that dominates each trial.
+    for i in 0..n {
+        for j in 0..=i {
+            arena.gram.set(
+                i,
+                j,
+                kernel.eval_stats(&stats[(i * n + j) * n_stats..][..n_stats]),
+            );
+        }
+    }
+    arena.gram.add_diagonal(noise_variance).ok()?;
+    let chol =
+        Cholesky::decompose_with_jitter_scratch(&arena.gram, 1e-3, &mut arena.factor).ok()?;
+    let mut alpha = std::mem::take(&mut arena.alpha_spare);
+    let solved = chol.solve_into(y_std, &mut alpha);
+    let result = solved.ok().map(|()| {
+        let data_fit: f64 = y_std.iter().zip(alpha.iter()).map(|(a, b)| a * b).sum();
+        -0.5 * data_fit - 0.5 * chol.log_det() - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln()
     });
-    k.add_diagonal(noise_variance).ok()?;
-    let chol = Cholesky::decompose_with_jitter(&k, 1e-3).ok()?;
-    let alpha = chol.solve(y_std).ok()?;
-    let data_fit: f64 = y_std.iter().zip(alpha.iter()).map(|(a, b)| a * b).sum();
-    Some(
-        -0.5 * data_fit - 0.5 * chol.log_det() - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln(),
-    )
+    arena.alpha_spare = alpha;
+    chol.into_scratch(&mut arena.factor);
+    result
 }
 
 /// Result summary of one hyper-parameter optimization.
@@ -254,10 +313,8 @@ pub fn optimize_hyperparameters<R: Rng>(
             None
         };
 
-    let mut best_params = initial.clone();
-    let mut best_neg = -baseline_lml;
-    let mut total_evals = 0;
-
+    // Restart starting points are drawn serially *before* any search runs: the RNG
+    // stream is identical whether the searches below execute on one thread or many.
     let mut starts = vec![initial.clone()];
     for _ in 0..options.restarts {
         let jittered: Vec<f64> = initial
@@ -267,27 +324,45 @@ pub fn optimize_hyperparameters<R: Rng>(
         starts.push(jittered);
     }
 
-    for start in starts {
+    // One restart = one independent, deterministic Nelder–Mead search. Each search gets
+    // its own fit arena (so its trial loop is allocation-free) and its own trial kernel
+    // (set_params fully overwrites the hyper-parameters, so reuse across evaluations is
+    // exact). The closure only reads shared state — safe to call from worker threads.
+    let gp_ref: &GaussianProcess = gp;
+    let cache_ref = cache.as_ref();
+    let run_start = |start: &[f64]| -> (Vec<f64>, f64, usize) {
+        let mut arena = FitArena::default();
+        let mut trial_kernel = gp_ref.kernel().clone_box();
+        let mut trial_gp: Option<GaussianProcess> = None;
         let mut objective = |params: &[f64]| -> f64 {
             let (kernel_part, noise_part) = if options.optimize_noise {
                 params.split_at(n_kernel)
             } else {
                 (params, &[][..])
             };
-            if let Some((stats, y_std)) = &cache {
-                let mut trial_kernel = gp.kernel().clone_box();
+            if let Some((stats, y_std)) = cache_ref {
                 trial_kernel.set_params(kernel_part);
                 let noise = noise_part
                     .first()
                     .map(|log_noise| log_noise.exp().clamp(1e-8, 1.0))
-                    .unwrap_or_else(|| gp.noise_variance());
-                return match lml_from_stats(trial_kernel.as_ref(), noise, stats, n_stats, n, y_std)
-                {
+                    .unwrap_or_else(|| gp_ref.noise_variance());
+                return match lml_from_stats(
+                    trial_kernel.as_ref(),
+                    noise,
+                    stats,
+                    n_stats,
+                    n,
+                    y_std,
+                    &mut arena,
+                    options.use_reference_factorization,
+                ) {
                     Some(lml) => -lml,
                     None => f64::MAX / 4.0,
                 };
             }
-            let mut trial = GaussianProcess::new(gp.kernel().clone_box(), gp.noise_variance());
+            let trial = trial_gp.get_or_insert_with(|| {
+                GaussianProcess::new(gp_ref.kernel().clone_box(), gp_ref.noise_variance())
+            });
             trial.kernel_mut().set_params(kernel_part);
             if let Some(&log_noise) = noise_part.first() {
                 trial.set_noise_variance(log_noise.exp().clamp(1e-8, 1.0));
@@ -297,9 +372,40 @@ pub fn optimize_hyperparameters<R: Rng>(
                 Err(_) => f64::MAX / 4.0,
             }
         };
+        nelder_mead(&mut objective, start, 0.5, options.max_iters, options.tol)
+    };
 
-        let (xopt, fopt, evals) =
-            nelder_mead(&mut objective, &start, 0.5, options.max_iters, options.tol);
+    let workers = match options.workers {
+        0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+        w => w,
+    }
+    .clamp(1, starts.len());
+    let mut results: Vec<Option<(Vec<f64>, f64, usize)>> = starts.iter().map(|_| None).collect();
+    if workers <= 1 {
+        for (slot, start) in results.iter_mut().zip(starts.iter()) {
+            *slot = Some(run_start(start));
+        }
+    } else {
+        // Contiguous chunks, one per worker; result slots keep the restart order.
+        let chunk = starts.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (slot_chunk, start_chunk) in results.chunks_mut(chunk).zip(starts.chunks(chunk)) {
+                let run_start = &run_start;
+                scope.spawn(move || {
+                    for (slot, start) in slot_chunk.iter_mut().zip(start_chunk.iter()) {
+                        *slot = Some(run_start(start));
+                    }
+                });
+            }
+        });
+    }
+
+    // Index-ordered argmin with a strict `<` — exactly the fold the serial loop
+    // performed, so the winner (and every tie-break) is worker-count independent.
+    let mut best_params = initial.clone();
+    let mut best_neg = -baseline_lml;
+    let mut total_evals = 0;
+    for (xopt, fopt, evals) in results.into_iter().flatten() {
         total_evals += evals;
         if fopt < best_neg {
             best_neg = fopt;
@@ -447,6 +553,130 @@ mod tests {
             );
             assert_eq!(report_cached.evaluations, report_plain.evaluations);
             assert_eq!(report_cached.improved, report_plain.improved);
+        }
+    }
+
+    /// Runs one optimization with the given worker count on a fixed problem and returns
+    /// everything the determinism contract covers.
+    fn run_with_workers(
+        workers: usize,
+        restarts: usize,
+        seed: u64,
+        data: &[(Vec<f64>, f64)],
+    ) -> (Vec<f64>, f64, HyperOptReport) {
+        let xs: Vec<Vec<f64>> = data.iter().map(|(x, _)| x.clone()).collect();
+        let ys: Vec<f64> = data.iter().map(|(_, y)| *y).collect();
+        let mut gp = GaussianProcess::new(
+            Box::new(ScaledKernel::new(Box::new(Matern52Kernel::new(0.3)), 1.0)),
+            1e-3,
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let report = optimize_hyperparameters(
+            &mut gp,
+            &xs,
+            &ys,
+            &HyperOptOptions {
+                restarts,
+                max_iters: 40,
+                workers,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        (gp.kernel().params(), gp.noise_variance(), report)
+    }
+
+    #[test]
+    fn parallel_restarts_select_bit_identical_hyperparameters() {
+        let data: Vec<(Vec<f64>, f64)> = (0..24)
+            .map(|i| {
+                let t = i as f64 / 23.0;
+                (vec![t, (4.0 * t).cos()], (3.0 * t).sin() * 5.0 + t)
+            })
+            .collect();
+        let (params_serial, noise_serial, report_serial) = run_with_workers(1, 5, 13, &data);
+        for workers in [2usize, 4, 0] {
+            let (params, noise, report) = run_with_workers(workers, 5, 13, &data);
+            assert_eq!(params.len(), params_serial.len());
+            for (a, b) in params.iter().zip(params_serial.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "workers={workers}");
+            }
+            assert_eq!(noise.to_bits(), noise_serial.to_bits(), "workers={workers}");
+            assert_eq!(
+                report.best_lml.to_bits(),
+                report_serial.best_lml.to_bits(),
+                "workers={workers}"
+            );
+            assert_eq!(report.evaluations, report_serial.evaluations);
+            assert_eq!(report.improved, report_serial.improved);
+        }
+    }
+
+    #[test]
+    fn reference_factorization_selects_identical_hyperparameters() {
+        // The blocked factorization is bit-identical to the reference, so flipping the
+        // benchmark switch must not change anything the optimizer selects.
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (2.5 * x[0]).sin() * 3.0).collect();
+        let run = |reference: bool| {
+            let mut gp = GaussianProcess::new(
+                Box::new(ScaledKernel::new(Box::new(RbfKernel::new(0.2)), 1.0)),
+                1e-3,
+            );
+            let mut rng = StdRng::seed_from_u64(5);
+            let report = optimize_hyperparameters(
+                &mut gp,
+                &xs,
+                &ys,
+                &HyperOptOptions {
+                    use_reference_factorization: reference,
+                    ..Default::default()
+                },
+                &mut rng,
+            );
+            (gp.kernel().params(), gp.noise_variance(), report)
+        };
+        let (pa, na, ra) = run(false);
+        let (pb, nb, rb) = run(true);
+        for (a, b) in pa.iter().zip(pb.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(na.to_bits(), nb.to_bits());
+        assert_eq!(ra.best_lml.to_bits(), rb.best_lml.to_bits());
+        assert_eq!(ra.evaluations, rb.evaluations);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            /// The determinism contract of `HyperOptOptions::workers`: on random data,
+            /// restart counts and seeds, the selected hyper-parameters, noise, reported
+            /// likelihood and evaluation count are bit-identical for 1, 2 and 4 workers.
+            #[test]
+            fn prop_hyperopt_bit_identical_across_worker_counts(
+                raw in proptest::collection::vec(
+                    (proptest::collection::vec(-1.0f64..1.0, 2), -5.0f64..5.0), 6..20),
+                restarts in 1usize..5,
+                seed in 0u64..500,
+            ) {
+                let serial = run_with_workers(1, restarts, seed, &raw);
+                for workers in [2usize, 4] {
+                    let parallel = run_with_workers(workers, restarts, seed, &raw);
+                    prop_assert_eq!(parallel.0.len(), serial.0.len());
+                    for (a, b) in parallel.0.iter().zip(serial.0.iter()) {
+                        prop_assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                    prop_assert_eq!(parallel.1.to_bits(), serial.1.to_bits());
+                    prop_assert_eq!(
+                        parallel.2.best_lml.to_bits(),
+                        serial.2.best_lml.to_bits()
+                    );
+                    prop_assert_eq!(parallel.2.evaluations, serial.2.evaluations);
+                }
+            }
         }
     }
 

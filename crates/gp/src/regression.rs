@@ -26,7 +26,35 @@
 
 use crate::kernels::Kernel;
 use crate::normalize::Standardizer;
-use linalg::{Cholesky, Matrix};
+use linalg::{Cholesky, FactorScratch, Matrix};
+
+/// Reusable buffers for the fit path: the Gram matrix, the factor storage, the
+/// standardized targets, the dual-weight spare and the observe-path kernel row.
+///
+/// Every [`GaussianProcess`] owns one arena and threads it through
+/// [`GaussianProcess::fit`] and [`GaussianProcess::observe`], so repeated refits at a
+/// stable training-set size perform **no allocation** (buffers are reshaped in place and
+/// factor storage ping-pongs between the active fit and the arena). The
+/// hyper-parameter optimizer creates one arena per restart worker for the same reason —
+/// its `O(restarts × iters)` trial loop reuses each worker's buffers across every
+/// likelihood evaluation.
+///
+/// The arena carries **no model state**: it is never serialized, a cloned GP starts with
+/// a fresh one, and clearing it cannot change any computed value (buffer contents are
+/// fully overwritten before every read).
+#[derive(Default)]
+pub(crate) struct FitArena {
+    /// Gram-matrix buffer, reshaped in place per fit.
+    pub(crate) gram: Matrix,
+    /// Standardized-target buffer.
+    pub(crate) y_std: Vec<f64>,
+    /// Spare dual-weight buffer (swapped with the fitted state's `alpha` on refit).
+    pub(crate) alpha_spare: Vec<f64>,
+    /// Recycled Cholesky factor storage.
+    pub(crate) factor: FactorScratch,
+    /// Kernel-row buffer for the incremental observe path.
+    pub(crate) row: Vec<f64>,
+}
 
 /// Errors produced by GP fitting or prediction.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,6 +137,8 @@ pub struct GaussianProcess {
     kernel: Box<dyn Kernel>,
     noise_variance: f64,
     fitted: Option<FittedState>,
+    /// Reusable fit/observe buffers (runtime-only; carries no model state).
+    arena: FitArena,
 }
 
 impl Clone for GaussianProcess {
@@ -119,6 +149,7 @@ impl Clone for GaussianProcess {
             kernel: self.kernel.clone(),
             noise_variance: self.noise_variance,
             fitted: None,
+            arena: FitArena::default(),
         }
     }
 }
@@ -132,6 +163,7 @@ impl GaussianProcess {
             kernel,
             noise_variance,
             fitted: None,
+            arena: FitArena::default(),
         }
     }
 
@@ -177,6 +209,12 @@ impl GaussianProcess {
     }
 
     /// Fits the GP to the given inputs and targets.
+    ///
+    /// All working storage comes from the GP's internal fit arena: the Gram matrix is
+    /// rebuilt into a reused buffer, the factorization recycles the previous fit's
+    /// storage, and the dual weights swap with a spare — so repeated refits at a stable
+    /// training-set size allocate nothing. On failure the previous fit is kept intact
+    /// (the new factor is built in spare storage before the old one is retired).
     pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), GpError> {
         if x.is_empty() {
             return Err(GpError::EmptyTrainingSet);
@@ -189,26 +227,65 @@ impl GaussianProcess {
         }
         let dim = x[0].len();
         let standardizer = Standardizer::fit(y);
-        let y_std: Vec<f64> = y.iter().map(|&v| standardizer.transform(v)).collect();
+        self.arena.y_std.clear();
+        self.arena
+            .y_std
+            .extend(y.iter().map(|&v| standardizer.transform(v)));
 
         let n = x.len();
-        let mut k = Matrix::from_fn(n, n, |i, j| self.kernel.eval(&x[i], &x[j]));
-        k.add_diagonal(self.noise_variance)
+        self.arena.gram.reshape(n, n);
+        // Only the lower triangle (+ diagonal) is filled, in the same (i-outer,
+        // j-inner) order `Matrix::from_fn` used: the Cholesky factorization never reads
+        // above the diagonal and every kernel is exactly symmetric, so the factor — and
+        // therefore the whole fit — is bit-identical to building the full Gram matrix,
+        // at half the kernel-evaluation cost.
+        for i in 0..n {
+            for j in 0..=i {
+                self.arena.gram.set(i, j, self.kernel.eval(&x[i], &x[j]));
+            }
+        }
+        self.arena
+            .gram
+            .add_diagonal(self.noise_variance)
             .expect("gram matrix is square by construction");
-        let chol = Cholesky::decompose_with_jitter(&k, 1e-3)
-            .map_err(|_| GpError::KernelNotPositiveDefinite)?;
-        let alpha = chol
-            .solve(&y_std)
-            .map_err(|_| GpError::KernelNotPositiveDefinite)?;
+        let chol =
+            Cholesky::decompose_with_jitter_scratch(&self.arena.gram, 1e-3, &mut self.arena.factor)
+                .map_err(|_| GpError::KernelNotPositiveDefinite)?;
+        let mut alpha = std::mem::take(&mut self.arena.alpha_spare);
+        if chol.solve_into(&self.arena.y_std, &mut alpha).is_err() {
+            chol.into_scratch(&mut self.arena.factor);
+            self.arena.alpha_spare = alpha;
+            return Err(GpError::KernelNotPositiveDefinite);
+        }
 
-        self.fitted = Some(FittedState {
-            chol,
-            alpha,
-            x: x.to_vec(),
-            y_raw: y.to_vec(),
-            standardizer,
-            dim,
-        });
+        match self.fitted.as_mut() {
+            Some(state) => {
+                std::mem::replace(&mut state.chol, chol).into_scratch(&mut self.arena.factor);
+                self.arena.alpha_spare = std::mem::replace(&mut state.alpha, alpha);
+                // Reuse the retained training-set buffers (inner vectors keep their
+                // allocations via clone_from).
+                state.x.truncate(x.len());
+                let reused = state.x.len();
+                for (dst, src) in state.x.iter_mut().zip(x.iter()) {
+                    dst.clone_from(src);
+                }
+                state.x.extend(x[reused..].iter().cloned());
+                state.y_raw.clear();
+                state.y_raw.extend_from_slice(y);
+                state.standardizer = standardizer;
+                state.dim = dim;
+            }
+            None => {
+                self.fitted = Some(FittedState {
+                    chol,
+                    alpha,
+                    x: x.to_vec(),
+                    y_raw: y.to_vec(),
+                    standardizer,
+                    dim,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -236,31 +313,29 @@ impl GaussianProcess {
         }
         // Kernel row of the new point, evaluated in the same argument order the gram
         // matrix construction in `fit` uses (row index first) so the extended factor is
-        // bit-identical to a from-scratch factorization.
-        let mut row: Vec<f64> = state
-            .x
-            .iter()
-            .map(|xi| self.kernel.eval(x_new, xi))
-            .collect();
+        // bit-identical to a from-scratch factorization. The row lives in the arena so
+        // the per-iteration observe path performs no allocation beyond the stored copy
+        // of the observation itself.
+        let row = &mut self.arena.row;
+        row.clear();
+        row.extend(state.x.iter().map(|xi| self.kernel.eval(x_new, xi)));
         row.push(self.kernel.eval(x_new, x_new) + self.noise_variance);
 
-        if state.chol.extend(&row).is_ok() {
+        if state.chol.extend(row).is_ok() {
             state.x.push(x_new.to_vec());
             state.y_raw.push(y_new);
             state.standardizer = Standardizer::fit(&state.y_raw);
-            let y_std: Vec<f64> = state
-                .y_raw
-                .iter()
-                .map(|&v| state.standardizer.transform(v))
-                .collect();
-            match state.chol.solve(&y_std) {
-                Ok(alpha) => {
-                    state.alpha = alpha;
+            let y_std = &mut self.arena.y_std;
+            y_std.clear();
+            y_std.extend(state.y_raw.iter().map(|&v| state.standardizer.transform(v)));
+            match state.chol.solve_into(y_std, &mut state.alpha) {
+                Ok(()) => {
                     return Ok(());
                 }
                 Err(_) => {
                     // A zero pivot after a successful extension cannot normally happen;
-                    // recover through the from-scratch path below.
+                    // recover through the from-scratch path below (which rebuilds the
+                    // partially overwritten dual weights).
                     let xs = state.x.clone();
                     let ys = state.y_raw.clone();
                     return self.fit(&xs, &ys);

@@ -12,8 +12,61 @@
 //! incrementally is bit-identical to one computed from scratch on the full matrix
 //! (given the same diagonal jitter). Snapshot/replay determinism across the workspace
 //! relies on this property.
+//!
+//! # Blocked factorization
+//!
+//! [`Cholesky::decompose`] is a right-looking *blocked* factorization: panels of
+//! 64 columns are factorized in place, then the trailing submatrix is updated one
+//! cache-resident panel at a time (the SYRK step), in the same cache-tiled contraction
+//! style as [`Matrix::matmul`]. Within every output element the subtraction over `k`
+//! still runs in strictly ascending order starting from `A[i][j]` (+ jitter on the
+//! diagonal), so the blocked factor is **bit-identical** to the textbook row-by-row
+//! recurrence — which is retained as [`Cholesky::decompose_reference`] and
+//! property-tested against the blocked path. Because `extend` replays that same
+//! recurrence, factors grown incrementally remain bit-identical to blocked from-scratch
+//! factorizations.
+//!
+//! # Allocation discipline
+//!
+//! The fit hot loops (hyper-parameter trials, periodic refits) factorize thousands of
+//! matrices of the same size. [`FactorScratch`] recycles factor storage across
+//! factorizations ([`Cholesky::decompose_with_jitter_scratch`] takes its buffer from the
+//! scratch, [`Cholesky::into_scratch`] returns it), jitter escalation reuses one buffer
+//! across all attempts, and [`Cholesky::extend`] grows the factor in place
+//! ([`Matrix::grow_square`]) — so in steady state none of these operations allocate.
 
 use crate::{LinalgError, Matrix, Result};
+
+/// Panel width of the blocked factorization. One `BLOCK`-wide row panel is 512 bytes, so
+/// the trailing-update sweep for one output row streams the panel rows of the whole
+/// trailing block through cache once (≈ `n/2` panels on average), instead of re-reading
+/// full-length rows as the textbook recurrence does. Matches [`Matrix::matmul`]'s tile.
+const BLOCK: usize = 64;
+
+/// Reusable storage for Cholesky factorizations.
+///
+/// Holds the backing buffer of a previously retired factor so the next
+/// [`Cholesky::decompose_with_jitter_scratch`] can reuse the allocation, plus nothing
+/// else — the blocked factorization itself works fully in place. Create one per
+/// fit arena / worker and thread it through every factorization of that loop:
+///
+/// ```
+/// use linalg::{Cholesky, FactorScratch, Matrix};
+/// let a = Matrix::identity(8);
+/// let mut scratch = FactorScratch::default();
+/// for _ in 0..3 {
+///     let c = Cholesky::decompose_with_jitter_scratch(&a, 1e-3, &mut scratch).unwrap();
+///     // ... use the factor ...
+///     c.into_scratch(&mut scratch); // recycle the buffer; the next decompose is allocation-free
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct FactorScratch {
+    /// Spare factor storage recycled between factorizations.
+    spare: Vec<f64>,
+    /// Transposed-panel workspace of the blocked trailing update (≤ 64·n values).
+    syrk: Vec<f64>,
+}
 
 /// A lower-triangular Cholesky factor `L` such that `A = L * L^T`.
 ///
@@ -30,20 +83,34 @@ pub struct Cholesky {
 }
 
 impl Cholesky {
-    /// Factorizes a symmetric positive-definite matrix.
+    /// Factorizes a symmetric positive-definite matrix with the blocked algorithm.
+    ///
+    /// Bit-identical to [`Cholesky::decompose_reference`] (see the module docs for why);
+    /// `O(n³)` with cache-blocked memory traffic.
     pub fn decompose(a: &Matrix) -> Result<Self> {
-        Self::decompose_inner(a, 0.0)
+        let mut l = Matrix::default();
+        let mut syrk = Vec::new();
+        Self::factorize_into(a, 0.0, &mut l, &mut syrk)?;
+        Ok(Cholesky { l, jitter: 0.0 })
     }
 
-    /// Factorizes `a`, retrying with diagonal jitter `1e-10, 1e-9, ... , max_jitter` if the
-    /// plain factorization fails. Returns the factor and records the jitter used.
-    pub fn decompose_with_jitter(a: &Matrix, max_jitter: f64) -> Result<Self> {
-        if let Ok(c) = Self::decompose_inner(a, 0.0) {
+    /// The textbook row-by-row factorization, retained as the bit-identity reference for
+    /// the blocked [`Cholesky::decompose`] (property-tested in this module and enforced
+    /// per PR by `bench --bin fit_path`). Not used on any hot path.
+    pub fn decompose_reference(a: &Matrix) -> Result<Self> {
+        Self::decompose_reference_inner(a, 0.0)
+    }
+
+    /// Jitter-escalating variant of [`Cholesky::decompose_reference`], allocating a
+    /// fresh factor per attempt exactly as the pre-blocking implementation did. Exists
+    /// so benchmarks can measure the old fit path faithfully; not used on any hot path.
+    pub fn decompose_reference_with_jitter(a: &Matrix, max_jitter: f64) -> Result<Self> {
+        if let Ok(c) = Self::decompose_reference_inner(a, 0.0) {
             return Ok(c);
         }
         let mut jitter = 1e-10;
         while jitter <= max_jitter {
-            if let Ok(c) = Self::decompose_inner(a, jitter) {
+            if let Ok(c) = Self::decompose_reference_inner(a, jitter) {
                 return Ok(c);
             }
             jitter *= 10.0;
@@ -54,7 +121,58 @@ impl Cholesky {
         })
     }
 
-    fn decompose_inner(a: &Matrix, jitter: f64) -> Result<Self> {
+    /// Factorizes `a`, retrying with diagonal jitter `1e-10, 1e-9, ... , max_jitter` if the
+    /// plain factorization fails. Returns the factor and records the jitter used.
+    ///
+    /// All escalation attempts reuse **one** factor buffer: a failed attempt costs no
+    /// extra allocation, only the rewrite of the buffer's lower triangle.
+    pub fn decompose_with_jitter(a: &Matrix, max_jitter: f64) -> Result<Self> {
+        let mut scratch = FactorScratch::default();
+        Self::decompose_with_jitter_scratch(a, max_jitter, &mut scratch)
+    }
+
+    /// Jitter-escalating factorization drawing its factor storage from `scratch`.
+    ///
+    /// In steady state (scratch recycled via [`Cholesky::into_scratch`] and the
+    /// dimension not growing beyond the largest seen) this performs **no allocation**,
+    /// which is what keeps hyper-parameter-optimization trial loops allocation-free.
+    pub fn decompose_with_jitter_scratch(
+        a: &Matrix,
+        max_jitter: f64,
+        scratch: &mut FactorScratch,
+    ) -> Result<Self> {
+        let mut spare = std::mem::take(&mut scratch.spare);
+        spare.clear(); // keep the capacity, drop stale contents so `from_vec(0, 0, …)` accepts it
+        let mut l = Matrix::from_vec(0, 0, spare).expect("cleared buffer has length 0");
+        let syrk = &mut scratch.syrk;
+        if Self::factorize_into(a, 0.0, &mut l, syrk).is_ok() {
+            return Ok(Cholesky { l, jitter: 0.0 });
+        }
+        let mut jitter = 1e-10;
+        while jitter <= max_jitter {
+            if Self::factorize_into(a, jitter, &mut l, syrk).is_ok() {
+                return Ok(Cholesky { l, jitter });
+            }
+            jitter *= 10.0;
+        }
+        // Return the buffer so the failed call is also allocation-free next time.
+        scratch.spare = l.into_data();
+        Err(LinalgError::NotPositiveDefinite {
+            pivot: 0,
+            value: f64::NAN,
+        })
+    }
+
+    /// Retires the factor, returning its backing storage to `scratch` so the next
+    /// [`Cholesky::decompose_with_jitter_scratch`] can reuse the allocation.
+    pub fn into_scratch(self, scratch: &mut FactorScratch) {
+        let data = self.l.into_data();
+        if data.capacity() > scratch.spare.capacity() {
+            scratch.spare = data;
+        }
+    }
+
+    fn decompose_reference_inner(a: &Matrix, jitter: f64) -> Result<Self> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare {
                 rows: a.rows(),
@@ -88,6 +206,161 @@ impl Cholesky {
         Ok(Cholesky { l, jitter })
     }
 
+    /// The blocked in-place factorization kernel. `l` is reshaped to `n×n` (reusing its
+    /// allocation when possible), seeded with `a`'s lower triangle (+ `jitter` on the
+    /// diagonal, strict upper zeroed) and overwritten with the factor.
+    ///
+    /// Bit-identity invariant: every output element's value is produced by the exact
+    /// floating-point sequence of the reference recurrence — start from `A[i][j]`
+    /// (+ jitter if `i == j`), subtract `L[i][k]·L[j][k]` for `k = 0, 1, …, j−1` in
+    /// ascending order, then divide by `L[j][j]` (or take the square root). The blocked
+    /// schedule only changes *when* each subtraction happens (earlier panels' trailing
+    /// updates land before the panel factorization finishes the column), never the
+    /// per-element order, and each element accumulates in a single scalar so no
+    /// reassociation occurs.
+    fn factorize_into(a: &Matrix, jitter: f64, l: &mut Matrix, syrk: &mut Vec<f64>) -> Result<()> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        l.reshape(n, n);
+        let src = a.data();
+        let dst = l.data_mut();
+        for i in 0..n {
+            let row = &mut dst[i * n..(i + 1) * n];
+            row[..=i].copy_from_slice(&src[i * n..i * n + i + 1]);
+            row[i] += jitter;
+            row[i + 1..].iter_mut().for_each(|v| *v = 0.0);
+        }
+
+        let mut panel = [0.0f64; BLOCK];
+        let mut panel2 = [0.0f64; BLOCK];
+        let mut kb = 0;
+        while kb < n {
+            let ke = (kb + BLOCK).min(n);
+            let pw = ke - kb;
+
+            // Panel factorization: columns kb..ke over every row below, column by column.
+            // Element (i, j) has already received its k < kb subtractions from earlier
+            // trailing updates; this step adds k = kb..j (ascending) and the divide/sqrt.
+            for j in kb..ke {
+                let pivot = {
+                    let row_j = &dst[j * n + kb..j * n + j + 1];
+                    let mut s = row_j[j - kb];
+                    for &v in &row_j[..j - kb] {
+                        s -= v * v;
+                    }
+                    if s <= 0.0 || !s.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: j, value: s });
+                    }
+                    s.sqrt()
+                };
+                dst[j * n + j] = pivot;
+                panel[..j - kb].copy_from_slice(&dst[j * n + kb..j * n + j]);
+                let col_len = j - kb;
+                // Four rows per pass: each row's subtraction chain is per-element
+                // ascending-k (bit-identity preserved), and the four chains are
+                // independent, so they overlap on the FP units instead of serializing —
+                // this column sweep is latency-bound, not bandwidth-bound. The split
+                // chain carves four disjoint row windows out of the flat buffer (each
+                // window starts at its row's `kb` and only the first `col_len + 1`
+                // entries are touched, so spilling past the row end is harmless).
+                let mut i = j + 1;
+                while i + 4 <= n {
+                    let (r0, rest) = dst[i * n + kb..].split_at_mut(n);
+                    let (r1, rest) = rest.split_at_mut(n);
+                    let (r2, r3) = rest.split_at_mut(n);
+                    let mut s0 = r0[col_len];
+                    let mut s1 = r1[col_len];
+                    let mut s2 = r2[col_len];
+                    let mut s3 = r3[col_len];
+                    for (k, &pv) in panel[..col_len].iter().enumerate() {
+                        s0 -= r0[k] * pv;
+                        s1 -= r1[k] * pv;
+                        s2 -= r2[k] * pv;
+                        s3 -= r3[k] * pv;
+                    }
+                    r0[col_len] = s0 / pivot;
+                    r1[col_len] = s1 / pivot;
+                    r2[col_len] = s2 / pivot;
+                    r3[col_len] = s3 / pivot;
+                    i += 4;
+                }
+                while i < n {
+                    let ri = &mut dst[i * n + kb..i * n + j + 1];
+                    let mut s = ri[col_len];
+                    for (rv, pv) in ri[..col_len].iter().zip(panel[..col_len].iter()) {
+                        s -= rv * pv;
+                    }
+                    ri[col_len] = s / pivot;
+                    i += 1;
+                }
+            }
+
+            // Trailing (SYRK) update: subtract this panel's contribution
+            // `Σ_{k=kb..ke} L[i][k]·L[j][k]` from every element (i, j) with
+            // `ke ≤ j ≤ i`. The trailing rows' panel block is first transposed into
+            // `syrk` (lane-major: `syrk[k·tw + (j−ke)] = L[j][kb+k]`, an O(n²)-per-panel
+            // copy), which turns each row's update into `pw` contiguous axpy sweeps —
+            // `row_i[j] -= L[i][k] · syrk_k[j]` — the same vectorizable contraction
+            // pattern as `Matrix::matmul`. Element (i, j) still accumulates its
+            // subtractions for `k = kb…ke` in ascending order (one per sweep, in its
+            // own memory cell), so the result is bit-identical to the reference
+            // recurrence; only the schedule is vector-friendly.
+            let tw = n - ke;
+            if tw > 0 {
+                syrk.resize(pw * tw, 0.0);
+                for (jj, j) in (ke..n).enumerate() {
+                    let row = &dst[j * n + kb..j * n + ke];
+                    for (k, &v) in row.iter().enumerate() {
+                        syrk[k * tw + jj] = v;
+                    }
+                }
+                // Two output rows per pass share each lane load (rows are independent;
+                // every element still accumulates its own ascending-k chain).
+                let mut i = ke;
+                while i + 2 <= n {
+                    panel[..pw].copy_from_slice(&dst[i * n + kb..i * n + ke]);
+                    panel2[..pw].copy_from_slice(&dst[(i + 1) * n + kb..(i + 1) * n + ke]);
+                    let len0 = i - ke + 1;
+                    let (row_i, rest) = dst[i * n + ke..].split_at_mut(n);
+                    let row_i = &mut row_i[..len0];
+                    let row_j = &mut rest[..len0 + 1];
+                    for k in 0..pw {
+                        let p0 = panel[k];
+                        let p1 = panel2[k];
+                        let lane = &syrk[k * tw..k * tw + len0 + 1];
+                        for ((o0, o1), &t) in
+                            row_i.iter_mut().zip(row_j.iter_mut()).zip(lane.iter())
+                        {
+                            *o0 -= p0 * t;
+                            *o1 -= p1 * t;
+                        }
+                        row_j[len0] -= p1 * lane[len0];
+                    }
+                    i += 2;
+                }
+                while i < n {
+                    panel[..pw].copy_from_slice(&dst[i * n + kb..i * n + ke]);
+                    let row_i = &mut dst[i * n + ke..i * n + i + 1];
+                    let len = i - ke + 1;
+                    for (k, &pik) in panel[..pw].iter().enumerate() {
+                        let lane = &syrk[k * tw..k * tw + len];
+                        for (o, &t) in row_i.iter_mut().zip(lane.iter()) {
+                            *o -= pik * t;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            kb = ke;
+        }
+        Ok(())
+    }
+
     /// Appends one row/column to the factored matrix in `O(n²)`.
     ///
     /// `row` is the new last row of the *extended* matrix `A'`: `row[j] = A'[n][j]` for
@@ -110,39 +383,36 @@ impl Cholesky {
                 rhs: (row.len(), 1),
             });
         }
-        let mut new_row = vec![0.0; n + 1];
-        #[allow(clippy::needless_range_loop)] // mirrors decompose_inner's index recurrence
+        // Grow the factor in place (amortized allocation-free; the new last row and
+        // column arrive zeroed) and compute the appended row directly into the last
+        // row's storage. On a failed pivot the growth is rolled back, leaving the
+        // factor unchanged as documented.
+        self.l.grow_square()?;
+        let m = n + 1;
+        #[allow(clippy::needless_range_loop)] // mirrors decompose's index recurrence
         for j in 0..=n {
             let mut sum = row[j];
             if j == n {
                 sum += self.jitter;
             }
             for k in 0..j {
-                let ljk = if j == n { new_row[k] } else { self.l.get(j, k) };
-                sum -= new_row[k] * ljk;
+                let ljk = self.l.get(j, k); // row n reads its own already-written prefix
+                sum -= self.l.get(n, k) * ljk;
             }
             if j == n {
                 if sum <= 0.0 || !sum.is_finite() {
+                    self.l.shrink_square().expect("grown factor shrinks back");
                     return Err(LinalgError::NotPositiveDefinite {
                         pivot: n,
                         value: sum,
                     });
                 }
-                new_row[n] = sum.sqrt();
+                self.l.set(n, n, sum.sqrt());
             } else {
-                new_row[j] = sum / self.l.get(j, j);
+                self.l.set(n, j, sum / self.l.get(j, j));
             }
         }
-        let mut l = Matrix::zeros(n + 1, n + 1);
-        for i in 0..n {
-            for j in 0..=i {
-                l.set(i, j, self.l.get(i, j));
-            }
-        }
-        for (j, &v) in new_row.iter().enumerate() {
-            l.set(n, j, v);
-        }
-        self.l = l;
+        debug_assert_eq!(self.l.rows(), m);
         Ok(())
     }
 
@@ -254,6 +524,52 @@ impl Cholesky {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let y = self.solve_lower(b)?;
         self.solve_upper(&y)
+    }
+
+    /// Solves `A x = b` into a caller-provided buffer (`out` is resized to `dim()`),
+    /// bit-identical to [`Cholesky::solve`]: both substitution sweeps update each entry
+    /// after its dependencies are final, so running them in place over one buffer
+    /// performs exactly the scalar solves' operations in the same order. Hot fit loops
+    /// use this to re-solve dual weights without allocating.
+    pub fn solve_into(&self, b: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "solve_into",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        out.clear();
+        out.extend_from_slice(b);
+        let x = out.as_mut_slice();
+        // Forward sweep (solve_lower): x[i] depends on x[j] for j < i, already final.
+        for i in 0..n {
+            let li = self.l.row(i);
+            let d = li[i];
+            if d == 0.0 {
+                return Err(LinalgError::Singular);
+            }
+            let mut sum = x[i];
+            for (lij, xj) in li[..i].iter().zip(x[..i].iter()) {
+                sum -= lij * xj;
+            }
+            x[i] = sum / d;
+        }
+        // Backward sweep (solve_upper): x[i] depends on x[j] for j > i, already final.
+        for i in (0..n).rev() {
+            let d = self.l.get(i, i);
+            if d == 0.0 {
+                return Err(LinalgError::Singular);
+            }
+            let mut sum = x[i];
+            #[allow(clippy::needless_range_loop)] // column access: x[j] pairs with L[j][i]
+            for j in (i + 1)..n {
+                sum -= self.l.get(j, i) * x[j];
+            }
+            x[i] = sum / d;
+        }
+        Ok(())
     }
 
     /// Multi-RHS forward substitution: solves `L xᵣ = bᵣ` for every **row** `bᵣ` of `b`.
@@ -612,6 +928,142 @@ mod tests {
         assert_eq!(c.solve_multi(&empty).unwrap().rows(), 0);
     }
 
+    /// Deterministic pseudo-random SPD matrix `B Bᵀ + n·I` large enough to cross panel
+    /// boundaries (the proptest strategies stay small because `O(n³)` cases add up).
+    fn spd_n(n: usize, seed: u64) -> Matrix {
+        let b = Matrix::from_fn(n, n, |i, j| {
+            let h = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add((j as u64).wrapping_mul(1442695040888963407))
+                .wrapping_add(seed);
+            ((h >> 33) % 4096) as f64 / 1024.0 - 2.0
+        });
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        a.add_diagonal(n as f64).unwrap();
+        a
+    }
+
+    #[test]
+    fn blocked_decompose_is_bit_identical_to_reference_across_panel_boundaries() {
+        // 1 (degenerate), 63/64/65 (one-panel edge), 100 and 150 (multi-panel, with
+        // partial last panels) — the blocked schedule must reproduce the reference
+        // recurrence exactly, not merely closely.
+        for &n in &[1usize, 5, 63, 64, 65, 100, 150] {
+            let a = spd_n(n, n as u64);
+            let blocked = Cholesky::decompose(&a).unwrap();
+            let reference = Cholesky::decompose_reference(&a).unwrap();
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(
+                        blocked.factor().get(i, j).to_bits(),
+                        reference.factor().get(i, j).to_bits(),
+                        "n={n} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_decompose_reports_same_failing_pivot_as_reference() {
+        // Make the trailing diagonal entry dependent so the last pivot fails in both.
+        let mut a = spd_n(70, 3);
+        for j in 0..70 {
+            let v = a.get(68, j);
+            a.set(69, j, v);
+            a.set(j, 69, v);
+        }
+        a.set(69, 69, a.get(68, 68));
+        let b = Cholesky::decompose(&a).unwrap_err();
+        let r = Cholesky::decompose_reference(&a).unwrap_err();
+        match (b, r) {
+            (
+                LinalgError::NotPositiveDefinite { pivot: pb, .. },
+                LinalgError::NotPositiveDefinite { pivot: pr, .. },
+            ) => assert_eq!(pb, pr),
+            other => panic!("expected NotPositiveDefinite from both, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extend_replay_is_bit_identical_to_blocked_decompose_across_panels() {
+        // Grow a factor one row at a time from 1×1 to 100×100: at the final size the
+        // incrementally grown factor must equal the blocked from-scratch factorization
+        // bit for bit (the observe-path contract at sizes that cross panel boundaries).
+        let n = 100;
+        let a = spd_n(n, 9);
+        let mut c = Cholesky::decompose(&Matrix::from_fn(1, 1, |i, j| a.get(i, j))).unwrap();
+        for r in 1..n {
+            let row: Vec<f64> = (0..=r).map(|j| a.get(r, j)).collect();
+            c.extend(&row).unwrap();
+        }
+        let scratch = Cholesky::decompose(&a).unwrap();
+        assert_eq!(c.dim(), n);
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(
+                    c.factor().get(i, j).to_bits(),
+                    scratch.factor().get(i, j).to_bits(),
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_recycling_is_allocation_free_and_bit_identical() {
+        let a = spd_n(40, 1);
+        let plain = Cholesky::decompose_with_jitter(&a, 1e-3).unwrap();
+        let mut scratch = FactorScratch::default();
+        // Warm the scratch, recycle, then verify the second pass reuses the same buffer.
+        let first = Cholesky::decompose_with_jitter_scratch(&a, 1e-3, &mut scratch).unwrap();
+        assert!(first.factor().max_abs_diff(plain.factor()).unwrap() == 0.0);
+        first.into_scratch(&mut scratch);
+        let cap_before = scratch.spare.capacity();
+        let ptr_before = scratch.spare.as_ptr();
+        let second = Cholesky::decompose_with_jitter_scratch(&a, 1e-3, &mut scratch).unwrap();
+        assert!(second.factor().max_abs_diff(plain.factor()).unwrap() == 0.0);
+        assert_eq!(second.factor().data().as_ptr(), ptr_before, "buffer reused");
+        second.into_scratch(&mut scratch);
+        assert_eq!(scratch.spare.capacity(), cap_before, "no reallocation");
+    }
+
+    #[test]
+    fn jittered_scratch_decompose_matches_unscratched_path() {
+        // A rank-deficient matrix forces the escalation loop; every attempt reuses one
+        // buffer and the result (factor + recorded jitter) matches the plain API.
+        let a = Matrix::from_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        let mut scratch = FactorScratch::default();
+        let c = Cholesky::decompose_with_jitter_scratch(&a, 1e-2, &mut scratch).unwrap();
+        let plain = Cholesky::decompose_with_jitter(&a, 1e-2).unwrap();
+        assert_eq!(c.jitter().to_bits(), plain.jitter().to_bits());
+        assert!(c.factor().max_abs_diff(plain.factor()).unwrap() == 0.0);
+        // A hopeless matrix fails identically and still returns its buffer.
+        let bad = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert!(Cholesky::decompose_with_jitter_scratch(&bad, 1e-10, &mut scratch).is_err());
+        assert!(
+            scratch.spare.capacity() > 0,
+            "failed decompose must hand its buffer back to the scratch"
+        );
+    }
+
+    #[test]
+    fn solve_into_matches_solve_bitwise_and_validates_lengths() {
+        let a = spd_n(33, 5);
+        let c = Cholesky::decompose(&a).unwrap();
+        let b: Vec<f64> = (0..33).map(|i| (i as f64 * 0.61).sin() * 3.0).collect();
+        let expected = c.solve(&b).unwrap();
+        let mut out = Vec::new();
+        c.solve_into(&b, &mut out).unwrap();
+        assert_eq!(out.len(), expected.len());
+        for (x, y) in out.iter().zip(expected.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Reuse the same buffer (steady-state path) and check wrong lengths error.
+        c.solve_into(&b, &mut out).unwrap();
+        assert!(c.solve_into(&b[..10], &mut out).is_err());
+    }
+
     #[test]
     fn inverse_times_matrix_is_identity() {
         let a = spd3();
@@ -699,6 +1151,43 @@ mod tests {
                     for (j, s) in scalar.iter().enumerate() {
                         prop_assert_eq!(multi.get(r, j).to_bits(), s.to_bits());
                     }
+                }
+            }
+
+            #[test]
+            fn prop_blocked_decompose_within_4_ulps_of_reference(
+                n in 1usize..40,
+                seed in 0u64..1000,
+            ) {
+                // The ISSUE contract is "within 4 ULPs"; the implementation actually
+                // achieves 0 (bit-identity), which this property verifies is never
+                // exceeded on random SPD matrices. Sizes beyond one panel are covered
+                // by the deterministic boundary tests above.
+                let a = super::spd_n(n, seed);
+                let blocked = Cholesky::decompose(&a).unwrap();
+                let reference = Cholesky::decompose_reference(&a).unwrap();
+                for i in 0..n {
+                    for j in 0..=i {
+                        let d = crate::vecops::ulp_diff(
+                            blocked.factor().get(i, j),
+                            reference.factor().get(i, j),
+                        );
+                        prop_assert!(d <= 4, "({i},{j}) differs by {d} ULPs");
+                    }
+                }
+            }
+
+            #[test]
+            fn prop_solve_into_bit_identical_to_solve(
+                a in spd_strategy(5),
+                b in proptest::collection::vec(-5.0f64..5.0, 5),
+            ) {
+                let c = Cholesky::decompose(&a).unwrap();
+                let expected = c.solve(&b).unwrap();
+                let mut out = Vec::new();
+                c.solve_into(&b, &mut out).unwrap();
+                for (x, y) in out.iter().zip(expected.iter()) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
                 }
             }
 

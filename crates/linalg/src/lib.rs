@@ -19,7 +19,7 @@ pub mod matrix;
 pub mod stats;
 pub mod vecops;
 
-pub use cholesky::Cholesky;
+pub use cholesky::{Cholesky, FactorScratch};
 pub use matrix::Matrix;
 
 /// Error type for linear-algebra operations.

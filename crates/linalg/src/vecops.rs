@@ -15,6 +15,33 @@ pub fn norm(a: &[f64]) -> f64 {
     dot(a, a).sqrt()
 }
 
+/// Distance between two finite `f64` values in units in the last place (ULPs): the
+/// number of representable doubles strictly between them, plus one if they differ.
+/// Returns 0 for bitwise-equal values (including `-0.0` vs `0.0`, which are numerically
+/// equal) and `u64::MAX` when either value is NaN. Used by the numerical-equivalence
+/// gates (blocked vs reference Cholesky) where "within k ULPs" is the contract.
+#[inline]
+pub fn ulp_diff(a: f64, b: f64) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    if a == b {
+        return 0;
+    }
+    // Map the IEEE-754 bit patterns onto a monotone integer line: non-negative floats
+    // keep their bits, negative floats are reflected below zero. The distance on that
+    // line is exactly the ULP count.
+    fn monotone(v: f64) -> i128 {
+        let bits = v.to_bits();
+        if bits >> 63 == 0 {
+            bits as i128
+        } else {
+            -((bits & 0x7fff_ffff_ffff_ffff) as i128)
+        }
+    }
+    monotone(a).abs_diff(monotone(b)) as u64
+}
+
 /// Euclidean distance between two points.
 #[inline]
 pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {

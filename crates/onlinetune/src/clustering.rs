@@ -33,6 +33,14 @@ pub struct ClusterOptions {
     pub max_observations_per_model: usize,
     /// Refit kernel hyper-parameters every this many model updates.
     pub hyperopt_period: usize,
+    /// Worker threads used for the periodic hyper-parameter optimization's restart
+    /// searches (`1` = serial, `0` = one per CPU; see
+    /// [`gp::hyperopt::HyperOptOptions::workers`]). Selected hyper-parameters are
+    /// worker-count independent bit for bit, so this only affects wall-clock time —
+    /// snapshot replay across machines with different settings stays exact. The fleet
+    /// service clamps this so tenant-level and hyperopt-level parallelism compose
+    /// without oversubscription.
+    pub hyperopt_workers: usize,
 }
 
 impl Default for ClusterOptions {
@@ -47,6 +55,7 @@ impl Default for ClusterOptions {
             min_observations_for_clustering: 30,
             max_observations_per_model: 150,
             hyperopt_period: 20,
+            hyperopt_workers: 1,
         }
     }
 }
@@ -115,6 +124,14 @@ impl ClusterManager {
         self.recluster_count
     }
 
+    /// Re-grants the hyperopt worker budget (see [`ClusterOptions::hyperopt_workers`]).
+    /// Runtime-only: selected hyper-parameters are worker-count independent, so this
+    /// never changes model behaviour — the fleet service calls it when a session is
+    /// restored on a machine whose parallelism budget differs from the snapshotting one.
+    pub fn set_hyperopt_workers(&mut self, workers: usize) {
+        self.options.hyperopt_workers = workers;
+    }
+
     /// All observations (immutable view).
     pub fn observations(&self) -> &[ContextObservation] {
         &self.observations
@@ -167,6 +184,7 @@ impl ClusterManager {
                 &HyperOptOptions {
                     restarts: 1,
                     max_iters: 30,
+                    workers: self.options.hyperopt_workers,
                     ..Default::default()
                 },
                 rng,

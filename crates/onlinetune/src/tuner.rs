@@ -207,6 +207,17 @@ impl OnlineTune {
         &self.hardware
     }
 
+    /// Re-grants the worker budget of the periodic hyper-parameter optimization (see
+    /// [`ClusterOptions::hyperopt_workers`](crate::clustering::ClusterOptions::hyperopt_workers)).
+    /// Runtime-only — hyperopt results are worker-count independent bit for bit, so
+    /// this affects wall-clock time, never recommendations or replay. The fleet
+    /// service calls it at admission and after snapshot restore to keep the combined
+    /// parallelism budget valid on the *current* machine.
+    pub fn set_hyperopt_workers(&mut self, workers: usize) {
+        self.options.cluster.hyperopt_workers = workers;
+        self.clusters.set_hyperopt_workers(workers);
+    }
+
     /// Updates the hardware the white-box rules reason about (a mid-session instance
     /// resize). The black-box models are *not* reset: performance shifts caused by the
     /// resize surface as ordinary observations, and a sustained context-distribution
