@@ -5,7 +5,8 @@
 //!
 //! * aggregate tuning iterations per second (wall-clock, parallel worker pool),
 //! * the unsafe-recommendation rate across the fleet,
-//! * per-tenant regret, and the snapshot size of the whole fleet.
+//! * per-tenant regret, and the snapshot size of the whole fleet,
+//! * knowledge-base transfer pressure (warm-start hits, evictions) from telemetry.
 //!
 //! Run with `cargo run --release -p bench --bin fleet_scale [rounds]`.
 
@@ -13,12 +14,14 @@ use bench::report::{iterations_from_env, section};
 use fleet::service::{small_tuner_options, FleetOptions, FleetService};
 use fleet::tenant::{TenantSpec, WorkloadFamily};
 use std::time::Instant;
+use telemetry::{CounterId, SpanId, TelemetryHandle};
 
 fn build_fleet(n_tenants: usize) -> FleetService {
     let mut svc = FleetService::new(FleetOptions {
         tuner: small_tuner_options(),
         ..Default::default()
     });
+    svc.set_telemetry(TelemetryHandle::enabled());
     for i in 0..n_tenants {
         let family = WorkloadFamily::ALL[i % WorkloadFamily::ALL.len()];
         let spec = TenantSpec::named(format!("tenant-{i:03}"), family, 9000 + i as u64);
@@ -31,8 +34,17 @@ fn main() {
     let rounds = iterations_from_env(12);
     section("Fleet scalability: 1 -> 64 tenants (mixed workload families)");
     println!(
-        "{:>8} {:>8} {:>12} {:>12} {:>12} {:>14} {:>14}",
-        "tenants", "rounds", "iterations", "iters/s", "unsafe rate", "regret/iter", "snapshot KiB"
+        "{:>8} {:>8} {:>12} {:>12} {:>12} {:>14} {:>14} {:>10} {:>10} {:>10}",
+        "tenants",
+        "rounds",
+        "iterations",
+        "iters/s",
+        "unsafe rate",
+        "regret/iter",
+        "snapshot KiB",
+        "iter p99ms",
+        "ws hits",
+        "kb evict"
     );
 
     for &n in &[1usize, 2, 4, 8, 16, 32, 64] {
@@ -42,19 +54,27 @@ fn main() {
         let elapsed = start.elapsed().as_secs_f64();
         let iters_per_s = report.iterations as f64 / elapsed.max(1e-9);
         let regret_per_iter = report.regret / report.iterations.max(1) as f64;
-        let snapshot_kib = svc
-            .snapshot_json()
-            .map(|j| j.len() as f64 / 1024.0)
-            .unwrap_or(f64::NAN);
+        let snapshot_kib = match svc.snapshot_json() {
+            Ok(json) => json.len() as f64 / 1024.0,
+            Err(e) => {
+                eprintln!("fleet_scale: snapshot failed for {n} tenants: {e}");
+                std::process::exit(1);
+            }
+        };
+        let metrics = svc.metrics_snapshot();
         println!(
-            "{:>8} {:>8} {:>12} {:>12.1} {:>12.4} {:>14.3} {:>14.1}",
+            "{:>8} {:>8} {:>12} {:>12.1} {:>12.4} {:>14.3} {:>14.1} {:>10.3} {:>10} {:>10}",
             n,
             report.rounds,
             report.iterations,
             iters_per_s,
             report.unsafe_rate(),
             regret_per_iter,
-            snapshot_kib
+            snapshot_kib,
+            metrics.histogram(SpanId::Iteration).quantile_ms(0.99),
+            metrics.counter(CounterId::WarmStartHits),
+            metrics.counter(CounterId::KbEvictedSafe)
+                + metrics.counter(CounterId::KbEvictedObservations),
         );
     }
 
@@ -62,6 +82,8 @@ fn main() {
     println!(
         "Scheduler guarantees every tenant >= 1 iteration per round; tenants with high \
          recent regret receive bonus slots. Safe configurations and observations flow \
-         through the shared knowledge base to warm-start future tenants."
+         through the shared knowledge base to warm-start future tenants. The last three \
+         columns come from the telemetry registry (iteration-latency histogram, \
+         warm-start hits, knowledge-base evictions)."
     );
 }

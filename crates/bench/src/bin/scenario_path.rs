@@ -188,6 +188,8 @@ fn summaries_bits_identical(a: &FleetService, b: &FleetService) -> bool {
                 && x.unsafe_count == y.unsafe_count
                 && x.n_models == y.n_models
                 && x.recluster_count == y.recluster_count
+                && x.warm_start_safe == y.warm_start_safe
+                && x.warm_start_observations == y.warm_start_observations
                 && x.cumulative_regret.to_bits() == y.cumulative_regret.to_bits()
                 && x.total_score.to_bits() == y.total_score.to_bits()
         })
@@ -200,6 +202,10 @@ fn main() {
     section("Scenario path: drift + resize + churn timeline");
     let start = std::time::Instant::now();
     let mut uninterrupted = build_fleet();
+    // Telemetry rides along on the reference run; the replay gate below compares it
+    // against a telemetry-free resumed run, so the gate also exercises the
+    // "observability never perturbs results" contract.
+    uninterrupted.set_telemetry(telemetry::TelemetryHandle::enabled());
     let report = run_scenario(&mut uninterrupted, &scenario, TOTAL_ROUNDS)
         .expect("scenario replays against the scripted fleet");
     let wall_s = start.elapsed().as_secs_f64();
@@ -230,6 +236,42 @@ fn main() {
         "  snapshot at round {SNAPSHOT_ROUND}, replayed {} rounds: bit-identical = {bits_identical}",
         TOTAL_ROUNDS - SNAPSHOT_ROUND
     );
+
+    section("Telemetry: environment events and knowledge-base pressure");
+    let metrics = uninterrupted.metrics_snapshot();
+    let totals = uninterrupted.knowledge().totals();
+    println!(
+        "  drifts={} resizes={} data_scales={} removals={} admissions={} migrations={}",
+        metrics.counter(telemetry::CounterId::DriftsApplied),
+        metrics.counter(telemetry::CounterId::HardwareResizes),
+        metrics.counter(telemetry::CounterId::DataScales),
+        metrics.counter(telemetry::CounterId::TenantsRemoved),
+        metrics.counter(telemetry::CounterId::TenantsAdmitted),
+        metrics.counter(telemetry::CounterId::TenantsMigrated),
+    );
+    println!(
+        "  warm-start hits={} (safe={} obs={}), kb pools={} contributions={} evicted safe={} obs={}",
+        metrics.counter(telemetry::CounterId::WarmStartHits),
+        metrics.counter(telemetry::CounterId::WarmStartSafeConfigs),
+        metrics.counter(telemetry::CounterId::WarmStartObservations),
+        totals.pools,
+        totals.contributions,
+        totals.evicted_safe,
+        totals.evicted_observations,
+    );
+    for event in uninterrupted.telemetry_events() {
+        if matches!(
+            event.kind,
+            telemetry::EventKind::WarmStartHit | telemetry::EventKind::KbEviction
+        ) {
+            println!(
+                "  [{}] {}: {}",
+                event.kind.name(),
+                event.subject,
+                event.detail
+            );
+        }
+    }
 
     section("Re-clustering engagement after the abrupt shift");
     let shift_curve = curve_for(&report, "shift");

@@ -1,0 +1,217 @@
+//! Telemetry overhead — the cost of observing the fleet, and the proof it changes
+//! nothing.
+//!
+//! Runs the same deterministic multi-tenant workload twice — once with the no-op sink
+//! (a disabled [`telemetry::TelemetryHandle`] is a single branch per call site) and once
+//! with a live registry + journal — and measures:
+//!
+//! * end-to-end fleet wall time (min over repeats, so scheduler noise cannot fake an
+//!   overhead), and the relative overhead of the enabled sink,
+//! * nanosecond-scale microbenchmarks of the primitives (counter increment, span,
+//!   journal event) in both states,
+//! * the **replay gate**: the two runs' snapshot JSON must be byte-identical.
+//!
+//! Run with `cargo run --release -p bench --bin telemetry_overhead [-- --smoke]`. The
+//! full mode writes `BENCH_telemetry.json` (committed). `--smoke` runs the same
+//! measurement and exits non-zero when the enabled-mode overhead exceeds 5% or any
+//! replay byte diverges — CI uses it.
+
+use bench::report::{iterations_from_env, section};
+use fleet::service::{small_tuner_options, FleetOptions, FleetService};
+use fleet::tenant::{TenantSpec, WorkloadFamily};
+use std::time::Instant;
+use telemetry::{CounterId, EventKind, SpanId, TelemetryHandle};
+
+/// Enabled-mode overhead (percent of the disabled-mode wall time) the smoke gate allows.
+const MAX_OVERHEAD_PCT: f64 = 5.0;
+
+#[derive(Debug, serde::Serialize)]
+struct MicroBench {
+    /// One counter increment through a disabled handle (ns).
+    counter_disabled_ns: f64,
+    /// One counter increment into a live registry (ns).
+    counter_enabled_ns: f64,
+    /// One begin+end span pair through a disabled handle (ns).
+    span_disabled_ns: f64,
+    /// One begin+end span pair against the monotonic clock and a live histogram (ns).
+    span_enabled_ns: f64,
+    /// One structured journal event into the bounded ring (ns).
+    event_enabled_ns: f64,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct OverheadReport {
+    tenants: usize,
+    rounds: usize,
+    repeats: usize,
+    iterations: usize,
+    /// Fleet wall time with the no-op sink (seconds, min over repeats).
+    disabled_s: f64,
+    /// Fleet wall time with the live sink (seconds, min over repeats).
+    enabled_s: f64,
+    /// `(enabled_s - disabled_s) / disabled_s * 100`.
+    overhead_pct: f64,
+    /// Whether the two runs produced byte-identical fleet snapshots.
+    replay_identical: bool,
+    micro: MicroBench,
+}
+
+fn build_fleet(telemetry: TelemetryHandle) -> FleetService {
+    let mut svc = FleetService::new(FleetOptions {
+        tuner: small_tuner_options(),
+        ..Default::default()
+    });
+    svc.set_telemetry(telemetry);
+    for i in 0..6usize {
+        let family = WorkloadFamily::ALL[i % WorkloadFamily::ALL.len()];
+        let mut spec = TenantSpec::named(format!("tenant-{i}"), family, 7000 + i as u64);
+        spec.deterministic = true;
+        svc.admit(spec);
+    }
+    svc
+}
+
+/// Runs the workload once and returns `(wall_s, snapshot_json, iterations)`.
+fn run_once(enabled: bool, rounds: usize) -> (f64, String, usize) {
+    let sink = if enabled {
+        TelemetryHandle::enabled()
+    } else {
+        TelemetryHandle::disabled()
+    };
+    let mut svc = build_fleet(sink);
+    let start = Instant::now();
+    let report = svc.run_rounds(rounds);
+    let wall = start.elapsed().as_secs_f64();
+    let json = svc.snapshot_json().expect("snapshot serializes");
+    (wall, json, report.iterations)
+}
+
+/// Times `op` per call over `n` calls (ns). The loop result is accumulated into a value
+/// the compiler cannot discard.
+fn per_call_ns(n: u64, mut op: impl FnMut() -> u64) -> f64 {
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..n {
+        acc = acc.wrapping_add(op());
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    std::hint::black_box(acc);
+    elapsed / n as f64
+}
+
+fn micro_bench() -> MicroBench {
+    let n = 1_000_000u64;
+    let disabled = TelemetryHandle::disabled();
+    let enabled = TelemetryHandle::enabled();
+    MicroBench {
+        counter_disabled_ns: per_call_ns(n, || {
+            disabled.incr(CounterId::Iterations);
+            0
+        }),
+        counter_enabled_ns: per_call_ns(n, || {
+            enabled.incr(CounterId::Iterations);
+            0
+        }),
+        span_disabled_ns: per_call_ns(n, || {
+            let span = disabled.begin_span();
+            disabled.end_span(SpanId::Iteration, span);
+            0
+        }),
+        span_enabled_ns: per_call_ns(n, || {
+            let span = enabled.begin_span();
+            enabled.end_span(SpanId::Iteration, span);
+            0
+        }),
+        // The journal is a bounded ring: steady-state cost includes evicting the oldest
+        // event, which is exactly the hot-path case.
+        event_enabled_ns: per_call_ns(n / 10, || {
+            enabled.event(EventKind::ObserveFallback, "bench", "steady-state push");
+            0
+        }),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let rounds = iterations_from_env(8);
+    let repeats = 3usize;
+
+    section("Telemetry primitives (ns per call, 1e6 calls)");
+    let micro = micro_bench();
+    println!(
+        "  counter incr : disabled {:>7.2} ns   enabled {:>7.2} ns",
+        micro.counter_disabled_ns, micro.counter_enabled_ns
+    );
+    println!(
+        "  span pair    : disabled {:>7.2} ns   enabled {:>7.2} ns",
+        micro.span_disabled_ns, micro.span_enabled_ns
+    );
+    println!(
+        "  journal event: enabled  {:>7.2} ns",
+        micro.event_enabled_ns
+    );
+
+    section("Fleet hot path: no-op sink vs live registry + journal");
+    // Warm-up run (page cache, lazy init) that is not measured.
+    run_once(false, 1);
+
+    let mut disabled_s = f64::INFINITY;
+    let mut enabled_s = f64::INFINITY;
+    let mut disabled_json = String::new();
+    let mut enabled_json = String::new();
+    let mut iterations = 0;
+    for _ in 0..repeats {
+        let (wall_off, json_off, iters) = run_once(false, rounds);
+        let (wall_on, json_on, _) = run_once(true, rounds);
+        disabled_s = disabled_s.min(wall_off);
+        enabled_s = enabled_s.min(wall_on);
+        disabled_json = json_off;
+        enabled_json = json_on;
+        iterations = iters;
+    }
+    let overhead_pct = (enabled_s - disabled_s) / disabled_s.max(1e-12) * 100.0;
+    let replay_identical = disabled_json == enabled_json;
+    println!(
+        "  6 tenants x {rounds} rounds ({iterations} iterations), min over {repeats} repeats:"
+    );
+    println!(
+        "  disabled {:.3}s   enabled {:.3}s   overhead {:+.2}%   snapshots byte-identical: {}",
+        disabled_s, enabled_s, overhead_pct, replay_identical
+    );
+
+    let report = OverheadReport {
+        tenants: 6,
+        rounds,
+        repeats,
+        iterations,
+        disabled_s,
+        enabled_s,
+        overhead_pct,
+        replay_identical,
+        micro,
+    };
+
+    if !smoke {
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write("BENCH_telemetry.json", &json).expect("write BENCH_telemetry.json");
+        println!();
+        println!("wrote BENCH_telemetry.json");
+    }
+
+    if !replay_identical {
+        eprintln!(
+            "FAIL: telemetry-enabled run produced different snapshot bytes than the no-op run \
+             (observability leaked into the replay contract)"
+        );
+        std::process::exit(1);
+    }
+    if overhead_pct > MAX_OVERHEAD_PCT {
+        eprintln!(
+            "FAIL: enabled-mode overhead {overhead_pct:+.2}% exceeds the {MAX_OVERHEAD_PCT}% budget"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "telemetry contracts verified: overhead within {MAX_OVERHEAD_PCT}%, replay byte-identical"
+    );
+}

@@ -77,6 +77,24 @@ pub struct KnowledgePool {
     pub evicted_observations: usize,
 }
 
+/// Aggregate statistics of the knowledge base across all pools (reported on
+/// [`crate::service::FleetReport`] so operators can see transfer and eviction pressure).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct KnowledgeTotals {
+    /// Number of pools.
+    pub pools: usize,
+    /// Safe configurations currently retained across all pools.
+    pub safe_configs: usize,
+    /// Observations currently retained across all pools.
+    pub observations: usize,
+    /// Contribution merges received across all pools.
+    pub contributions: usize,
+    /// Safe configurations evicted (oldest-first) across all pools.
+    pub evicted_safe: usize,
+    /// Observations evicted (oldest-first) across all pools.
+    pub evicted_observations: usize,
+}
+
 /// What a newly admitted tenant receives from the knowledge base.
 #[derive(Debug, Clone, Default)]
 pub struct WarmStart {
@@ -115,6 +133,23 @@ impl KnowledgeBase {
     /// Number of pools.
     pub fn n_pools(&self) -> usize {
         self.pools.len()
+    }
+
+    /// Aggregate statistics across all pools (deterministic: pools iterate in insertion
+    /// order and every field is an integer sum).
+    pub fn totals(&self) -> KnowledgeTotals {
+        let mut totals = KnowledgeTotals {
+            pools: self.pools.len(),
+            ..Default::default()
+        };
+        for (_, pool) in &self.pools {
+            totals.safe_configs += pool.safe_configs.len();
+            totals.observations += pool.observations.len();
+            totals.contributions += pool.contributions;
+            totals.evicted_safe += pool.evicted_safe;
+            totals.evicted_observations += pool.evicted_observations;
+        }
+        totals
     }
 
     /// Read access to a pool.
@@ -334,6 +369,28 @@ mod tests {
         kb2.contribute(&key(), vec![vec![7.0], vec![8.0]], vec![]);
         kb2.contribute(&key(), vec![vec![7.0]], vec![]);
         assert_eq!(kb2.warm_start(&key()).safe_configs, vec![vec![7.0]]);
+    }
+
+    #[test]
+    fn totals_aggregate_across_pools() {
+        let mut kb = KnowledgeBase::new(KnowledgeBaseOptions {
+            max_safe_per_pool: 2,
+            max_observations_per_pool: 2,
+            ..Default::default()
+        });
+        assert_eq!(kb.totals(), KnowledgeTotals::default());
+        let other = PoolKey::for_tenant(&HardwareSpec::default(), WorkloadFamily::Job);
+        for i in 0..4 {
+            kb.contribute(&key(), vec![vec![i as f64]], vec![obs(i as f64)]);
+        }
+        kb.contribute(&other, vec![vec![9.0]], vec![]);
+        let totals = kb.totals();
+        assert_eq!(totals.pools, 2);
+        assert_eq!(totals.safe_configs, 3); // 2 capped + 1 in the other pool
+        assert_eq!(totals.observations, 2);
+        assert_eq!(totals.contributions, 5);
+        assert_eq!(totals.evicted_safe, 2);
+        assert_eq!(totals.evicted_observations, 2);
     }
 
     #[test]

@@ -55,10 +55,10 @@ pub mod scheduler;
 pub mod service;
 pub mod tenant;
 
-pub use knowledge::{KnowledgeBase, KnowledgeBaseOptions, PoolKey, WarmStart};
+pub use knowledge::{KnowledgeBase, KnowledgeBaseOptions, KnowledgeTotals, PoolKey, WarmStart};
 pub use scenario::{run_scenario, Scenario, ScenarioEvent, ScenarioReport, ScenarioStep};
 pub use scheduler::{RoundPlan, SchedulerOptions, SessionScheduler, TenantStatus};
-pub use service::{FleetOptions, FleetReport, FleetService, FleetSnapshot};
+pub use service::{FleetOptions, FleetReport, FleetService, FleetSnapshot, SloReport};
 pub use tenant::{
     TenantSession, TenantSessionState, TenantSpec, TenantSummary, WorkloadDrift, WorkloadFamily,
 };

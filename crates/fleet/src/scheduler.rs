@@ -53,6 +53,13 @@ impl RoundPlan {
     pub fn total_slots(&self) -> usize {
         self.slots.iter().sum()
     }
+
+    /// Publishes the plan's shape to a telemetry sink (tenant count and granted slots as
+    /// gauges). Observability only: never feeds back into scheduling.
+    pub fn publish(&self, telemetry: &telemetry::TelemetryHandle) {
+        telemetry.set_gauge(telemetry::GaugeId::Tenants, self.slots.len() as f64);
+        telemetry.set_gauge(telemetry::GaugeId::GrantedSlots, self.total_slots() as f64);
+    }
 }
 
 /// The fleet's session scheduler.

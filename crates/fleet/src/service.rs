@@ -8,11 +8,12 @@
 //! deterministic regardless of thread timing. That determinism is what makes the
 //! fleet-wide snapshot/restore replay test meaningful.
 
-use crate::knowledge::{KnowledgeBase, KnowledgeBaseOptions, PoolKey};
+use crate::knowledge::{KnowledgeBase, KnowledgeBaseOptions, KnowledgeTotals, PoolKey};
 use crate::scheduler::{SchedulerOptions, SessionScheduler, TenantStatus};
 use crate::tenant::{TenantSession, TenantSessionState, TenantSpec, TenantSummary};
 use onlinetune::subspace::SubspaceOptions;
 use onlinetune::OnlineTuneOptions;
+use telemetry::{CounterId, EventKind, GaugeId, SpanId, TelemetryHandle};
 
 /// Options of the fleet service.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -72,6 +73,28 @@ pub fn small_tuner_options() -> OnlineTuneOptions {
     }
 }
 
+/// Per-tenant service-level conformance derived from telemetry (see
+/// [`FleetService::slo_reports`]). Latency quantiles come from the tenant's iteration
+/// span histogram; the unsafe-rate ceiling comes from the runtime-only
+/// [`telemetry::TelemetryConfig`], so reconfiguring it can never change snapshot bytes.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SloReport {
+    /// Tenant name.
+    pub name: String,
+    /// Iterations the tenant has performed in total.
+    pub iterations: usize,
+    /// Median iteration latency (suggest→apply→observe) in milliseconds.
+    pub iteration_p50_ms: f64,
+    /// 99th-percentile iteration latency in milliseconds.
+    pub iteration_p99_ms: f64,
+    /// Fraction of the tenant's recommendations that were unsafe.
+    pub unsafe_rate: f64,
+    /// The configured unsafe-rate ceiling the tenant is held against.
+    pub unsafe_ceiling: f64,
+    /// Whether the tenant's unsafe rate is at or below the ceiling.
+    pub within_slo: bool,
+}
+
 /// Aggregate statistics of the rounds executed by a [`FleetService::run_rounds`] call.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct FleetReport {
@@ -85,6 +108,12 @@ pub struct FleetReport {
     pub regret: f64,
     /// Per-tenant summaries at the end of the call.
     pub tenants: Vec<TenantSummary>,
+    /// Knowledge-base aggregates at the end of the call (transfer and eviction pressure).
+    #[serde(default)]
+    pub knowledge: KnowledgeTotals,
+    /// Per-tenant SLO conformance; empty when telemetry is disabled.
+    #[serde(default)]
+    pub slo: Vec<SloReport>,
 }
 
 impl FleetReport {
@@ -120,6 +149,11 @@ pub struct FleetService {
     knowledge: KnowledgeBase,
     scheduler: SessionScheduler,
     rounds: usize,
+    /// Fleet-level observability sink (runtime-only, never serialized). Each session
+    /// holds a *child* of this core so worker threads record without contention; the
+    /// service merges the children at report time, in tenant order, which keeps every
+    /// export deterministic.
+    telemetry: TelemetryHandle,
 }
 
 impl FleetService {
@@ -133,7 +167,25 @@ impl FleetService {
             knowledge,
             scheduler,
             rounds: 0,
+            telemetry: TelemetryHandle::disabled(),
         }
+    }
+
+    /// Installs a telemetry sink on the service and re-childs every session (and its
+    /// tuner stack) from it. Passing [`TelemetryHandle::disabled`] turns telemetry off
+    /// again. Telemetry is runtime-only: it is excluded from [`FleetService::snapshot`],
+    /// so enabling, disabling or reconfiguring it can never change snapshot bytes or
+    /// perturb replay.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = telemetry;
+        for session in &mut self.tenants {
+            session.set_telemetry(&self.telemetry);
+        }
+    }
+
+    /// The fleet-level telemetry sink (disabled by default).
+    pub fn telemetry(&self) -> &TelemetryHandle {
+        &self.telemetry
     }
 
     /// Number of tenants.
@@ -166,11 +218,58 @@ impl FleetService {
         // at admission, when the session's tuner options are fixed.
         tuner.cluster.hyperopt_workers = self.effective_hyperopt_workers();
         let mut session = TenantSession::new(spec, tuner);
+        session.set_telemetry(&self.telemetry);
         if self.options.warm_start_on_admit {
             let warm = self.knowledge.warm_start(&key);
-            if !warm.is_empty() {
+            if warm.is_empty() {
+                self.telemetry.incr(CounterId::WarmStartMisses);
+                if self.telemetry.is_enabled() {
+                    self.telemetry.event(
+                        EventKind::WarmStartMiss,
+                        &session.spec().name,
+                        &format!(
+                            "no knowledge for {}/{}",
+                            key.hardware_class,
+                            key.family.label()
+                        ),
+                    );
+                }
+            } else {
+                self.telemetry.incr(CounterId::WarmStartHits);
+                self.telemetry.add(
+                    CounterId::WarmStartSafeConfigs,
+                    warm.safe_configs.len() as u64,
+                );
+                self.telemetry.add(
+                    CounterId::WarmStartObservations,
+                    warm.observations.len() as u64,
+                );
+                if self.telemetry.is_enabled() {
+                    self.telemetry.event(
+                        EventKind::WarmStartHit,
+                        &session.spec().name,
+                        &format!(
+                            "safe_configs={} observations={}",
+                            warm.safe_configs.len(),
+                            warm.observations.len()
+                        ),
+                    );
+                }
                 session.warm_start(&warm);
             }
+        }
+        self.telemetry.incr(CounterId::TenantsAdmitted);
+        if self.telemetry.is_enabled() {
+            self.telemetry.event(
+                EventKind::Admission,
+                &session.spec().name,
+                &format!(
+                    "family={} hardware={} seed={}",
+                    session.spec().family.label(),
+                    key.hardware_class,
+                    session.spec().seed
+                ),
+            );
         }
         self.tenants.push(session);
         self.tenants.len() - 1
@@ -208,6 +307,17 @@ impl FleetService {
         self.merge_contribution(idx);
         let session = self.tenants.remove(idx);
         self.scheduler.remove(idx);
+        // What the departing session recorded stays with the fleet: its telemetry child
+        // is drained into the fleet core before the session is dropped.
+        session.telemetry().drain_into(&self.telemetry);
+        self.telemetry.incr(CounterId::TenantsRemoved);
+        if self.telemetry.is_enabled() {
+            self.telemetry.event(
+                EventKind::Removal,
+                &session.spec().name,
+                &format!("iterations={}", session.iteration()),
+            );
+        }
         Ok(session.spec().clone())
     }
 
@@ -223,8 +333,25 @@ impl FleetService {
         let spec = self.tenants[i].spec();
         let family = spec.family_at(self.tenants[i].iteration());
         let key = PoolKey::for_tenant(&spec.hardware, family);
+        let before = self.telemetry.is_enabled().then(|| self.knowledge.totals());
         self.knowledge
             .contribute(&key, contribution.safe_configs, contribution.observations);
+        self.telemetry.incr(CounterId::KbContributions);
+        if let Some(before) = before {
+            let after = self.knowledge.totals();
+            let safe = after.evicted_safe - before.evicted_safe;
+            let obs = after.evicted_observations - before.evicted_observations;
+            self.telemetry.add(CounterId::KbEvictedSafe, safe as u64);
+            self.telemetry
+                .add(CounterId::KbEvictedObservations, obs as u64);
+            if safe + obs > 0 {
+                self.telemetry.event(
+                    EventKind::KbEviction,
+                    &format!("{}/{}", key.hardware_class, key.family.label()),
+                    &format!("evicted_safe={safe} evicted_observations={obs}"),
+                );
+            }
+        }
     }
 
     /// Migrates the tenant named `name` to a new hardware class: the session leaves
@@ -248,6 +375,14 @@ impl FleetService {
         spec.family = spec.family_at(iteration);
         spec.drift.clear();
         spec.hardware = hardware;
+        self.telemetry.incr(CounterId::TenantsMigrated);
+        if self.telemetry.is_enabled() {
+            self.telemetry.event(
+                EventKind::Migration,
+                &spec.name,
+                &format!("to={}", PoolKey::hardware_class(&hardware)),
+            );
+        }
         let idx = self.admit(spec);
         if let Some(gib) = data_size {
             self.tenants[idx].set_data_size(gib);
@@ -303,7 +438,9 @@ impl FleetService {
                 iterations: t.iteration(),
             })
             .collect();
+        let span = self.telemetry.begin_span();
         let plan = self.scheduler.plan_round(&statuses);
+        plan.publish(&self.telemetry);
         let workers = self.effective_workers();
 
         // Execute the round on the worker pool. Tenants are split into contiguous chunks;
@@ -336,6 +473,9 @@ impl FleetService {
         }
 
         self.rounds += 1;
+        self.telemetry
+            .set_gauge(GaugeId::KnowledgePools, self.knowledge.n_pools() as f64);
+        self.telemetry.end_span(SpanId::Round, span);
         plan.total_slots()
     }
 
@@ -363,11 +503,91 @@ impl FleetService {
             unsafe_count,
             regret,
             tenants: after,
+            knowledge: self.knowledge.totals(),
+            slo: self.slo_reports(),
         }
     }
 
-    /// Exports the complete fleet state.
+    /// Per-tenant SLO conformance derived from telemetry; empty when telemetry is
+    /// disabled (there are no latency histograms to report from).
+    pub fn slo_reports(&self) -> Vec<SloReport> {
+        let Some(config) = self.telemetry.config() else {
+            return Vec::new();
+        };
+        self.tenants
+            .iter()
+            .map(|t| {
+                let h = t.telemetry().histogram(SpanId::Iteration);
+                let iterations = t.iteration();
+                let unsafe_rate = if iterations == 0 {
+                    0.0
+                } else {
+                    t.unsafe_count() as f64 / iterations as f64
+                };
+                SloReport {
+                    name: t.spec().name.clone(),
+                    iterations,
+                    iteration_p50_ms: h.quantile_ms(0.5),
+                    iteration_p99_ms: h.quantile_ms(0.99),
+                    unsafe_rate,
+                    unsafe_ceiling: config.unsafe_rate_ceiling,
+                    within_slo: unsafe_rate <= config.unsafe_rate_ceiling,
+                }
+            })
+            .collect()
+    }
+
+    /// Fleet-wide metrics: the fleet core's snapshot merged with every session's, in
+    /// tenant order (integer merges, so the result is accumulation-order independent).
+    pub fn metrics_snapshot(&self) -> telemetry::MetricsSnapshot {
+        let mut snap = self.telemetry.snapshot();
+        for session in &self.tenants {
+            snap.merge(&session.telemetry().snapshot());
+        }
+        snap
+    }
+
+    /// Every journal event the fleet currently holds: fleet-level events first, then each
+    /// session's, in tenant order.
+    pub fn telemetry_events(&self) -> Vec<telemetry::Event> {
+        let mut events = self.telemetry.events();
+        for session in &self.tenants {
+            events.extend(session.telemetry().events());
+        }
+        events
+    }
+
+    /// Serializes the merged registry and journal as one deterministic JSON document
+    /// (`{"registry":…,"journal":…}`). Returns `{}` when telemetry is disabled.
+    pub fn telemetry_json(&self) -> String {
+        if !self.telemetry.is_enabled() {
+            return "{}".to_string();
+        }
+        let events = self.telemetry_events();
+        let mut journal = telemetry::EventJournal::new(events.len().max(1));
+        for event in events {
+            journal.push(event);
+        }
+        format!(
+            "{{\"registry\":{},\"journal\":{}}}",
+            self.metrics_snapshot().to_json(),
+            journal.to_json()
+        )
+    }
+
+    /// Exports the complete fleet state. Telemetry is deliberately *not* part of the
+    /// snapshot: the returned structure (and therefore [`FleetService::snapshot_json`]'s
+    /// bytes) is identical whether telemetry is disabled, enabled, or was reconfigured
+    /// mid-run.
     pub fn snapshot(&self) -> FleetSnapshot {
+        self.telemetry.incr(CounterId::SnapshotsTaken);
+        if self.telemetry.is_enabled() {
+            self.telemetry.event(
+                EventKind::SnapshotTaken,
+                "fleet",
+                &format!("rounds={} tenants={}", self.rounds, self.tenants.len()),
+            );
+        }
         FleetSnapshot {
             options: self.options.clone(),
             tenants: self
@@ -405,10 +625,31 @@ impl FleetService {
             knowledge: snapshot.knowledge,
             scheduler: snapshot.scheduler,
             rounds: snapshot.rounds,
+            telemetry: TelemetryHandle::disabled(),
         };
         let grant = svc.effective_hyperopt_workers();
         for session in &mut svc.tenants {
             session.set_hyperopt_workers(grant);
+        }
+        Ok(svc)
+    }
+
+    /// [`FleetService::restore`] plus telemetry re-installation: snapshots never carry
+    /// telemetry state, so a restored service that should keep observing must be handed a
+    /// (fresh or shared) sink explicitly. Records the restore on that sink.
+    pub fn restore_with_telemetry(
+        snapshot: FleetSnapshot,
+        telemetry: TelemetryHandle,
+    ) -> Result<Self, String> {
+        let mut svc = FleetService::restore(snapshot)?;
+        svc.set_telemetry(telemetry);
+        svc.telemetry.incr(CounterId::RestoresCompleted);
+        if svc.telemetry.is_enabled() {
+            svc.telemetry.event(
+                EventKind::Restored,
+                "fleet",
+                &format!("rounds={} tenants={}", svc.rounds, svc.tenants.len()),
+            );
         }
         Ok(svc)
     }
@@ -547,6 +788,128 @@ mod tests {
                 t.export_state().tuner.options.cluster.hyperopt_workers,
                 granted,
                 "restored session kept a foreign worker grant"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_observes_without_perturbing_snapshots() {
+        let observed_service = |telemetry: Option<TelemetryHandle>| {
+            let mut svc = FleetService::new(FleetOptions {
+                workers: 2,
+                tuner: small_tuner_options(),
+                ..Default::default()
+            });
+            if let Some(t) = telemetry {
+                svc.set_telemetry(t);
+            }
+            for i in 0..3 {
+                let family = WorkloadFamily::ALL[i % WorkloadFamily::ALL.len()];
+                let mut spec = TenantSpec::named(format!("tenant-{i}"), family, 1000 + i as u64);
+                spec.deterministic = true;
+                svc.admit(spec);
+            }
+            svc
+        };
+        let mut plain = observed_service(None);
+        let mut observed = observed_service(Some(TelemetryHandle::enabled()));
+        plain.run_rounds(3);
+        let report = observed.run_rounds(3);
+
+        // Identical behaviour...
+        let (a, b) = (
+            plain.snapshot_json().unwrap(),
+            observed.snapshot_json().unwrap(),
+        );
+        assert_eq!(a, b, "telemetry changed snapshot bytes");
+
+        // ...but the observed fleet actually recorded its work.
+        let snap = observed.metrics_snapshot();
+        assert_eq!(snap.counter(CounterId::TenantsAdmitted), 3);
+        assert_eq!(
+            snap.counter(CounterId::Iterations) as usize,
+            report.iterations
+        );
+        assert_eq!(snap.counter(CounterId::SnapshotsTaken), 1);
+        assert!(snap.counter(CounterId::KbContributions) > 0);
+        assert_eq!(
+            snap.histogram(SpanId::Iteration).count as usize,
+            report.iterations
+        );
+        assert_eq!(snap.histogram(SpanId::Round).count, 3);
+        assert!(observed
+            .telemetry_events()
+            .iter()
+            .any(|e| e.kind == EventKind::Admission));
+        assert_eq!(report.slo.len(), 3);
+        for slo in &report.slo {
+            assert!(slo.iteration_p99_ms >= slo.iteration_p50_ms);
+            assert_eq!(slo.unsafe_ceiling, 0.05);
+        }
+        assert!(report.knowledge.contributions > 0);
+        // The disabled fleet reports no SLO data but the same KB aggregates.
+        let plain_report = plain.run_rounds(0);
+        assert!(plain_report.slo.is_empty());
+        assert_eq!(plain_report.knowledge, report.knowledge);
+        assert!(plain.telemetry_json() == "{}");
+        assert!(observed.telemetry_json().starts_with("{\"registry\":"));
+    }
+
+    #[test]
+    fn removed_tenants_telemetry_survives_in_the_fleet_core() {
+        let mut svc = small_service(2, 1);
+        svc.set_telemetry(TelemetryHandle::enabled());
+        svc.run_rounds(2);
+        let before = svc.metrics_snapshot().counter(CounterId::Iterations);
+        assert!(before > 0);
+        svc.remove_tenant("tenant-0").unwrap();
+        let snap = svc.metrics_snapshot();
+        assert_eq!(snap.counter(CounterId::Iterations), before);
+        assert_eq!(snap.counter(CounterId::TenantsRemoved), 1);
+    }
+
+    #[test]
+    fn restore_with_telemetry_reinstalls_the_sink() {
+        let mut svc = small_service(2, 1);
+        svc.set_telemetry(TelemetryHandle::enabled());
+        svc.run_rounds(1);
+        let snapshot = svc.snapshot();
+        // Plain restore leaves telemetry off.
+        let restored = FleetService::restore(svc.snapshot()).unwrap();
+        assert!(!restored.telemetry().is_enabled());
+        // restore_with_telemetry turns it back on and records the restore.
+        let mut restored =
+            FleetService::restore_with_telemetry(snapshot, TelemetryHandle::enabled()).unwrap();
+        assert!(restored.telemetry().is_enabled());
+        restored.run_rounds(1);
+        let snap = restored.metrics_snapshot();
+        assert_eq!(snap.counter(CounterId::RestoresCompleted), 1);
+        assert!(snap.counter(CounterId::Iterations) > 0);
+        assert!(restored
+            .telemetry_events()
+            .iter()
+            .any(|e| e.kind == EventKind::Restored));
+    }
+
+    #[test]
+    fn warm_started_admission_is_counted() {
+        let mut svc = small_service(2, 1);
+        svc.set_telemetry(TelemetryHandle::enabled());
+        svc.run_rounds(4); // builds knowledge for the pools the two tenants occupy
+        let spec = TenantSpec::named("newcomer", WorkloadFamily::ALL[0], 99);
+        svc.admit(spec);
+        let snap = svc.metrics_snapshot();
+        assert_eq!(
+            snap.counter(CounterId::WarmStartHits) + snap.counter(CounterId::WarmStartMisses),
+            1,
+            "exactly the newcomer's admission consulted the knowledge base"
+        );
+        if snap.counter(CounterId::WarmStartHits) == 1 {
+            let summary = svc.session("newcomer").unwrap().summary();
+            assert!(summary.warm_start_safe + summary.warm_start_observations > 0);
+            assert_eq!(
+                snap.counter(CounterId::WarmStartSafeConfigs) as usize,
+                summary.warm_start_safe
             );
         }
     }

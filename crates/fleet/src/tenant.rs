@@ -14,6 +14,7 @@ use onlinetune::{OnlineTune, OnlineTuneOptions};
 use simdb::instance::SimDatabaseState;
 use simdb::{Configuration, HardwareSpec, OptimizerStats, SimDatabase};
 use std::collections::VecDeque;
+use telemetry::{CounterId, EventKind, SpanId, TelemetryHandle};
 use workloads::cycle::TransactionalAnalyticalCycle;
 use workloads::job::JobWorkload;
 use workloads::realworld::RealWorldWorkload;
@@ -284,6 +285,10 @@ pub struct TenantSummary {
     pub n_models: usize,
     /// Re-clusterings the tuner has performed (drift-triggered SVM re-routing).
     pub recluster_count: usize,
+    /// Known-safe configurations received from the knowledge base at warm start.
+    pub warm_start_safe: usize,
+    /// Observations received from the knowledge base at warm start.
+    pub warm_start_observations: usize,
 }
 
 /// A running tuning session for one tenant.
@@ -300,6 +305,12 @@ pub struct TenantSession {
     total_score: f64,
     recent_regret: VecDeque<f64>,
     pending: Contribution,
+    warm_start_safe: usize,
+    warm_start_observations: usize,
+    /// Observability sink (runtime-only, never serialized): a child of the fleet's
+    /// telemetry core, so the session can record from its worker thread without
+    /// contending with other tenants. Read-only w.r.t. tuning state.
+    telemetry: TelemetryHandle,
 }
 
 /// Serializable dynamic state of a [`TenantSession`] (plus its spec).
@@ -321,6 +332,13 @@ pub struct TenantSessionState {
     pub total_score: f64,
     /// Recent per-iteration regrets (newest last).
     pub recent_regret: Vec<f64>,
+    /// Known-safe configurations received at warm start (`default` keeps snapshots from
+    /// before this field readable).
+    #[serde(default)]
+    pub warm_start_safe: usize,
+    /// Observations received at warm start.
+    #[serde(default)]
+    pub warm_start_observations: usize,
 }
 
 impl TenantSession {
@@ -369,6 +387,9 @@ impl TenantSession {
             total_score: 0.0,
             recent_regret: VecDeque::with_capacity(REGRET_WINDOW),
             pending: Contribution::default(),
+            warm_start_safe: 0,
+            warm_start_observations: 0,
+            telemetry: TelemetryHandle::disabled(),
         }
     }
 
@@ -410,9 +431,25 @@ impl TenantSession {
         self.tuner.recluster_count()
     }
 
+    /// Installs a child of the fleet's telemetry core into this session and its tuner.
+    /// A disabled parent produces a disabled child, so the call is also how telemetry is
+    /// turned *off*. Runtime-only: the handle is never part of [`TenantSessionState`].
+    pub fn set_telemetry(&mut self, parent: &TelemetryHandle) {
+        let child = parent.child();
+        self.tuner.set_telemetry(child.clone());
+        self.telemetry = child;
+    }
+
+    /// The session's telemetry sink (disabled unless the fleet installed one).
+    pub fn telemetry(&self) -> &TelemetryHandle {
+        &self.telemetry
+    }
+
     /// Warm-starts the session from fleet knowledge: known-safe configurations join the
     /// tuner's safety set and transferred observations join its models.
     pub fn warm_start(&mut self, warm: &crate::knowledge::WarmStart) {
+        self.warm_start_safe += warm.safe_configs.len();
+        self.warm_start_observations += warm.observations.len();
         self.tuner
             .extend_known_safe(warm.safe_configs.iter().cloned());
         self.tuner.absorb_observations(&warm.observations);
@@ -424,6 +461,14 @@ impl TenantSession {
     /// snapshot and a restored session drifts identically.
     pub fn apply_drift(&mut self, drift: WorkloadDrift) {
         let anchored = drift.anchored_at(self.iteration);
+        self.telemetry.incr(CounterId::DriftsApplied);
+        if self.telemetry.is_enabled() {
+            self.telemetry.event(
+                EventKind::DriftApplied,
+                &self.spec.name,
+                &format!("iteration={} drift={anchored:?}", self.iteration),
+            );
+        }
         self.spec.drift.push(anchored);
         self.generator = self.spec.build_generator();
     }
@@ -434,6 +479,19 @@ impl TenantSession {
     /// surfaces as ordinary context/observation drift). Future knowledge-base
     /// contributions go to the new hardware class's pool.
     pub fn resize_hardware(&mut self, hardware: HardwareSpec) {
+        self.telemetry.incr(CounterId::HardwareResizes);
+        if self.telemetry.is_enabled() {
+            self.telemetry.event(
+                EventKind::Resize,
+                &self.spec.name,
+                &format!(
+                    "iteration={} {} -> {}",
+                    self.iteration,
+                    crate::knowledge::PoolKey::hardware_class(&self.spec.hardware),
+                    crate::knowledge::PoolKey::hardware_class(&hardware),
+                ),
+            );
+        }
         self.spec.hardware = hardware;
         self.db.set_hardware(hardware);
         self.tuner.set_hardware(hardware);
@@ -441,6 +499,14 @@ impl TenantSession {
 
     /// Scales the instance's tracked data volume by `factor` (bulk load / purge).
     pub fn scale_data(&mut self, factor: f64) {
+        self.telemetry.incr(CounterId::DataScales);
+        if self.telemetry.is_enabled() {
+            self.telemetry.event(
+                EventKind::DataScaled,
+                &self.spec.name,
+                &format!("iteration={} factor={factor}", self.iteration),
+            );
+        }
         self.db.scale_data(factor);
     }
 
@@ -464,6 +530,7 @@ impl TenantSession {
 
     /// Runs one suggest→apply→observe iteration and returns the achieved regret.
     pub fn step(&mut self) -> f64 {
+        let span = self.telemetry.begin_span();
         let it = self.iteration;
         let spec = self.generator.spec_at(it);
         let queries = self.generator.sample_queries(it, 30);
@@ -517,6 +584,12 @@ impl TenantSession {
                 performance: score,
             });
         }
+
+        self.telemetry.incr(CounterId::Iterations);
+        if !was_safe {
+            self.telemetry.incr(CounterId::UnsafeIterations);
+        }
+        self.telemetry.end_span(SpanId::Iteration, span);
         regret
     }
 
@@ -537,6 +610,8 @@ impl TenantSession {
             total_score: self.total_score,
             n_models: self.tuner.model_count(),
             recluster_count: self.tuner.recluster_count(),
+            warm_start_safe: self.warm_start_safe,
+            warm_start_observations: self.warm_start_observations,
         }
     }
 
@@ -553,6 +628,8 @@ impl TenantSession {
             unsafe_count: self.unsafe_count,
             total_score: self.total_score,
             recent_regret: self.recent_regret.iter().copied().collect(),
+            warm_start_safe: self.warm_start_safe,
+            warm_start_observations: self.warm_start_observations,
         }
     }
 
@@ -577,6 +654,9 @@ impl TenantSession {
             total_score: state.total_score,
             recent_regret: state.recent_regret.into_iter().collect(),
             pending: Contribution::default(),
+            warm_start_safe: state.warm_start_safe,
+            warm_start_observations: state.warm_start_observations,
+            telemetry: TelemetryHandle::disabled(),
         })
     }
 }

@@ -120,6 +120,17 @@ impl ContextualGp {
         self.budget = budget;
     }
 
+    /// Installs a telemetry sink on this model and its underlying GP (runtime-only,
+    /// never serialized).
+    pub fn set_telemetry(&mut self, telemetry: telemetry::TelemetryHandle) {
+        self.gp.set_telemetry(telemetry);
+    }
+
+    /// The installed telemetry sink (the no-op sink by default).
+    pub fn telemetry(&self) -> &telemetry::TelemetryHandle {
+        self.gp.telemetry()
+    }
+
     /// The current observation budget, if any.
     pub fn budget(&self) -> Option<ObservationBudget> {
         self.budget
@@ -243,6 +254,20 @@ impl ContextualGp {
             .into_iter()
             .map(|i| self.observations[i].clone())
             .collect();
+        let evicted = total - kept.len();
+        let t = self.gp.telemetry();
+        t.add(telemetry::CounterId::BudgetEvictions, evicted as u64);
+        if t.is_enabled() {
+            t.event(
+                telemetry::EventKind::BudgetEviction,
+                "contextual-gp",
+                &format!(
+                    "evicted={evicted} kept={} window={}",
+                    kept.len(),
+                    budget.window
+                ),
+            );
+        }
         self.observations = kept;
         self.refit()
     }

@@ -263,6 +263,7 @@ pub fn optimize_hyperparameters<R: Rng>(
     options: &HyperOptOptions,
     rng: &mut R,
 ) -> HyperOptReport {
+    let span = gp.telemetry().begin_span();
     let initial_kernel_params = gp.kernel().params();
     let initial_noise = gp.noise_variance();
     let n_kernel = initial_kernel_params.len();
@@ -425,11 +426,36 @@ pub fn optimize_hyperparameters<R: Rng>(
     }
     let _ = gp.fit(x, y);
 
-    HyperOptReport {
+    let report = HyperOptReport {
         best_lml: -best_neg,
         evaluations: total_evals,
         improved: -best_neg > baseline_lml + 1e-9,
+    };
+    let t = gp.telemetry();
+    t.end_span(telemetry::SpanId::Hyperopt, span);
+    t.incr(telemetry::CounterId::HyperoptRuns);
+    t.add(
+        telemetry::CounterId::HyperoptEvaluations,
+        report.evaluations as u64,
+    );
+    if report.improved {
+        t.incr(telemetry::CounterId::HyperoptImproved);
     }
+    if t.is_enabled() {
+        t.event(
+            telemetry::EventKind::HyperoptRestart,
+            "gp",
+            &format!(
+                "n={} restarts={} evaluations={} best_lml={:.6} improved={}",
+                x.len(),
+                options.restarts,
+                report.evaluations,
+                report.best_lml,
+                report.improved
+            ),
+        );
+    }
+    report
 }
 
 #[cfg(test)]

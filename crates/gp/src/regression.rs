@@ -27,6 +27,7 @@
 use crate::kernels::Kernel;
 use crate::normalize::Standardizer;
 use linalg::{Cholesky, FactorScratch, Matrix};
+use telemetry::{CounterId, EventKind, TelemetryHandle};
 
 /// Reusable buffers for the fit path: the Gram matrix, the factor storage, the
 /// standardized targets, the dual-weight spare and the observe-path kernel row.
@@ -139,6 +140,9 @@ pub struct GaussianProcess {
     fitted: Option<FittedState>,
     /// Reusable fit/observe buffers (runtime-only; carries no model state).
     arena: FitArena,
+    /// Observability sink (runtime-only, never serialized; the default is the no-op
+    /// sink). Instrumentation is read-only with respect to model state.
+    telemetry: TelemetryHandle,
 }
 
 impl Clone for GaussianProcess {
@@ -150,6 +154,7 @@ impl Clone for GaussianProcess {
             noise_variance: self.noise_variance,
             fitted: None,
             arena: FitArena::default(),
+            telemetry: self.telemetry.clone(),
         }
     }
 }
@@ -164,7 +169,19 @@ impl GaussianProcess {
             noise_variance,
             fitted: None,
             arena: FitArena::default(),
+            telemetry: TelemetryHandle::disabled(),
         }
+    }
+
+    /// Installs a telemetry sink (runtime-only; excluded from snapshots, so replay is
+    /// bit-identical whether or not one is installed).
+    pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = telemetry;
+    }
+
+    /// The installed telemetry sink (the no-op sink by default).
+    pub fn telemetry(&self) -> &TelemetryHandle {
+        &self.telemetry
     }
 
     /// Observation-noise variance.
@@ -251,6 +268,16 @@ impl GaussianProcess {
         let chol =
             Cholesky::decompose_with_jitter_scratch(&self.arena.gram, 1e-3, &mut self.arena.factor)
                 .map_err(|_| GpError::KernelNotPositiveDefinite)?;
+        if chol.jitter() > 0.0 {
+            self.telemetry.incr(CounterId::JitterEscalations);
+            if self.telemetry.is_enabled() {
+                self.telemetry.event(
+                    EventKind::JitterEscalation,
+                    "gp",
+                    &format!("n={} jitter={:e}", n, chol.jitter()),
+                );
+            }
+        }
         let mut alpha = std::mem::take(&mut self.arena.alpha_spare);
         if chol.solve_into(&self.arena.y_std, &mut alpha).is_err() {
             chol.into_scratch(&mut self.arena.factor);
@@ -330,6 +357,7 @@ impl GaussianProcess {
             y_std.extend(state.y_raw.iter().map(|&v| state.standardizer.transform(v)));
             match state.chol.solve_into(y_std, &mut state.alpha) {
                 Ok(()) => {
+                    self.telemetry.incr(CounterId::ObserveFastPath);
                     return Ok(());
                 }
                 Err(_) => {
@@ -338,6 +366,7 @@ impl GaussianProcess {
                     // partially overwritten dual weights).
                     let xs = state.x.clone();
                     let ys = state.y_raw.clone();
+                    self.note_observe_fallback(xs.len(), "zero pivot after extension");
                     return self.fit(&xs, &ys);
                 }
             }
@@ -349,7 +378,20 @@ impl GaussianProcess {
         xs.push(x_new.to_vec());
         let mut ys = state.y_raw.clone();
         ys.push(y_new);
+        self.note_observe_fallback(xs.len(), "non-positive appended pivot");
         self.fit(&xs, &ys)
+    }
+
+    /// Counts (and journals) an incremental-observe fallback to a full refit.
+    fn note_observe_fallback(&self, n: usize, reason: &str) {
+        self.telemetry.incr(CounterId::ObserveFullRefit);
+        if self.telemetry.is_enabled() {
+            self.telemetry.event(
+                EventKind::ObserveFallback,
+                "gp",
+                &format!("n={n} reason={reason}"),
+            );
+        }
     }
 
     /// The dual weights `α = (K + σ²I)^{-1} y` of the current fit, in standardized

@@ -75,6 +75,9 @@ pub struct ClusterManager {
     updates_since_hyperopt: Vec<usize>,
     observations_since_recluster_check: usize,
     recluster_count: usize,
+    /// Observability sink (runtime-only, never serialized, no-op by default);
+    /// re-installed on every model the manager builds or rebuilds.
+    telemetry: telemetry::TelemetryHandle,
 }
 
 /// Builds a per-cluster model with the observation budget implied by `options`.
@@ -101,7 +104,18 @@ impl ClusterManager {
             updates_since_hyperopt: vec![0],
             observations_since_recluster_check: 0,
             recluster_count: 0,
+            telemetry: telemetry::TelemetryHandle::disabled(),
         }
+    }
+
+    /// Installs a telemetry sink on the manager and every per-cluster model
+    /// (runtime-only; excluded from [`ClusterManager::export_state`], so snapshots are
+    /// byte-identical whether or not one is installed).
+    pub fn set_telemetry(&mut self, telemetry: telemetry::TelemetryHandle) {
+        for model in &mut self.models {
+            model.set_telemetry(telemetry.clone());
+        }
+        self.telemetry = telemetry;
     }
 
     /// Total number of observations in the repository.
@@ -194,6 +208,12 @@ impl ClusterManager {
             // refits) in batches once the window overflows.
             let _ = model.observe(obs);
         }
+        self.telemetry
+            .set_gauge(telemetry::GaugeId::ClusterModels, self.models.len() as f64);
+        self.telemetry.set_gauge(
+            telemetry::GaugeId::ModelObservations,
+            self.models[cluster].len() as f64,
+        );
         cluster
     }
 
@@ -241,6 +261,7 @@ impl ClusterManager {
         let mut labels = vec![0i32; self.observations.len()];
         for (cid, members) in groups.iter().enumerate() {
             let mut model = budgeted_model(self.config_dim, self.context_dim, &self.options);
+            model.set_telemetry(self.telemetry.clone());
             let cap = self.options.max_observations_per_model;
             let start = members.len().saturating_sub(cap);
             for &idx in &members[start..] {
@@ -257,10 +278,25 @@ impl ClusterManager {
         let label_usize: Vec<usize> = labels.iter().map(|&l| l.max(0) as usize).collect();
         self.svm = LinearSvm::train(&contexts, &label_usize, &SvmOptions::default(), rng);
 
+        let models_before = self.models.len();
         self.models = models;
         self.labels = labels;
         self.updates_since_hyperopt = vec![0; self.models.len()];
         self.recluster_count += 1;
+        self.telemetry.incr(telemetry::CounterId::Reclusters);
+        if self.telemetry.is_enabled() {
+            self.telemetry.event(
+                telemetry::EventKind::Recluster,
+                "cluster-manager",
+                &format!(
+                    "observations={} models {} -> {} recluster_count={}",
+                    self.observations.len(),
+                    models_before,
+                    self.models.len(),
+                    self.recluster_count
+                ),
+            );
+        }
         true
     }
 }
@@ -382,6 +418,7 @@ impl ClusterManager {
             updates_since_hyperopt: updates,
             observations_since_recluster_check: state.observations_since_recluster_check,
             recluster_count: state.recluster_count,
+            telemetry: telemetry::TelemetryHandle::disabled(),
         }
     }
 }

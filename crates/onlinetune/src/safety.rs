@@ -100,6 +100,38 @@ pub fn assess_candidates_with_scratch(
     options: &SafetyOptions,
     scratch: &mut Vec<Vec<f64>>,
 ) -> Vec<CandidateAssessment> {
+    let assessments = assess_candidates_inner(
+        model, context, candidates, threshold, beta, known_safe, options, scratch,
+    );
+    // Observability only: counts flow into the model's telemetry sink (a no-op branch
+    // when none is installed) and never back into the assessment itself.
+    let t = model.telemetry();
+    if t.is_enabled() {
+        let rejected = assessments.iter().filter(|a| !a.black_safe).count();
+        t.add(telemetry::CounterId::BlackboxRejections, rejected as u64);
+        if rejected == assessments.len() && !assessments.is_empty() {
+            t.event(
+                telemetry::EventKind::SafetyRejection,
+                "blackbox",
+                &format!("all {rejected} candidates rejected"),
+            );
+        }
+    }
+    assessments
+}
+
+/// The assessment proper, free of instrumentation.
+#[allow(clippy::too_many_arguments)]
+fn assess_candidates_inner(
+    model: &ContextualGp,
+    context: &[f64],
+    candidates: &[Vec<f64>],
+    threshold: f64,
+    beta: f64,
+    known_safe: &[Vec<f64>],
+    options: &SafetyOptions,
+    scratch: &mut Vec<Vec<f64>>,
+) -> Vec<CandidateAssessment> {
     let model_ready = model.is_fitted() && model.len() >= options.min_observations;
     let threshold = threshold - options.threshold_margin * threshold.abs();
     // Both the batched arm and the scalar recovery arm derive assessments the same way;

@@ -26,6 +26,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simdb::{Configuration, HardwareSpec, InternalMetrics, KnobCatalogue};
 use std::time::Instant;
+use telemetry::{CounterId, EventKind, GaugeId, SpanId, TelemetryHandle};
 
 /// Switches for the ablation study of §7.3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -137,6 +138,11 @@ pub struct OnlineTune {
     /// Reusable joint-vector buffers for the batched safety assessment (runtime-only
     /// scratch — never serialized, carries no tuner state).
     predict_scratch: Vec<Vec<f64>>,
+    /// Observability sink (runtime-only, never serialized, no-op by default).
+    /// Instrumentation is read-only with respect to tuning state: it draws no RNG
+    /// values and feeds nothing back into suggestions, so replay is bit-identical with
+    /// or without a sink installed.
+    telemetry: TelemetryHandle,
 }
 
 impl OnlineTune {
@@ -174,7 +180,22 @@ impl OnlineTune {
             rng: StdRng::seed_from_u64(seed),
             pending: None,
             predict_scratch: Vec::new(),
+            telemetry: TelemetryHandle::disabled(),
         }
+    }
+
+    /// Installs a telemetry sink on the tuner and everything below it (cluster manager,
+    /// per-cluster models, their GPs). Runtime-only: the sink is excluded from
+    /// [`OnlineTune::snapshot`], and a restored tuner starts with the no-op sink until
+    /// one is re-installed.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.clusters.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    /// The installed telemetry sink (the no-op sink by default).
+    pub fn telemetry(&self) -> &TelemetryHandle {
+        &self.telemetry
     }
 
     /// The knob catalogue this tuner operates over.
@@ -279,6 +300,7 @@ impl OnlineTune {
         safety_threshold: f64,
         clients: usize,
     ) -> Suggestion {
+        let span = self.telemetry.begin_span();
         self.iteration += 1;
         let mut diagnostics = IterationDiagnostics {
             iteration: self.iteration,
@@ -462,6 +484,35 @@ impl OnlineTune {
             threshold: safety_threshold,
         });
 
+        // Observability only (black-box rejections are counted inside the safety
+        // assessment itself): nothing below feeds back into the suggestion.
+        self.telemetry.add(
+            CounterId::WhiteboxRejections,
+            diagnostics.whitebox_rejections as u64,
+        );
+        self.telemetry
+            .set_gauge(GaugeId::SafetySetSize, diagnostics.safety_set_size as f64);
+        if diagnostics.fell_back_to_center {
+            self.telemetry.incr(CounterId::SafetyFallbacks);
+            if self.telemetry.is_enabled() {
+                self.telemetry.event(
+                    EventKind::SafetyFallback,
+                    "tuner",
+                    &format!(
+                        "iteration={} candidates={} blackbox_rejections={} whitebox_rejections={}",
+                        self.iteration,
+                        diagnostics.candidates_total,
+                        diagnostics.blackbox_rejections,
+                        diagnostics.whitebox_rejections
+                    ),
+                );
+            }
+        }
+        if diagnostics.explored_boundary {
+            self.telemetry.incr(CounterId::BoundaryExplorations);
+        }
+        self.telemetry.end_span(SpanId::Suggest, span);
+
         Suggestion {
             config,
             normalized,
@@ -486,6 +537,7 @@ impl OnlineTune {
         metrics: Option<&InternalMetrics>,
         was_safe: bool,
     ) {
+        let span = self.telemetry.begin_span();
         let normalized = config.normalized(&self.catalogue);
         let pending = self.pending.take();
         let model_id = match &pending {
@@ -551,6 +603,7 @@ impl OnlineTune {
         if let Some(m) = metrics {
             self.last_metrics = Some(m.clone());
         }
+        self.telemetry.end_span(SpanId::Observe, span);
     }
 }
 
@@ -653,6 +706,7 @@ impl OnlineTune {
             rng: state.rng,
             pending: state.pending,
             predict_scratch: Vec::new(),
+            telemetry: TelemetryHandle::disabled(),
         })
     }
 

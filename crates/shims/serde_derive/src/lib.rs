@@ -12,7 +12,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 enum Shape {
     Struct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     UnitStruct {
         name: String,
@@ -21,6 +21,14 @@ enum Shape {
         name: String,
         variants: Vec<Variant>,
     },
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    /// Whether the field carries `#[serde(default)]`: deserialization fills a missing
+    /// value with `Default::default()` instead of erroring (schema evolution).
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -33,7 +41,7 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 fn compile_error(msg: &str) -> TokenStream {
@@ -70,13 +78,51 @@ fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
     i
 }
 
-/// Parses `name: Type, ...` named fields, returning the field names.
-fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+/// Whether the attribute tokens at `i` (`#` + bracket group) are `serde(default)`.
+fn is_serde_default_attr(toks: &[TokenTree], i: usize) -> bool {
+    let Some(TokenTree::Group(g)) = toks.get(i + 1) else {
+        return false;
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    match (inner.first(), inner.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes like [`skip_attrs`], additionally reporting whether one of
+/// them was `#[serde(default)]`.
+fn skip_attrs_noting_default(toks: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut default = false;
+    while i + 1 < toks.len() {
+        match (&toks[i], &toks[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                default |= is_serde_default_attr(toks, i);
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, default)
+}
+
+/// Parses `name: Type, ...` named fields, returning the field names and their
+/// `#[serde(default)]` markers.
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<Field>, String> {
     let toks: Vec<TokenTree> = group.stream().into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < toks.len() {
-        i = skip_attrs(&toks, i);
+        let default;
+        (i, default) = skip_attrs_noting_default(&toks, i);
         i = skip_vis(&toks, i);
         if i >= toks.len() {
             break;
@@ -104,7 +150,7 @@ fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<String>, String> 
             }
             i += 1;
         }
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     Ok(fields)
 }
@@ -235,7 +281,7 @@ fn parse_shape(input: TokenStream) -> Result<Shape, String> {
 }
 
 /// Derives the workspace-shim `Serialize` trait.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let shape = match parse_shape(input) {
         Ok(s) => s,
@@ -250,7 +296,10 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Shape::Struct { name, fields } => {
             let pushes: String = fields
                 .iter()
-                .map(|f| format!("__out.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"))
+                .map(|f| {
+                    let f = &f.name;
+                    format!("__out.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n")
+                })
                 .collect();
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
@@ -287,10 +336,17 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                             )
                         }
                         VariantKind::Struct(fields) => {
-                            let binds = fields.join(", ");
+                            let binds = fields
+                                .iter()
+                                .map(|f| f.name.clone())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let pushes: String = fields
                                 .iter()
-                                .map(|f| format!("__inner.push(({f:?}.to_string(), ::serde::Serialize::to_value({f})));\n"))
+                                .map(|f| {
+                                    let f = &f.name;
+                                    format!("__inner.push(({f:?}.to_string(), ::serde::Serialize::to_value({f})));\n")
+                                })
                                 .collect();
                             format!(
                                 "{name}::{vn} {{ {binds} }} => {{\n\
@@ -316,7 +372,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives the workspace-shim `Deserialize` trait.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let shape = match parse_shape(input) {
         Ok(s) => s,
@@ -332,9 +388,17 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             let inits: String = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(__v.get({f:?}).ok_or_else(|| ::serde::Error::custom(concat!(\"missing field `\", {f:?}, \"` in \", stringify!({name}))))?)?,\n"
-                    )
+                    let default = f.default;
+                    let f = &f.name;
+                    if default {
+                        format!(
+                            "{f}: match __v.get({f:?}) {{ Some(__x) => ::serde::Deserialize::from_value(__x)?, None => ::std::default::Default::default() }},\n"
+                        )
+                    } else {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(__v.get({f:?}).ok_or_else(|| ::serde::Error::custom(concat!(\"missing field `\", {f:?}, \"` in \", stringify!({name}))))?)?,\n"
+                        )
+                    }
                 })
                 .collect();
             format!(
@@ -377,9 +441,17 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                             let inits: String = fields
                                 .iter()
                                 .map(|f| {
-                                    format!(
-                                        "{f}: ::serde::Deserialize::from_value(__inner.get({f:?}).ok_or_else(|| ::serde::Error::custom(concat!(\"missing field `\", {f:?}, \"`\")))?)?,\n"
-                                    )
+                                    let default = f.default;
+                                    let f = &f.name;
+                                    if default {
+                                        format!(
+                                            "{f}: match __inner.get({f:?}) {{ Some(__x) => ::serde::Deserialize::from_value(__x)?, None => ::std::default::Default::default() }},\n"
+                                        )
+                                    } else {
+                                        format!(
+                                            "{f}: ::serde::Deserialize::from_value(__inner.get({f:?}).ok_or_else(|| ::serde::Error::custom(concat!(\"missing field `\", {f:?}, \"`\")))?)?,\n"
+                                        )
+                                    }
                                 })
                                 .collect();
                             Some(format!(

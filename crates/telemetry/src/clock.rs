@@ -1,0 +1,90 @@
+//! The clock abstraction behind every span timer.
+//!
+//! Telemetry must never make timing *observable to the tuning computation* (that would
+//! break bit-identical replay), but the reverse direction — tests asserting on recorded
+//! timings — needs determinism too. So all time flows through a [`Clock`] trait object:
+//! benches and live fleets install a [`MonotonicClock`] (wall time), tests install a
+//! [`ManualClock`] they advance by hand, making every recorded duration exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond source. Implementations must never go backwards.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since an arbitrary (per-clock) origin.
+    fn now_nanos(&self) -> u64;
+}
+
+/// Wall-clock time, anchored at construction. The default for live fleets and benches.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_nanos(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A logical clock advanced explicitly by tests: `now_nanos` returns exactly what the
+/// test has accumulated via [`ManualClock::advance`], so duration assertions are exact.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock frozen at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves the clock forward by `nanos`.
+    pub fn advance(&self, nanos: u64) {
+        self.nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_advances_exactly() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now_nanos(), 0);
+        clock.advance(1_500);
+        clock.advance(500);
+        assert_eq!(clock.now_nanos(), 2_000);
+    }
+
+    #[test]
+    fn monotonic_clock_does_not_go_backwards() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_nanos();
+        let b = clock.now_nanos();
+        assert!(b >= a);
+    }
+}

@@ -23,4 +23,5 @@ pub use linalg;
 pub use mlkit;
 pub use onlinetune;
 pub use simdb;
+pub use telemetry;
 pub use workloads;

@@ -1,0 +1,229 @@
+//! Property tests of the observability no-feedback contract: telemetry may watch a
+//! fleet, but it must never change what the fleet does. A scenario run with a live
+//! telemetry sink must produce byte-identical snapshots and bitwise-identical tenant
+//! summaries to the same run with the no-op sink — including across a mid-scenario
+//! snapshot/restore cut, and regardless of whether telemetry is reconfigured mid-run.
+
+use fleet::scenario::{run_scenario, Scenario, ScenarioEvent};
+use fleet::service::{small_tuner_options, FleetOptions, FleetService};
+use fleet::tenant::{TenantSpec, TenantSummary, WorkloadDrift, WorkloadFamily};
+use proptest::prelude::*;
+use simdb::HardwareSpec;
+use telemetry::{CounterId, TelemetryConfig, TelemetryHandle};
+
+fn spec(name: &str, family: WorkloadFamily, seed: u64) -> TenantSpec {
+    // Measurement noise stays ON: the instance RNG streams are the most fragile part of
+    // the replay contract, and telemetry must not consume or reorder a single draw.
+    TenantSpec::named(name, family, seed)
+}
+
+fn service(seed: u64, telemetry: TelemetryHandle) -> FleetService {
+    let mut svc = FleetService::new(FleetOptions {
+        workers: 2,
+        tuner: small_tuner_options(),
+        ..Default::default()
+    });
+    svc.set_telemetry(telemetry);
+    for (i, family) in [
+        WorkloadFamily::Ycsb,
+        WorkloadFamily::Tpcc,
+        WorkloadFamily::Twitter,
+    ]
+    .iter()
+    .enumerate()
+    {
+        svc.admit(spec(&format!("t{i}"), *family, seed * 100 + i as u64));
+    }
+    svc
+}
+
+/// A timeline covering drift, resize, data growth and churn, with event rounds derived
+/// deterministically from `seed`.
+fn dynamic_scenario(seed: u64, rounds: usize) -> Scenario {
+    let r =
+        |salt: u64| (seed.wrapping_mul(0x9E37_79B9).wrapping_add(salt) % rounds as u64) as usize;
+    Scenario::new(format!("telemetry-{seed}"))
+        .at(
+            r(1),
+            ScenarioEvent::Drift {
+                tenant: "t0".into(),
+                drift: WorkloadDrift::FamilySwitch {
+                    at: 0,
+                    to: WorkloadFamily::Job,
+                },
+            },
+        )
+        .at(
+            r(2),
+            ScenarioEvent::Resize {
+                tenant: "t1".into(),
+                hardware: HardwareSpec::default().scaled(2.0),
+            },
+        )
+        .at(
+            r(3),
+            ScenarioEvent::ScaleData {
+                tenant: "t1".into(),
+                factor: 1.3,
+            },
+        )
+        .at(
+            r(4),
+            ScenarioEvent::Remove {
+                tenant: "t2".into(),
+            },
+        )
+        .at(
+            r(4) + 2,
+            ScenarioEvent::Admit {
+                spec: spec("t2", WorkloadFamily::Twitter, seed + 999),
+            },
+        )
+}
+
+fn assert_bitwise_equal(a: &[TenantSummary], b: &[TenantSummary], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: tenant counts differ");
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.name, y.name, "{label}");
+        assert_eq!(x.iterations, y.iterations, "{label}: {}", x.name);
+        assert_eq!(x.unsafe_count, y.unsafe_count, "{label}: {}", x.name);
+        assert_eq!(x.n_models, y.n_models, "{label}: {}", x.name);
+        assert_eq!(x.recluster_count, y.recluster_count, "{label}: {}", x.name);
+        assert_eq!(x.warm_start_safe, y.warm_start_safe, "{label}: {}", x.name);
+        assert_eq!(
+            x.warm_start_observations, y.warm_start_observations,
+            "{label}: {}",
+            x.name
+        );
+        assert_eq!(
+            x.cumulative_regret.to_bits(),
+            y.cumulative_regret.to_bits(),
+            "{label}: {} regret diverged",
+            x.name
+        );
+        assert_eq!(
+            x.total_score.to_bits(),
+            y.total_score.to_bits(),
+            "{label}: {} scores diverged",
+            x.name
+        );
+    }
+}
+
+/// Runs `scenario` for `rounds` rounds, collecting the summary stream after every round
+/// and the final snapshot JSON.
+fn run_collecting(
+    svc: &mut FleetService,
+    scenario: &Scenario,
+    rounds: usize,
+) -> (Vec<Vec<TenantSummary>>, String) {
+    let mut streams = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        run_scenario(svc, scenario, 1).unwrap();
+        streams.push(svc.summaries());
+    }
+    (streams, svc.snapshot_json().unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The tentpole contract: a live telemetry sink changes nothing — not one byte of the
+    /// snapshot, not one bit of any per-round tenant summary.
+    #[test]
+    fn prop_telemetry_never_perturbs_the_fleet(seed in 0u64..10_000) {
+        let rounds = 8;
+        let scenario = dynamic_scenario(seed, rounds);
+
+        let mut silent = service(seed, TelemetryHandle::disabled());
+        let mut observed = service(seed, TelemetryHandle::enabled());
+        let (silent_stream, silent_json) = run_collecting(&mut silent, &scenario, rounds);
+        let (observed_stream, observed_json) = run_collecting(&mut observed, &scenario, rounds);
+
+        prop_assert_eq!(silent_json, observed_json, "snapshot bytes diverged");
+        for (round, (a, b)) in silent_stream.iter().zip(observed_stream.iter()).enumerate() {
+            assert_bitwise_equal(a, b, &format!("round {round}"));
+        }
+        // The observed fleet did record real work while staying invisible.
+        let metrics = observed.metrics_snapshot();
+        prop_assert!(metrics.counter(CounterId::Iterations) > 0);
+        prop_assert!(metrics.counter(CounterId::KbContributions) > 0);
+    }
+
+    /// The contract holds across a mid-scenario snapshot/restore cut, with telemetry
+    /// configured differently on every leg: the reference run observed throughout, the
+    /// resumed run restored onto a *reconfigured* sink (different journal capacity and
+    /// SLO ceiling). Snapshot bytes at the cut and at the end must match the silent run.
+    #[test]
+    fn prop_restore_cut_with_reconfigured_telemetry_stays_identical(
+        seed in 0u64..10_000,
+        cut in 1usize..8,
+    ) {
+        let rounds = 8;
+        let scenario = dynamic_scenario(seed, rounds);
+
+        let mut silent = service(seed, TelemetryHandle::disabled());
+        run_scenario(&mut silent, &scenario, rounds).unwrap();
+        let silent_json = silent.snapshot_json().unwrap();
+
+        let mut first_half = service(seed, TelemetryHandle::enabled());
+        run_scenario(&mut first_half, &scenario, cut).unwrap();
+        let cut_json = first_half.snapshot_json().unwrap();
+        drop(first_half);
+
+        // Restore onto a sink with a non-default configuration: SLO policy and journal
+        // bounds are runtime-only, so this must not show up anywhere in the replay.
+        let reconfigured = TelemetryHandle::with_clock(
+            std::sync::Arc::new(telemetry::MonotonicClock::new()),
+            TelemetryConfig {
+                journal_capacity: 8,
+                unsafe_rate_ceiling: 0.5,
+            },
+        );
+        let snapshot = serde_json::from_str(&cut_json).map_err(|e| e.to_string()).unwrap();
+        let mut resumed = FleetService::restore_with_telemetry(snapshot, reconfigured).unwrap();
+        run_scenario(&mut resumed, &scenario, rounds - cut).unwrap();
+
+        prop_assert_eq!(
+            silent_json,
+            resumed.snapshot_json().unwrap(),
+            "telemetry-reconfigured restore diverged from the silent run"
+        );
+        assert_bitwise_equal(
+            &silent.summaries(),
+            &resumed.summaries(),
+            &format!("cut at round {cut}"),
+        );
+        prop_assert_eq!(resumed.metrics_snapshot().counter(CounterId::RestoresCompleted), 1);
+        // The reconfigured ceiling reaches the SLO report, proving the policy is live
+        // even though it is invisible to the replay.
+        for slo in resumed.slo_reports() {
+            prop_assert_eq!(slo.unsafe_ceiling, 0.5);
+        }
+    }
+
+    /// Toggling telemetry mid-run (off → on → off) leaves the fleet bit-identical to a
+    /// fleet that never had a sink installed.
+    #[test]
+    fn prop_mid_run_toggle_is_invisible(seed in 0u64..10_000) {
+        let rounds = 6;
+        let scenario = dynamic_scenario(seed, rounds);
+
+        let mut silent = service(seed, TelemetryHandle::disabled());
+        run_scenario(&mut silent, &scenario, rounds).unwrap();
+
+        let mut toggled = service(seed, TelemetryHandle::disabled());
+        run_scenario(&mut toggled, &scenario, 2).unwrap();
+        toggled.set_telemetry(TelemetryHandle::enabled());
+        run_scenario(&mut toggled, &scenario, 2).unwrap();
+        toggled.set_telemetry(TelemetryHandle::disabled());
+        run_scenario(&mut toggled, &scenario, rounds - 4).unwrap();
+
+        prop_assert_eq!(
+            silent.snapshot_json().unwrap(),
+            toggled.snapshot_json().unwrap(),
+            "mid-run telemetry toggle changed snapshot bytes"
+        );
+        assert_bitwise_equal(&silent.summaries(), &toggled.summaries(), "toggle");
+    }
+}
