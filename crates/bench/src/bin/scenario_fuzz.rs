@@ -1,0 +1,263 @@
+//! Scenario fuzzer driver: generated fleet timelines under the global property gates.
+//!
+//! Samples random admission/churn/migration/drift/resize/data-growth timelines from the
+//! default [`ScenarioDistribution`] (a fixed generator seed set keeps every run
+//! reproducible), executes each through a real `FleetService`, and checks the standard
+//! property registry on every run — replay bit-identity at a randomly chosen
+//! snapshot/restore cut, the telemetry unsafe-rate SLO, the scheduler fairness floor,
+//! knowledge-pool integrity across family switches, and bounded model/observation
+//! budgets.
+//!
+//! On any violation the built-in shrinker minimizes the offending timeline and prints
+//! the minimized case as JSON (ready to be committed under `tests/regressions/`), then
+//! the process exits non-zero — CI runs `--smoke` as a gate.
+//!
+//! Run with `cargo run --release -p bench --bin scenario_fuzz [-- --smoke]`; the full
+//! mode fuzzes more cases and writes `BENCH_fuzz.json` (committed) with the coverage
+//! statistics and a shrinker demonstration; `--smoke` runs the 50-case gate without
+//! writing the artifact.
+
+use bench::report::section;
+use fleet::fuzz::{
+    run_fuzz_case, shrink_case, FuzzCase, PropertyRegistry, ScenarioDistribution,
+    ScenarioGenerator, Violation,
+};
+use fleet::scenario::ScenarioEvent;
+use std::collections::BTreeMap;
+
+/// Generator seeds: every run fuzzes the same streams (the verdicts are deterministic).
+const GENERATOR_SEEDS: [u64; 5] = [101, 202, 303, 404, 505];
+/// Cases per generator seed in `--smoke` mode (5 × 10 = 50 timelines, the CI gate).
+const SMOKE_CASES_PER_SEED: usize = 10;
+/// Cases per generator seed in full mode.
+const FULL_CASES_PER_SEED: usize = 24;
+
+/// Stable label of an event kind (coverage statistics).
+fn event_kind(event: &ScenarioEvent) -> &'static str {
+    match event {
+        ScenarioEvent::Admit { .. } => "admit",
+        ScenarioEvent::Remove { .. } => "remove",
+        ScenarioEvent::Migrate { .. } => "migrate",
+        ScenarioEvent::Resize { .. } => "resize",
+        ScenarioEvent::ScaleData { .. } => "scale_data",
+        ScenarioEvent::Drift { .. } => "drift",
+    }
+}
+
+#[derive(Debug, serde::Serialize)]
+struct FailedCase {
+    name: String,
+    generator_seed: u64,
+    rounds: usize,
+    events: usize,
+    violations: Vec<Violation>,
+    minimized: FuzzCase,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct ShrinkDemo {
+    canary: String,
+    original_events: usize,
+    original_rounds: usize,
+    original_tenants: usize,
+    minimized_events: usize,
+    minimized_rounds: usize,
+    minimized_tenants: usize,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct FuzzBenchReport {
+    distribution: ScenarioDistribution,
+    generator_seeds: Vec<u64>,
+    cases_per_seed: usize,
+    cases_run: usize,
+    total_rounds: usize,
+    total_events: usize,
+    total_initial_tenants: usize,
+    event_kind_counts: BTreeMap<String, usize>,
+    properties: Vec<String>,
+    failed_cases: Vec<FailedCase>,
+    shrink_demo: ShrinkDemo,
+    wall_s: f64,
+}
+
+/// Demonstrates the shrinker on a synthetic ("canary") fault: "no timeline may carry a
+/// resize event". The predicate needs no fleet run, so the demo is cheap; it shows the
+/// three shrinking moves converging on a minimal reproducer.
+fn shrink_demonstration(dist: &ScenarioDistribution) -> ShrinkDemo {
+    let mut generator = ScenarioGenerator::new(dist.clone(), 9001);
+    let case = std::iter::from_fn(|| Some(generator.next_case()))
+        .take(300)
+        .find(|c| {
+            c.scenario
+                .steps
+                .iter()
+                .any(|s| matches!(s.event, ScenarioEvent::Resize { .. }))
+                && c.scenario.steps.len() > 3
+        })
+        .expect("the default distribution produces resize events");
+    let fails = |c: &FuzzCase| {
+        c.scenario
+            .steps
+            .iter()
+            .any(|s| matches!(s.event, ScenarioEvent::Resize { .. }))
+    };
+    let minimized = shrink_case(&case, fails, 400);
+    ShrinkDemo {
+        canary: "timeline carries a resize event".to_string(),
+        original_events: case.scenario.steps.len(),
+        original_rounds: case.rounds,
+        original_tenants: case.initial_tenants.len(),
+        minimized_events: minimized.scenario.steps.len(),
+        minimized_rounds: minimized.rounds,
+        minimized_tenants: minimized.initial_tenants.len(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cases_per_seed = if smoke {
+        SMOKE_CASES_PER_SEED
+    } else {
+        FULL_CASES_PER_SEED
+    };
+    let dist = ScenarioDistribution::default();
+    let registry = PropertyRegistry::standard();
+
+    section("Scenario fuzzer: generated fleet timelines");
+    println!(
+        "  {} generator seeds x {} cases, properties: {}",
+        GENERATOR_SEEDS.len(),
+        cases_per_seed,
+        registry.names().join(", ")
+    );
+
+    let start = std::time::Instant::now();
+    let mut cases_run = 0usize;
+    let mut total_rounds = 0usize;
+    let mut total_events = 0usize;
+    let mut total_initial_tenants = 0usize;
+    let mut event_kind_counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut failed_cases: Vec<FailedCase> = Vec::new();
+
+    for &seed in &GENERATOR_SEEDS {
+        let mut generator = ScenarioGenerator::new(dist.clone(), seed);
+        for _ in 0..cases_per_seed {
+            let case = generator.next_case();
+            cases_run += 1;
+            total_rounds += case.rounds;
+            total_events += case.scenario.steps.len();
+            total_initial_tenants += case.initial_tenants.len();
+            for step in &case.scenario.steps {
+                *event_kind_counts
+                    .entry(event_kind(&step.event).to_string())
+                    .or_insert(0) += 1;
+            }
+
+            let artifacts = match run_fuzz_case(&case, &dist) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("FAIL: case `{}` did not execute: {e}", case.name);
+                    std::process::exit(1);
+                }
+            };
+            let violations = registry.check_all(&artifacts);
+            if violations.is_empty() {
+                continue;
+            }
+
+            println!("  VIOLATION in `{}`:", case.name);
+            for v in &violations {
+                println!("    [{}] {}", v.property, v.detail);
+            }
+            println!("  shrinking...");
+            // A candidate keeps the failure iff it still violates any property.
+            let fails = |c: &FuzzCase| {
+                run_fuzz_case(c, &dist)
+                    .map(|a| !registry.check_all(&a).is_empty())
+                    .unwrap_or(false)
+            };
+            let minimized = shrink_case(&case, fails, 60);
+            println!(
+                "  minimized {} -> {} events, {} -> {} rounds; commit this under \
+                 tests/regressions/:",
+                case.scenario.steps.len(),
+                minimized.scenario.steps.len(),
+                case.rounds,
+                minimized.rounds
+            );
+            println!(
+                "{}",
+                minimized.to_json().unwrap_or_else(|e| format!("<{e}>"))
+            );
+            failed_cases.push(FailedCase {
+                name: case.name.clone(),
+                generator_seed: seed,
+                rounds: case.rounds,
+                events: case.scenario.steps.len(),
+                violations,
+                minimized,
+            });
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+
+    section("Coverage");
+    println!(
+        "  {} cases, {} rounds, {} events ({} initial tenants) in {:.2}s",
+        cases_run, total_rounds, total_events, total_initial_tenants, wall_s
+    );
+    for (kind, count) in &event_kind_counts {
+        println!("  {kind:>10}: {count}");
+    }
+
+    section("Shrinker demonstration (canary fault)");
+    let demo = shrink_demonstration(&dist);
+    println!(
+        "  canary `{}`: {} events / {} rounds / {} tenants -> {} events / {} rounds / {} tenants",
+        demo.canary,
+        demo.original_events,
+        demo.original_rounds,
+        demo.original_tenants,
+        demo.minimized_events,
+        demo.minimized_rounds,
+        demo.minimized_tenants
+    );
+
+    if !smoke {
+        let report = FuzzBenchReport {
+            distribution: dist,
+            generator_seeds: GENERATOR_SEEDS.to_vec(),
+            cases_per_seed,
+            cases_run,
+            total_rounds,
+            total_events,
+            total_initial_tenants,
+            event_kind_counts,
+            properties: registry.names().iter().map(|n| n.to_string()).collect(),
+            failed_cases: std::mem::take(&mut failed_cases),
+            shrink_demo: demo,
+            wall_s,
+        };
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write("BENCH_fuzz.json", &json).expect("write BENCH_fuzz.json");
+        println!();
+        println!("wrote BENCH_fuzz.json");
+        if !report.failed_cases.is_empty() {
+            eprintln!(
+                "FAIL: {} of {} fuzzed timelines violated a global property",
+                report.failed_cases.len(),
+                cases_run
+            );
+            std::process::exit(1);
+        }
+    } else if !failed_cases.is_empty() {
+        eprintln!(
+            "FAIL: {} of {} fuzzed timelines violated a global property",
+            failed_cases.len(),
+            cases_run
+        );
+        std::process::exit(1);
+    }
+    println!("all {cases_run} fuzzed timelines passed every global property");
+}

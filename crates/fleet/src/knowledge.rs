@@ -157,6 +157,12 @@ impl KnowledgeBase {
         self.pools.iter().find(|(k, _)| k == key).map(|(_, p)| p)
     }
 
+    /// All pools with their keys, in insertion order (the fuzzer's leakage property
+    /// audits every pool against the coordinates tenants legitimately occupied).
+    pub fn pools(&self) -> impl Iterator<Item = (&PoolKey, &KnowledgePool)> {
+        self.pools.iter().map(|(k, p)| (k, p))
+    }
+
     fn pool_mut(&mut self, key: &PoolKey) -> &mut KnowledgePool {
         if let Some(idx) = self.pools.iter().position(|(k, _)| k == key) {
             return &mut self.pools[idx].1;

@@ -25,6 +25,12 @@
 //!   against a running fleet (workload drift, hardware resizes, data growth, tenant
 //!   churn); [`scenario::run_scenario`] fires them deterministically off the service's
 //!   round counter, extending the bit-identical replay contract to environment change.
+//! * [`fuzz`] — a seeded [`fuzz::ScenarioGenerator`] samples random timelines from a
+//!   declarative [`fuzz::ScenarioDistribution`], runs them through the service, checks a
+//!   [`fuzz::PropertyRegistry`] of global properties (replay bit-identity at a random
+//!   snapshot cut, unsafe-rate SLO, fairness floor, knowledge-pool integrity, bounded
+//!   budgets) and, on violation, [`fuzz::shrink_case`] minimizes the timeline into a
+//!   committed regression corpus.
 //!
 //! Per-iteration cost matters `N×` more in a fleet than in a single session: every
 //! tenant's model update runs the incremental `O(t²)` GP path — rank-1 Cholesky
@@ -49,14 +55,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fuzz;
 pub mod knowledge;
 pub mod scenario;
 pub mod scheduler;
 pub mod service;
 pub mod tenant;
 
+pub use fuzz::{
+    run_fuzz_case, shrink_case, FuzzCase, PropertyRegistry, RegressionCase, RunArtifacts,
+    ScenarioDistribution, ScenarioGenerator, Violation,
+};
 pub use knowledge::{KnowledgeBase, KnowledgeBaseOptions, KnowledgeTotals, PoolKey, WarmStart};
-pub use scenario::{run_scenario, Scenario, ScenarioEvent, ScenarioReport, ScenarioStep};
+pub use scenario::{
+    run_scenario, Scenario, ScenarioError, ScenarioEvent, ScenarioReport, ScenarioStep,
+};
 pub use scheduler::{RoundPlan, SchedulerOptions, SessionScheduler, TenantStatus};
 pub use service::{FleetOptions, FleetReport, FleetService, FleetSnapshot, SloReport};
 pub use tenant::{

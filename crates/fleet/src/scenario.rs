@@ -148,6 +148,65 @@ pub struct ScenarioStep {
     pub event: ScenarioEvent,
 }
 
+/// Why a [`Scenario`] failed its pre-flight [`Scenario::validate`] check.
+///
+/// Each variant carries the index of the offending step, so a caller (or a fuzzer
+/// shrinker) can point at — or drop — exactly the step that breaks the timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// An `Admit` names a tenant that is already in the fleet at that point of the
+    /// timeline (initially present, or admitted earlier and not yet removed).
+    DuplicateAdmit {
+        /// Index of the offending step in `Scenario::steps`.
+        step: usize,
+        /// The duplicated tenant name.
+        tenant: String,
+    },
+    /// A name-addressed event targets a tenant that is not in the fleet at that point of
+    /// the timeline (never admitted, or already removed).
+    UnknownTenant {
+        /// Index of the offending step in `Scenario::steps`.
+        step: usize,
+        /// The unknown tenant name.
+        tenant: String,
+    },
+    /// A step's `at_iteration` is lower than its predecessor's — the timeline is not in
+    /// firing order, so declaration order and firing order would disagree.
+    OutOfOrder {
+        /// Index of the offending step in `Scenario::steps`.
+        step: usize,
+        /// The offending step's round.
+        at_iteration: usize,
+        /// The preceding step's round.
+        previous: usize,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::DuplicateAdmit { step, tenant } => write!(
+                f,
+                "step {step}: admit of `{tenant}` duplicates a tenant already in the fleet"
+            ),
+            ScenarioError::UnknownTenant { step, tenant } => write!(
+                f,
+                "step {step}: event targets `{tenant}`, which is not in the fleet at that point"
+            ),
+            ScenarioError::OutOfOrder {
+                step,
+                at_iteration,
+                previous,
+            } => write!(
+                f,
+                "step {step}: at_iteration {at_iteration} precedes the previous step's {previous}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
 /// A declarative, seed-deterministic, serde round-trippable environment timeline.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Scenario {
@@ -178,6 +237,68 @@ impl Scenario {
     /// The steps due at the given round, in declaration order.
     pub fn due_at(&self, round: usize) -> impl Iterator<Item = &ScenarioStep> {
         self.steps.iter().filter(move |s| s.at_iteration == round)
+    }
+
+    /// Pre-flight validation against the set of tenants present when the scenario
+    /// starts: rejects timelines that would fail (or silently misbehave) mid-run.
+    ///
+    /// Simulates the timeline's tenant-liveness bookkeeping and returns the first
+    /// violation as a typed [`ScenarioError`]:
+    ///
+    /// * an `Admit` of a name already live ([`ScenarioError::DuplicateAdmit`]),
+    /// * a name-addressed event whose target is not live at that step — never admitted,
+    ///   or removed without a re-admit ([`ScenarioError::UnknownTenant`]),
+    /// * steps whose `at_iteration`s are not non-decreasing
+    ///   ([`ScenarioError::OutOfOrder`]).
+    ///
+    /// Validation is a pure function of the scenario and `initial_tenants`; it does not
+    /// touch a fleet. Run it before [`run_scenario`] to turn mid-run errors into
+    /// up-front typed ones.
+    pub fn validate(&self, initial_tenants: &[String]) -> Result<(), ScenarioError> {
+        let mut live: Vec<&str> = initial_tenants.iter().map(|s| s.as_str()).collect();
+        let mut previous = 0usize;
+        for (i, step) in self.steps.iter().enumerate() {
+            if step.at_iteration < previous {
+                return Err(ScenarioError::OutOfOrder {
+                    step: i,
+                    at_iteration: step.at_iteration,
+                    previous,
+                });
+            }
+            previous = step.at_iteration;
+            match &step.event {
+                ScenarioEvent::Admit { spec } => {
+                    if live.contains(&spec.name.as_str()) {
+                        return Err(ScenarioError::DuplicateAdmit {
+                            step: i,
+                            tenant: spec.name.clone(),
+                        });
+                    }
+                    live.push(&spec.name);
+                }
+                ScenarioEvent::Remove { tenant } => {
+                    let Some(pos) = live.iter().position(|t| *t == tenant) else {
+                        return Err(ScenarioError::UnknownTenant {
+                            step: i,
+                            tenant: tenant.clone(),
+                        });
+                    };
+                    live.remove(pos);
+                }
+                ScenarioEvent::Migrate { tenant, .. }
+                | ScenarioEvent::Resize { tenant, .. }
+                | ScenarioEvent::ScaleData { tenant, .. }
+                | ScenarioEvent::Drift { tenant, .. } => {
+                    if !live.contains(&tenant.as_str()) {
+                        return Err(ScenarioError::UnknownTenant {
+                            step: i,
+                            tenant: tenant.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Serializes the scenario to JSON.
@@ -480,6 +601,111 @@ mod tests {
         };
         assert!(event.apply(&mut svc).is_err());
         assert_eq!(svc.n_tenants(), 1);
+    }
+
+    #[test]
+    fn validate_accepts_a_well_formed_churn_timeline() {
+        let initial = vec!["a".to_string(), "b".to_string()];
+        assert_eq!(churn_scenario().validate(&initial), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_admit() {
+        let scenario = Scenario::new("dup").at(
+            2,
+            ScenarioEvent::Admit {
+                spec: spec("a", WorkloadFamily::Job, 1),
+            },
+        );
+        assert_eq!(
+            scenario.validate(&["a".to_string()]),
+            Err(ScenarioError::DuplicateAdmit {
+                step: 0,
+                tenant: "a".into()
+            })
+        );
+        // The same name is fine once the original tenant has left.
+        let rejoin = Scenario::new("rejoin")
+            .at(1, ScenarioEvent::Remove { tenant: "a".into() })
+            .at(
+                2,
+                ScenarioEvent::Admit {
+                    spec: spec("a", WorkloadFamily::Job, 1),
+                },
+            );
+        assert_eq!(rejoin.validate(&["a".to_string()]), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_events_addressed_to_tenants_not_in_the_fleet() {
+        let never = Scenario::new("never").at(
+            1,
+            ScenarioEvent::Drift {
+                tenant: "ghost".into(),
+                drift: WorkloadDrift::RateRamp {
+                    start: 0,
+                    over: 4,
+                    from_scale: 1.0,
+                    to_scale: 2.0,
+                },
+            },
+        );
+        assert_eq!(
+            never.validate(&["a".to_string()]),
+            Err(ScenarioError::UnknownTenant {
+                step: 0,
+                tenant: "ghost".into()
+            })
+        );
+        // A tenant removed earlier is no longer addressable either.
+        let after_remove = Scenario::new("after-remove")
+            .at(1, ScenarioEvent::Remove { tenant: "a".into() })
+            .at(
+                3,
+                ScenarioEvent::ScaleData {
+                    tenant: "a".into(),
+                    factor: 2.0,
+                },
+            );
+        assert_eq!(
+            after_remove.validate(&["a".to_string()]),
+            Err(ScenarioError::UnknownTenant {
+                step: 1,
+                tenant: "a".into()
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_out_of_order_steps() {
+        let scenario = Scenario::new("ooo")
+            .at(
+                5,
+                ScenarioEvent::ScaleData {
+                    tenant: "a".into(),
+                    factor: 2.0,
+                },
+            )
+            .at(3, ScenarioEvent::Remove { tenant: "a".into() });
+        assert_eq!(
+            scenario.validate(&["a".to_string()]),
+            Err(ScenarioError::OutOfOrder {
+                step: 1,
+                at_iteration: 3,
+                previous: 5
+            })
+        );
+    }
+
+    #[test]
+    fn scenario_error_displays_the_offending_step() {
+        let err = ScenarioError::UnknownTenant {
+            step: 4,
+            tenant: "t9".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("step 4"));
+        assert!(text.contains("t9"));
     }
 
     #[test]

@@ -119,6 +119,38 @@ pub enum WorkloadDrift {
         /// The family alternated with.
         other: WorkloadFamily,
     },
+    /// Smooth day/night load cycle: scale oscillates as
+    /// `1 + amplitude·sin(2π·(iteration − anchor)/period)`.
+    Diurnal {
+        /// Cycle length in iterations.
+        period: usize,
+        /// Oscillation amplitude (clamped to `[0, 0.95]` by the combinator).
+        amplitude: f64,
+        /// Iteration at which the cycle starts (phase anchor).
+        anchor: usize,
+    },
+    /// Flash crowd: load spikes to `peak`× at `at`, then decays exponentially back to
+    /// baseline with the given half-life.
+    FlashCrowd {
+        /// Iteration of the spike.
+        at: usize,
+        /// Peak load multiplier (clamped to `≥ 1`).
+        peak: f64,
+        /// Decay half-life in iterations.
+        half_life: usize,
+    },
+    /// Gradual data-skew growth: access skew drifts to `to_skew` and the data volume
+    /// grows by `data_factor`, linearly over `[start, start + over]`.
+    SkewGrowth {
+        /// First iteration of the growth window.
+        start: usize,
+        /// Window length in iterations (0 = step change).
+        over: usize,
+        /// Target access skew (clamped to `[0, 1]`).
+        to_skew: f64,
+        /// Final data-volume multiplier.
+        data_factor: f64,
+    },
 }
 
 impl WorkloadDrift {
@@ -144,6 +176,35 @@ impl WorkloadDrift {
                 to,
             },
             periodic @ WorkloadDrift::PeriodicFamilies { .. } => periodic,
+            WorkloadDrift::Diurnal {
+                period,
+                amplitude,
+                anchor,
+            } => WorkloadDrift::Diurnal {
+                period,
+                amplitude,
+                anchor: anchor + offset,
+            },
+            WorkloadDrift::FlashCrowd {
+                at,
+                peak,
+                half_life,
+            } => WorkloadDrift::FlashCrowd {
+                at: at + offset,
+                peak,
+                half_life,
+            },
+            WorkloadDrift::SkewGrowth {
+                start,
+                over,
+                to_skew,
+                data_factor,
+            } => WorkloadDrift::SkewGrowth {
+                start: start + offset,
+                over,
+                to_skew,
+                data_factor,
+            },
         }
     }
 }
@@ -202,7 +263,10 @@ impl TenantSpec {
                         family = *other;
                     }
                 }
-                WorkloadDrift::RateRamp { .. } => {}
+                WorkloadDrift::RateRamp { .. }
+                | WorkloadDrift::Diurnal { .. }
+                | WorkloadDrift::FlashCrowd { .. }
+                | WorkloadDrift::SkewGrowth { .. } => {}
             }
         }
         family
@@ -241,6 +305,32 @@ impl TenantSpec {
                         (*period).max(1),
                     ))
                 }
+                WorkloadDrift::Diurnal {
+                    period,
+                    amplitude,
+                    anchor,
+                } => Box::new(workloads::drift::DiurnalLoad::new(
+                    generator, *period, *amplitude, *anchor,
+                )),
+                WorkloadDrift::FlashCrowd {
+                    at,
+                    peak,
+                    half_life,
+                } => Box::new(workloads::drift::FlashCrowd::new(
+                    generator, *at, *peak, *half_life,
+                )),
+                WorkloadDrift::SkewGrowth {
+                    start,
+                    over,
+                    to_skew,
+                    data_factor,
+                } => Box::new(workloads::drift::SkewGrowth::new(
+                    generator,
+                    *start,
+                    *over,
+                    *to_skew,
+                    *data_factor,
+                )),
             };
         }
         generator
@@ -429,6 +519,12 @@ impl TenantSession {
     /// Number of re-clusterings the tuner has performed.
     pub fn recluster_count(&self) -> usize {
         self.tuner.recluster_count()
+    }
+
+    /// Observation counts of each per-cluster model the tuner maintains (see
+    /// [`OnlineTune::model_observation_counts`]).
+    pub fn model_observation_counts(&self) -> Vec<usize> {
+        self.tuner.model_observation_counts()
     }
 
     /// Installs a child of the fleet's telemetry core into this session and its tuner.

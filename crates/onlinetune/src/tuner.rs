@@ -218,6 +218,15 @@ impl OnlineTune {
         self.clusters.recluster_count()
     }
 
+    /// Observation counts held by each per-cluster model, in model-id order. Each entry
+    /// is bounded by `ClusterOptions::max_observations_per_model` (the
+    /// `ObservationBudget` contract the fleet fuzzer's bounded-memory property checks).
+    pub fn model_observation_counts(&self) -> Vec<usize> {
+        (0..self.clusters.n_models())
+            .map(|id| self.clusters.model(id).len())
+            .collect()
+    }
+
     /// Access to the white-box rule engine (for inspection in experiments).
     pub fn whitebox(&self) -> &RuleEngine {
         &self.whitebox

@@ -222,6 +222,224 @@ impl WorkloadGenerator for PeriodicAlternation {
     }
 }
 
+/// Sine-modulated load: a smooth day/night cycle layered on an inner workload.
+///
+/// The scale factor is `1 + amplitude·sin(2π·(iteration − anchor)/period)`, so the load
+/// oscillates around its baseline with one full cycle every `period` iterations. The
+/// `anchor` sets where in the cycle the curve starts, which lets a scenario engine apply
+/// "a diurnal curve phase-aligned to now" to a running tenant.
+pub struct DiurnalLoad {
+    inner: Box<dyn WorkloadGenerator>,
+    period: usize,
+    amplitude: f64,
+    anchor: usize,
+    name: String,
+}
+
+impl DiurnalLoad {
+    /// Wraps `inner` in a diurnal load curve. `amplitude` is clamped to `[0, 0.95]` so
+    /// the scale factor never reaches zero; `period` is forced non-zero.
+    pub fn new(
+        inner: Box<dyn WorkloadGenerator>,
+        period: usize,
+        amplitude: f64,
+        anchor: usize,
+    ) -> Self {
+        let name = format!("{}+diurnal", inner.name());
+        DiurnalLoad {
+            inner,
+            period: period.max(1),
+            amplitude: amplitude.clamp(0.0, 0.95),
+            anchor,
+            name,
+        }
+    }
+
+    /// The load scale factor applied at `iteration`.
+    pub fn scale_at(&self, iteration: usize) -> f64 {
+        let phase =
+            (iteration as f64 - self.anchor as f64) / self.period as f64 * std::f64::consts::TAU;
+        1.0 + self.amplitude * phase.sin()
+    }
+}
+
+impl WorkloadGenerator for DiurnalLoad {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn spec_at(&self, iteration: usize) -> WorkloadSpec {
+        let mut spec = self.inner.spec_at(iteration);
+        let scale = self.scale_at(iteration);
+        spec.clients = ((spec.clients as f64 * scale).round() as usize).max(1);
+        spec.arrival_rate_qps = spec.arrival_rate_qps.map(|q| q * scale);
+        spec
+    }
+
+    fn sample_queries(&self, iteration: usize, n: usize) -> Vec<String> {
+        self.inner.sample_queries(iteration, n)
+    }
+
+    fn objective(&self) -> Objective {
+        self.inner.objective()
+    }
+
+    fn objective_at(&self, iteration: usize) -> Objective {
+        self.inner.objective_at(iteration)
+    }
+
+    fn initial_data_size_gib(&self) -> f64 {
+        self.inner.initial_data_size_gib()
+    }
+}
+
+/// A flash crowd: load spikes to `peak`× at iteration `at` and decays exponentially back
+/// to baseline with the given half-life.
+///
+/// The scale factor is `1` before the spike and `1 + (peak − 1)·2^(−(iteration − at)/half_life)`
+/// from `at` onwards — the sharp onset / slow recovery shape of viral traffic, which
+/// stresses the tuner differently from a symmetric ramp: the context jumps instantly but
+/// returns through a continuum of intermediate loads.
+pub struct FlashCrowd {
+    inner: Box<dyn WorkloadGenerator>,
+    at: usize,
+    peak: f64,
+    half_life: usize,
+    name: String,
+}
+
+impl FlashCrowd {
+    /// Wraps `inner` in a flash crowd at `at`. `peak` is clamped to `≥ 1` and
+    /// `half_life` forced non-zero.
+    pub fn new(inner: Box<dyn WorkloadGenerator>, at: usize, peak: f64, half_life: usize) -> Self {
+        let name = format!("{}+flash", inner.name());
+        FlashCrowd {
+            inner,
+            at,
+            peak: peak.max(1.0),
+            half_life: half_life.max(1),
+            name,
+        }
+    }
+
+    /// The load scale factor applied at `iteration`.
+    pub fn scale_at(&self, iteration: usize) -> f64 {
+        if iteration < self.at {
+            return 1.0;
+        }
+        let decay = 0.5_f64.powf((iteration - self.at) as f64 / self.half_life as f64);
+        1.0 + (self.peak - 1.0) * decay
+    }
+}
+
+impl WorkloadGenerator for FlashCrowd {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn spec_at(&self, iteration: usize) -> WorkloadSpec {
+        let mut spec = self.inner.spec_at(iteration);
+        let scale = self.scale_at(iteration);
+        spec.clients = ((spec.clients as f64 * scale).round() as usize).max(1);
+        spec.arrival_rate_qps = spec.arrival_rate_qps.map(|q| q * scale);
+        spec
+    }
+
+    fn sample_queries(&self, iteration: usize, n: usize) -> Vec<String> {
+        self.inner.sample_queries(iteration, n)
+    }
+
+    fn objective(&self) -> Objective {
+        self.inner.objective()
+    }
+
+    fn objective_at(&self, iteration: usize) -> Objective {
+        self.inner.objective_at(iteration)
+    }
+
+    fn initial_data_size_gib(&self) -> f64 {
+        self.inner.initial_data_size_gib()
+    }
+}
+
+/// Gradual data-skew growth: access skew drifts towards `to_skew` while the tracked data
+/// volume grows by `data_factor`, both linearly over `[start, start + over]`.
+///
+/// This models organic dataset aging — a few keys heat up while the table keeps growing —
+/// which shifts the optimizer-statistics features (and hence the tuner's context) without
+/// any change in the query mix.
+pub struct SkewGrowth {
+    inner: Box<dyn WorkloadGenerator>,
+    start: usize,
+    over: usize,
+    to_skew: f64,
+    data_factor: f64,
+    name: String,
+}
+
+impl SkewGrowth {
+    /// Wraps `inner` in a skew/data-growth drift. `to_skew` is clamped to `[0, 1]` and
+    /// `data_factor` to `≥ 0.01` (a shrink is allowed, vanishing data is not).
+    pub fn new(
+        inner: Box<dyn WorkloadGenerator>,
+        start: usize,
+        over: usize,
+        to_skew: f64,
+        data_factor: f64,
+    ) -> Self {
+        let name = format!("{}+skewgrow", inner.name());
+        SkewGrowth {
+            inner,
+            start,
+            over,
+            to_skew: to_skew.clamp(0.0, 1.0),
+            data_factor: data_factor.max(0.01),
+            name,
+        }
+    }
+
+    /// Progress through the growth window at `iteration` (0 before, 1 after).
+    pub fn progress_at(&self, iteration: usize) -> f64 {
+        if iteration < self.start {
+            0.0
+        } else if self.over == 0 {
+            1.0
+        } else {
+            ((iteration - self.start) as f64 / self.over as f64).min(1.0)
+        }
+    }
+}
+
+impl WorkloadGenerator for SkewGrowth {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn spec_at(&self, iteration: usize) -> WorkloadSpec {
+        let mut spec = self.inner.spec_at(iteration);
+        let p = self.progress_at(iteration);
+        spec.skew = (spec.skew + (self.to_skew - spec.skew) * p).clamp(0.0, 1.0);
+        spec.data_size_gib *= 1.0 + (self.data_factor - 1.0) * p;
+        spec
+    }
+
+    fn sample_queries(&self, iteration: usize, n: usize) -> Vec<String> {
+        self.inner.sample_queries(iteration, n)
+    }
+
+    fn objective(&self) -> Objective {
+        self.inner.objective()
+    }
+
+    fn objective_at(&self, iteration: usize) -> Objective {
+        self.inner.objective_at(iteration)
+    }
+
+    fn initial_data_size_gib(&self) -> f64 {
+        self.inner.initial_data_size_gib()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +520,62 @@ mod tests {
         assert_eq!(alt.spec_at(10).name, "tpcc-dynamic");
         assert_eq!(alt.spec_at(30).name, "job-dynamic");
         assert_eq!(alt.objective_at(30), Objective::ExecutionTime);
+    }
+
+    #[test]
+    fn diurnal_load_oscillates_around_baseline_with_the_given_period() {
+        let diurnal = DiurnalLoad::new(ycsb(), 24, 0.5, 0);
+        assert!((diurnal.scale_at(0) - 1.0).abs() < 1e-12);
+        assert!((diurnal.scale_at(6) - 1.5).abs() < 1e-9); // quarter period: peak
+        assert!((diurnal.scale_at(18) - 0.5).abs() < 1e-9); // three quarters: trough
+        assert!((diurnal.scale_at(24) - diurnal.scale_at(0)).abs() < 1e-9);
+        // Anchoring shifts the phase: the anchored curve at `it` equals the unanchored
+        // curve at `it - anchor`.
+        let anchored = DiurnalLoad::new(ycsb(), 24, 0.5, 10);
+        for it in [10, 16, 20, 40] {
+            assert!((anchored.scale_at(it) - diurnal.scale_at(it - 10)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn diurnal_amplitude_is_clamped_so_load_never_vanishes() {
+        let diurnal = DiurnalLoad::new(ycsb(), 8, 5.0, 0);
+        for it in 0..16 {
+            assert!(diurnal.scale_at(it) > 0.0);
+            assert!(diurnal.spec_at(it).clients >= 1);
+        }
+    }
+
+    #[test]
+    fn flash_crowd_spikes_then_decays_with_the_half_life() {
+        let flash = FlashCrowd::new(ycsb(), 20, 5.0, 10);
+        assert_eq!(flash.scale_at(0), 1.0);
+        assert_eq!(flash.scale_at(19), 1.0);
+        assert!((flash.scale_at(20) - 5.0).abs() < 1e-12);
+        assert!((flash.scale_at(30) - 3.0).abs() < 1e-9); // one half-life: 1 + 4/2
+        assert!((flash.scale_at(40) - 2.0).abs() < 1e-9); // two half-lives: 1 + 4/4
+        assert!(flash.scale_at(200) < 1.01); // long after: back to baseline
+        let base_clients = ycsb().spec_at(20).clients;
+        assert_eq!(flash.spec_at(20).clients, base_clients * 5);
+    }
+
+    #[test]
+    fn skew_growth_interpolates_skew_and_scales_data() {
+        let base = ycsb().spec_at(0);
+        let grow = SkewGrowth::new(ycsb(), 10, 20, 1.0, 4.0);
+        let before = grow.spec_at(0);
+        assert_eq!(before.skew, base.skew);
+        assert_eq!(before.data_size_gib, base.data_size_gib);
+        let mid = grow.spec_at(20); // halfway through the window
+        assert!((mid.skew - (base.skew + (1.0 - base.skew) * 0.5)).abs() < 1e-9);
+        assert!((mid.data_size_gib - base.data_size_gib * 2.5).abs() < 1e-9);
+        let after = grow.spec_at(100);
+        assert!((after.skew - 1.0).abs() < 1e-12);
+        assert!((after.data_size_gib - base.data_size_gib * 4.0).abs() < 1e-9);
+        // Query mix and objective are untouched (the base mix itself varies with the
+        // iteration, so compare against the base at the same position).
+        assert_eq!(after.mix.weights(), ycsb().spec_at(100).mix.weights());
+        assert_eq!(grow.objective_at(100), Objective::Throughput);
     }
 
     #[test]

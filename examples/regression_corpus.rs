@@ -1,0 +1,138 @@
+//! Regenerates the committed `tests/regressions/` corpus.
+//!
+//! Each corpus entry is a minimized [`FuzzCase`] that once violated a global property,
+//! pinned so `tests/regressions.rs` (and the CI `regressions` job) replays it forever.
+//! The corpus policy: an entry records the *minimized* reproducer, the distribution
+//! whose property parameters it is replayed under, and a description of what it broke
+//! and how it was found. Entries are regenerated — never hand-edited — by this example,
+//! so the shrinker output and the committed artifact cannot drift apart:
+//!
+//! ```text
+//! cargo run --release --example regression_corpus
+//! ```
+//!
+//! Every write is preceded by a green [`RegressionCase::replay`]: committing a corpus
+//! entry that fails on the current tree is impossible.
+
+use fleet::fuzz::{
+    run_fuzz_case, shrink_case, FuzzCase, PropertyRegistry, RegressionCase, ScenarioDistribution,
+    ScenarioGenerator,
+};
+use fleet::scenario::ScenarioEvent;
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/regressions")
+}
+
+fn commit(entry: &RegressionCase) {
+    let violations = entry.replay().expect("corpus entry must execute");
+    assert!(
+        violations.is_empty(),
+        "refusing to commit `{}`: it fails on the current tree: {violations:?}",
+        entry.name
+    );
+    let path = corpus_dir().join(format!("{}.json", entry.name));
+    std::fs::create_dir_all(corpus_dir()).expect("create tests/regressions/");
+    std::fs::write(&path, entry.to_json().expect("serialize")).expect("write corpus entry");
+    println!(
+        "wrote {} ({} events, {} rounds, {} tenants)",
+        path.display(),
+        entry.case.scenario.steps.len(),
+        entry.case.rounds,
+        entry.case.initial_tenants.len()
+    );
+}
+
+/// Entry 1 — the migrate/fairness-floor false positive.
+///
+/// Found by the first smoke run of `scenario_fuzz`: `FleetService::migrate_tenant`
+/// re-admits the session re-initialized on the new hardware, so its iteration counter
+/// restarts — but the fairness property only recognized `admit …` fired strings as
+/// rejoins, and flagged every migrated tenant as starved. The minimized reproducer is a
+/// single migrate event; it is pinned so the fairness floor always treats migration as
+/// a rejoin.
+fn migrate_fairness_floor() -> RegressionCase {
+    let dist = ScenarioDistribution::default();
+    let mut generator = ScenarioGenerator::new(dist.clone(), 101);
+    let case = std::iter::from_fn(|| Some(generator.next_case()))
+        .take(200)
+        .find(|c| {
+            c.scenario
+                .steps
+                .iter()
+                .any(|s| matches!(s.event, ScenarioEvent::Migrate { .. }))
+        })
+        .expect("seed 101 produces migrate events");
+    let fails = |c: &FuzzCase| {
+        c.scenario
+            .steps
+            .iter()
+            .any(|s| matches!(s.event, ScenarioEvent::Migrate { .. }))
+    };
+    let case = shrink_case(&case, fails, 400);
+    RegressionCase {
+        name: "migrate_fairness_floor".into(),
+        description: "Migration re-admits the session re-initialized on the new \
+                      hardware, restarting its iteration counter; the fairness-floor \
+                      property once recognized only `admit` events as rejoins and \
+                      flagged every migrated tenant as starved. Found by the first \
+                      scenario_fuzz smoke run (14/50 cases), minimized to one migrate."
+            .into(),
+        distribution: dist,
+        case,
+    }
+}
+
+/// Entry 2 — the cold-start unsafe-rate ceiling.
+///
+/// `fuzz-101-8` (the ninth case of generator seed 101) tripped the SLO property under
+/// the original default ceiling of 0.60: an analytical tenant hit by a data-scale event
+/// spent its whole short life in the exploration phase and reported an unsafe rate of
+/// 0.636 over 11 iterations. The default ceiling was loosened to 0.75 (short fuzzed
+/// horizons measure cold start, not steady state); the minimized case is pinned so the
+/// ceiling stays calibrated against the worst known cold-start profile.
+fn cold_start_unsafe_rate() -> RegressionCase {
+    let dist = ScenarioDistribution::default();
+    let historical = ScenarioDistribution {
+        unsafe_rate_ceiling: 0.60,
+        ..dist.clone()
+    };
+    let mut generator = ScenarioGenerator::new(dist.clone(), 101);
+    let mut case = generator.next_case();
+    for _ in 0..8 {
+        case = generator.next_case();
+    }
+    assert_eq!(case.name, "fuzz-101-8");
+    let registry = PropertyRegistry::standard();
+    let fails = |c: &FuzzCase| {
+        run_fuzz_case(c, &historical)
+            .map(|a| {
+                registry
+                    .check_all(&a)
+                    .iter()
+                    .any(|v| v.property == "unsafe_rate_ceiling")
+            })
+            .unwrap_or(false)
+    };
+    assert!(
+        fails(&case),
+        "fuzz-101-8 must trip the historical 0.60 ceiling"
+    );
+    let case = shrink_case(&case, fails, 60);
+    RegressionCase {
+        name: "cold_start_unsafe_rate".into(),
+        description: "fuzz-101-8 reported an unsafe rate of 0.636 over 11 iterations \
+                      under the original default SLO ceiling of 0.60 — a short-lived \
+                      analytical tenant measured entirely in its cold-start exploration \
+                      phase after a data-scale event. Pinned (replayed under the \
+                      loosened 0.75 default) as the worst known cold-start profile."
+            .into(),
+        distribution: dist,
+        case,
+    }
+}
+
+fn main() {
+    commit(&migrate_fairness_floor());
+    commit(&cold_start_unsafe_rate());
+}

@@ -1,0 +1,199 @@
+//! Property tests of `workloads::drift` combinator composition: randomly composed drift
+//! stacks must be pure (same iteration → same output, across independently built
+//! generators), serde-round-trip stable (the snapshot/restore contract rides on the
+//! spec's drift list), and anchor shifting must commute — both algebraically on
+//! [`WorkloadDrift`] values and observably on the composed generators' load curves.
+
+use fleet::tenant::{TenantSpec, WorkloadDrift, WorkloadFamily};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use workloads::drift::{DiurnalLoad, FlashCrowd, RateRamp, SkewGrowth};
+
+/// Samples one drift of any of the six kinds from a seeded stream.
+fn sample_drift(rng: &mut StdRng, allow_periodic: bool) -> WorkloadDrift {
+    let kinds = if allow_periodic { 6 } else { 5 };
+    match rng.gen_range(0..kinds) {
+        0 => WorkloadDrift::RateRamp {
+            start: rng.gen_range(0..8usize),
+            over: rng.gen_range(0..6usize),
+            from_scale: rng.gen_range(0.5..1.5),
+            to_scale: rng.gen_range(0.5..2.5),
+        },
+        1 => WorkloadDrift::FamilySwitch {
+            at: rng.gen_range(0..8usize),
+            to: WorkloadFamily::ALL[rng.gen_range(0..WorkloadFamily::ALL.len())],
+        },
+        2 => WorkloadDrift::Diurnal {
+            period: rng.gen_range(2..10usize),
+            amplitude: rng.gen_range(0.05..0.9),
+            anchor: rng.gen_range(0..6usize),
+        },
+        3 => WorkloadDrift::FlashCrowd {
+            at: rng.gen_range(0..8usize),
+            peak: rng.gen_range(1.2..4.0),
+            half_life: rng.gen_range(1..5usize),
+        },
+        4 => WorkloadDrift::SkewGrowth {
+            start: rng.gen_range(0..6usize),
+            over: rng.gen_range(0..8usize),
+            to_skew: rng.gen_range(0.0..1.0),
+            data_factor: rng.gen_range(0.5..3.0),
+        },
+        _ => WorkloadDrift::PeriodicFamilies {
+            period: rng.gen_range(2..6usize),
+            other: WorkloadFamily::ALL[rng.gen_range(0..WorkloadFamily::ALL.len())],
+        },
+    }
+}
+
+/// A tenant spec carrying a randomly composed drift stack.
+fn spec_with_stack(seed: u64, depth: usize, allow_periodic: bool) -> TenantSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let family = WorkloadFamily::ALL[rng.gen_range(0..WorkloadFamily::ALL.len())];
+    let mut spec = TenantSpec::named("p", family, seed);
+    for _ in 0..depth {
+        let drift = sample_drift(&mut rng, allow_periodic);
+        spec.drift.push(drift);
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Purity: two independently built generators from the same composed spec agree on
+    /// every observable at every iteration — drift combinators are pure functions of
+    /// the iteration index with no hidden mutable state.
+    #[test]
+    fn prop_composed_stacks_are_pure(seed in 0u64..10_000, depth in 0usize..5) {
+        let spec = spec_with_stack(seed, depth, true);
+        let a = spec.build_generator();
+        let b = spec.build_generator();
+        prop_assert_eq!(a.name(), b.name());
+        prop_assert_eq!(
+            a.initial_data_size_gib().to_bits(),
+            b.initial_data_size_gib().to_bits()
+        );
+        // Deliberately out of order: a pure generator has no path dependence either.
+        for iteration in [5usize, 0, 11, 3, 11, 0] {
+            prop_assert_eq!(
+                a.spec_at(iteration),
+                b.spec_at(iteration),
+                "spec_at({}) diverged",
+                iteration
+            );
+            prop_assert_eq!(
+                a.sample_queries(iteration, 4),
+                b.sample_queries(iteration, 4),
+                "sample_queries({}) diverged",
+                iteration
+            );
+        }
+    }
+
+    /// Serde round trip: a spec's drift stack survives JSON — and the generator rebuilt
+    /// from the deserialized spec reproduces the original spec stream exactly (this is
+    /// what lets a snapshot-restored session continue bit-identically).
+    #[test]
+    fn prop_drift_stacks_round_trip_through_serde(seed in 0u64..10_000, depth in 1usize..5) {
+        let spec = spec_with_stack(seed, depth, true);
+        let json = serde_json::to_string(&spec).unwrap();
+        let restored: TenantSpec = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&restored, &spec);
+        let original = spec.build_generator();
+        let rebuilt = restored.build_generator();
+        for iteration in 0..10 {
+            prop_assert_eq!(original.spec_at(iteration), rebuilt.spec_at(iteration));
+        }
+    }
+
+    /// Anchor shifting is additive: shifting twice equals shifting once by the sum, for
+    /// every drift kind.
+    #[test]
+    fn prop_anchor_shift_is_additive(seed in 0u64..10_000, a in 0usize..50, b in 0usize..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for allow_periodic in [true, false] {
+            let drift = sample_drift(&mut rng, allow_periodic);
+            prop_assert_eq!(
+                drift.clone().anchored_at(a).anchored_at(b),
+                drift.anchored_at(a + b)
+            );
+        }
+    }
+
+    /// Anchor shifting commutes with composition on the effective-family axis: shifting
+    /// every drift in a (periodic-free) stack by `offset` translates `family_at` by
+    /// exactly `offset`. `PeriodicFamilies` is excluded — it is anchored to iteration 0
+    /// by design and unchanged by `anchored_at`.
+    #[test]
+    fn prop_shifted_stack_translates_family_at(
+        seed in 0u64..10_000,
+        depth in 1usize..5,
+        offset in 0usize..30,
+    ) {
+        let spec = spec_with_stack(seed, depth, false);
+        let mut shifted = spec.clone();
+        shifted.drift = shifted
+            .drift
+            .into_iter()
+            .map(|d| d.anchored_at(offset))
+            .collect();
+        for iteration in 0..20 {
+            prop_assert_eq!(
+                shifted.family_at(iteration + offset),
+                spec.family_at(iteration),
+                "family_at({} + {}) != family_at({})",
+                iteration,
+                offset,
+                iteration
+            );
+        }
+    }
+
+    /// Anchor shifting commutes with composition on the load-curve axis: each anchored
+    /// scale combinator evaluated at `iteration + offset` with its anchor shifted by
+    /// `offset` is bit-identical to the unshifted combinator at `iteration` (the curves
+    /// are functions of the anchor-relative position only).
+    #[test]
+    fn prop_shifted_scale_curves_are_translations(seed in 0u64..10_000, offset in 0usize..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = || WorkloadFamily::Ycsb.build(seed);
+        let period = rng.gen_range(2..10usize);
+        let amplitude = rng.gen_range(0.05..0.9);
+        let anchor = rng.gen_range(0..6usize);
+        let at = rng.gen_range(0..8usize);
+        let peak = rng.gen_range(1.2..4.0);
+        let half_life = rng.gen_range(1..5usize);
+        let start = rng.gen_range(0..6usize);
+        let over = rng.gen_range(0..8usize);
+
+        let diurnal = DiurnalLoad::new(base(), period, amplitude, anchor);
+        let diurnal_shifted = DiurnalLoad::new(base(), period, amplitude, anchor + offset);
+        let flash = FlashCrowd::new(base(), at, peak, half_life);
+        let flash_shifted = FlashCrowd::new(base(), at + offset, peak, half_life);
+        let skew = SkewGrowth::new(base(), start, over, 0.8, 2.0);
+        let skew_shifted = SkewGrowth::new(base(), start + offset, over, 0.8, 2.0);
+        let ramp = RateRamp::new(base(), start, over, 1.0, 2.0);
+        let ramp_shifted = RateRamp::new(base(), start + offset, over, 1.0, 2.0);
+
+        for iteration in 0..25 {
+            prop_assert_eq!(
+                diurnal_shifted.scale_at(iteration + offset).to_bits(),
+                diurnal.scale_at(iteration).to_bits()
+            );
+            prop_assert_eq!(
+                flash_shifted.scale_at(iteration + offset).to_bits(),
+                flash.scale_at(iteration).to_bits()
+            );
+            prop_assert_eq!(
+                skew_shifted.progress_at(iteration + offset).to_bits(),
+                skew.progress_at(iteration).to_bits()
+            );
+            prop_assert_eq!(
+                ramp_shifted.scale_at(iteration + offset).to_bits(),
+                ramp.scale_at(iteration).to_bits()
+            );
+        }
+    }
+}

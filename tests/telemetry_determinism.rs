@@ -8,8 +8,10 @@ use fleet::scenario::{run_scenario, Scenario, ScenarioEvent};
 use fleet::service::{small_tuner_options, FleetOptions, FleetService};
 use fleet::tenant::{TenantSpec, TenantSummary, WorkloadDrift, WorkloadFamily};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use simdb::HardwareSpec;
-use telemetry::{CounterId, TelemetryConfig, TelemetryHandle};
+use telemetry::{CounterId, MonotonicClock, TelemetryConfig, TelemetryHandle};
 
 fn spec(name: &str, family: WorkloadFamily, seed: u64) -> TenantSpec {
     // Measurement noise stays ON: the instance RNG streams are the most fragile part of
@@ -225,5 +227,131 @@ proptest! {
             "mid-run telemetry toggle changed snapshot bytes"
         );
         assert_bitwise_equal(&silent.summaries(), &toggled.summaries(), "toggle");
+    }
+}
+
+/// What one fuzzed-churn run left behind in its journals and counters.
+struct ChurnOutcome {
+    svc: FleetService,
+    /// Iterations the fleet executed, summed over every round (including rounds run by
+    /// tenants that were later removed).
+    iterations_run: u64,
+}
+
+impl ChurnOutcome {
+    /// Events retained across the fleet core and every live tenant's child ring.
+    fn events_retained(&self) -> u64 {
+        self.svc.telemetry_events().len() as u64
+    }
+
+    /// Events dropped to ring overflow, summed over the fleet core and every live
+    /// tenant (`remove_tenant` drains a departing tenant's drop count into the core,
+    /// so removed tenants are already included in the core's figure).
+    fn events_dropped(&self) -> u64 {
+        let mut dropped = self.svc.telemetry().events_dropped();
+        for summary in self.svc.summaries() {
+            if let Some(session) = self.svc.session(&summary.name) {
+                dropped += session.telemetry().events_dropped();
+            }
+        }
+        dropped
+    }
+}
+
+/// Drives a randomly generated admit/remove sequence (derived from `seed`) through a
+/// fleet whose journals have the given per-ring capacity. Removals go through the
+/// `remove_tenant` drain path, so departing tenants' events and drop counts land in the
+/// fleet core before their sessions are dropped.
+fn run_fuzzed_churn(seed: u64, journal_capacity: usize) -> ChurnOutcome {
+    let telemetry = TelemetryHandle::with_clock(
+        std::sync::Arc::new(MonotonicClock::new()),
+        TelemetryConfig {
+            journal_capacity,
+            unsafe_rate_ceiling: 0.75,
+        },
+    );
+    let mut svc = FleetService::new(FleetOptions {
+        workers: 2,
+        tuner: small_tuner_options(),
+        ..Default::default()
+    });
+    svc.set_telemetry(telemetry);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next_id = 0usize;
+    let mut admit = |svc: &mut FleetService, rng: &mut StdRng| {
+        let family = WorkloadFamily::ALL[rng.gen_range(0..WorkloadFamily::ALL.len())];
+        let mut spec = TenantSpec::named(format!("c{next_id}"), family, seed + next_id as u64);
+        spec.deterministic = true;
+        next_id += 1;
+        svc.admit(spec);
+    };
+    admit(&mut svc, &mut rng);
+    admit(&mut svc, &mut rng);
+
+    let mut iterations_run = 0u64;
+    for _ in 0..10 {
+        if rng.gen_bool(0.4) {
+            admit(&mut svc, &mut rng);
+        }
+        if svc.n_tenants() > 1 && rng.gen_bool(0.35) {
+            let names: Vec<String> = svc.summaries().iter().map(|s| s.name.clone()).collect();
+            let victim = &names[rng.gen_range(0..names.len())];
+            svc.remove_tenant(victim).unwrap();
+        }
+        iterations_run += svc.run_round() as u64;
+    }
+    ChurnOutcome {
+        svc,
+        iterations_run,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Journal conservation under fuzzed churn: running the same random admit/remove
+    /// sequence with a tiny per-ring capacity and with a capacity large enough to never
+    /// overflow must account for exactly the same event total — `retained + dropped` is
+    /// invariant, the large-capacity run drops nothing, and the fleet itself is
+    /// untouched by the journal bound (byte-identical snapshots).
+    #[test]
+    fn prop_journal_overflow_accounting_is_exact_under_churn(seed in 0u64..10_000) {
+        let tiny = run_fuzzed_churn(seed, 8);
+        let huge = run_fuzzed_churn(seed, 4096);
+
+        prop_assert_eq!(huge.events_dropped(), 0, "the large ring must never overflow");
+        prop_assert!(tiny.events_dropped() > 0, "capacity 8 must overflow under churn");
+        prop_assert_eq!(
+            tiny.events_retained() + tiny.events_dropped(),
+            huge.events_retained(),
+            "retained + dropped must equal the true event total"
+        );
+        prop_assert_eq!(
+            tiny.svc.snapshot_json().unwrap(),
+            huge.svc.snapshot_json().unwrap(),
+            "journal capacity leaked into fleet state"
+        );
+    }
+
+    /// Drain exactness under fuzzed churn: `remove_tenant` moves a departing tenant's
+    /// counters into the fleet core, so the merged `Iterations` counter equals the
+    /// number of iterations the fleet ever ran — no matter how many of those iterations
+    /// belonged to tenants that no longer exist.
+    #[test]
+    fn prop_drain_totals_are_exact_under_churn(seed in 0u64..10_000) {
+        let outcome = run_fuzzed_churn(seed, 64);
+        let metrics = outcome.svc.metrics_snapshot();
+        prop_assert_eq!(
+            metrics.counter(CounterId::Iterations),
+            outcome.iterations_run,
+            "drained Iterations counter diverged from iterations actually run"
+        );
+        prop_assert_eq!(
+            metrics.counter(CounterId::TenantsAdmitted)
+                - metrics.counter(CounterId::TenantsRemoved),
+            outcome.svc.n_tenants() as u64,
+            "admission/removal counters must reconcile with the live tenant count"
+        );
     }
 }
