@@ -103,7 +103,8 @@ impl Tuner for OnlineTuneBaseline {
         safe: bool,
     ) {
         self.inner
-            .observe(input.context, config, performance, Some(metrics), safe);
+            .observe(input.context, config, performance, Some(metrics), safe)
+            .expect("simulated measurements are finite");
     }
 }
 

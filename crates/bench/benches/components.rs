@@ -103,13 +103,15 @@ fn bench_full_suggest(c: &mut Criterion) {
         let suggestion = tuner.suggest(&context, -1000.0, 8);
         db.apply_config(&suggestion.config);
         let eval = db.run_interval(&job.spec_at(i), 180.0);
-        tuner.observe(
-            &context,
-            &suggestion.config,
-            -eval.outcome.latency_avg_ms,
-            Some(&eval.metrics),
-            true,
-        );
+        tuner
+            .observe(
+                &context,
+                &suggestion.config,
+                -eval.outcome.latency_avg_ms,
+                Some(&eval.metrics),
+                true,
+            )
+            .expect("simulated measurements are finite");
     }
     c.bench_function("onlinetune/suggest_steady_state", |b| {
         b.iter(|| tuner.suggest(&context, -1000.0, 8))

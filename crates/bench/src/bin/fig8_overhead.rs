@@ -113,13 +113,15 @@ fn main() {
         apply_eval_time += t.elapsed().as_secs_f64() + 180.0; // simulated interval wall time
         let score = Objective::ExecutionTime.score(&eval.outcome);
         let t = Instant::now();
-        tuner.observe(
-            &context,
-            &suggestion.config,
-            score,
-            Some(&eval.metrics),
-            score >= threshold,
-        );
+        tuner
+            .observe(
+                &context,
+                &suggestion.config,
+                score,
+                Some(&eval.metrics),
+                score >= threshold,
+            )
+            .expect("simulated measurements are finite");
         update_time += t.elapsed().as_secs_f64();
         let _ = baselines::TuningInput {
             context: &context,

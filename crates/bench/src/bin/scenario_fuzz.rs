@@ -12,10 +12,13 @@
 //! the minimized case as JSON (ready to be committed under `tests/regressions/`), then
 //! the process exits non-zero — CI runs `--smoke` as a gate.
 //!
-//! Run with `cargo run --release -p bench --bin scenario_fuzz [-- --smoke]`; the full
-//! mode fuzzes more cases and writes `BENCH_fuzz.json` (committed) with the coverage
-//! statistics and a shrinker demonstration; `--smoke` runs the 50-case gate without
-//! writing the artifact.
+//! Run with `cargo run --release -p bench --bin scenario_fuzz [-- --smoke|--nightly]`;
+//! the full mode fuzzes more cases and writes `BENCH_fuzz.json` (committed) with the
+//! coverage statistics and a shrinker demonstration; `--smoke` runs the 50-case gate
+//! without writing the artifact; `--nightly` is the long-horizon sweep — it samples the
+//! *fault-enabled* distribution at many times the case count and writes every shrunk
+//! reproducer to `fuzz-artifacts/` (uploaded by the nightly workflow) instead of the
+//! bench report.
 
 use bench::report::section;
 use fleet::fuzz::{
@@ -31,6 +34,10 @@ const GENERATOR_SEEDS: [u64; 5] = [101, 202, 303, 404, 505];
 const SMOKE_CASES_PER_SEED: usize = 10;
 /// Cases per generator seed in full mode.
 const FULL_CASES_PER_SEED: usize = 24;
+/// Cases per generator seed in `--nightly` mode (5 × 120 = 600 fault-enabled timelines).
+const NIGHTLY_CASES_PER_SEED: usize = 120;
+/// Where `--nightly` drops shrunk reproducers for the workflow to upload.
+const ARTIFACTS_DIR: &str = "fuzz-artifacts";
 
 /// Stable label of an event kind (coverage statistics).
 fn event_kind(event: &ScenarioEvent) -> &'static str {
@@ -41,6 +48,7 @@ fn event_kind(event: &ScenarioEvent) -> &'static str {
         ScenarioEvent::Resize { .. } => "resize",
         ScenarioEvent::ScaleData { .. } => "scale_data",
         ScenarioEvent::Drift { .. } => "drift",
+        ScenarioEvent::InjectFault { .. } => "inject_fault",
     }
 }
 
@@ -116,12 +124,21 @@ fn shrink_demonstration(dist: &ScenarioDistribution) -> ShrinkDemo {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let cases_per_seed = if smoke {
+    let nightly = std::env::args().any(|a| a == "--nightly");
+    let cases_per_seed = if nightly {
+        NIGHTLY_CASES_PER_SEED
+    } else if smoke {
         SMOKE_CASES_PER_SEED
     } else {
         FULL_CASES_PER_SEED
     };
-    let dist = ScenarioDistribution::default();
+    // Nightly sweeps the fault-enabled distribution; the committed bench artifact and
+    // the CI smoke gate stay on the default streams.
+    let dist = if nightly {
+        ScenarioDistribution::with_faults()
+    } else {
+        ScenarioDistribution::default()
+    };
     let registry = PropertyRegistry::standard();
 
     section("Scenario fuzzer: generated fleet timelines");
@@ -190,6 +207,14 @@ fn main() {
                 "{}",
                 minimized.to_json().unwrap_or_else(|e| format!("<{e}>"))
             );
+            if nightly {
+                if let Ok(json) = minimized.to_json() {
+                    std::fs::create_dir_all(ARTIFACTS_DIR).expect("create fuzz-artifacts/");
+                    let path = format!("{ARTIFACTS_DIR}/{}.json", case.name);
+                    std::fs::write(&path, json).expect("write shrunk reproducer");
+                    println!("  wrote {path}");
+                }
+            }
             failed_cases.push(FailedCase {
                 name: case.name.clone(),
                 generator_seed: seed,
@@ -224,7 +249,7 @@ fn main() {
         demo.minimized_tenants
     );
 
-    if !smoke {
+    if !smoke && !nightly {
         let report = FuzzBenchReport {
             distribution: dist,
             generator_seeds: GENERATOR_SEEDS.to_vec(),

@@ -1,0 +1,73 @@
+//! Typed errors for fleet restore, WAL and recovery paths.
+//!
+//! A corrupted snapshot or a torn journal must degrade into an error the caller can
+//! inspect and route — never a panic that takes the whole service down. Every restore
+//! and recovery entry point in this crate returns a [`FleetError`]; the underlying
+//! string details from the lower crates (simdb / onlinetune parse failures) are carried
+//! in the variant payloads.
+
+/// Why a fleet restore, WAL read or crash recovery failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// The snapshot bytes could not be parsed at all (truncated, bit-flipped or not a
+    /// fleet snapshot).
+    SnapshotParse(String),
+    /// One tenant's session state inside an otherwise well-formed snapshot could not be
+    /// rebuilt.
+    TenantRestore {
+        /// Name of the tenant whose state failed to restore.
+        tenant: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The named tenant does not exist in the fleet.
+    UnknownTenant(String),
+    /// A WAL frame failed its length or checksum validation somewhere other than the
+    /// tail. (A corrupt *tail* is expected after a crash and silently dropped; corruption
+    /// in the middle of the journal means the storage itself is damaged.)
+    WalCorrupt {
+        /// Byte offset of the corrupt frame.
+        offset: usize,
+        /// What failed (length, checksum, sequence).
+        reason: String,
+    },
+    /// Deterministic re-execution during recovery produced a state digest that does not
+    /// match the digest committed to the WAL — the replay diverged from the original
+    /// run, so the recovered state cannot be trusted.
+    RecoveryDivergence {
+        /// Round whose digest mismatched.
+        round: usize,
+        /// Digest recorded in the WAL.
+        expected: u64,
+        /// Digest produced by the replay.
+        actual: u64,
+    },
+    /// A scenario step could not be applied during recovery replay.
+    Scenario(String),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::SnapshotParse(reason) => write!(f, "snapshot parse failed: {reason}"),
+            FleetError::TenantRestore { tenant, reason } => {
+                write!(f, "tenant `{tenant}` failed to restore: {reason}")
+            }
+            FleetError::UnknownTenant(name) => write!(f, "unknown tenant `{name}`"),
+            FleetError::WalCorrupt { offset, reason } => {
+                write!(f, "WAL corrupt at byte {offset}: {reason}")
+            }
+            FleetError::RecoveryDivergence {
+                round,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "recovery replay diverged at round {round}: digest {actual:#018x} != WAL {expected:#018x}"
+            ),
+            FleetError::Scenario(reason) => write!(f, "scenario step failed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}

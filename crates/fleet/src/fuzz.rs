@@ -20,7 +20,12 @@
 //!   occupied at its merge point that round;
 //! * **bounded budgets** — per-model observation counts never exceed the
 //!   `ObservationBudget` window, model counts stay bounded, and the merged journal
-//!   respects its ring capacities.
+//!   respects its ring capacities;
+//! * **crash-recovery bit-identity** — a durable fleet killed after a fuzzed round
+//!   (with a torn WAL tail) and recovered from its surviving storage finishes the
+//!   horizon with byte-identical snapshot JSON;
+//! * **quarantine liveness** — a quarantined tenant is never left unprobed past its
+//!   probation interval (the scheduler cannot forget a sick tenant).
 //!
 //! On violation, [`shrink_case`] minimizes the timeline — truncating the horizon,
 //! dropping events, evicting initial tenants — to a minimal failing [`FuzzCase`] that is
@@ -33,16 +38,19 @@
 //! the same cases, verdicts and minimized artifacts.
 
 use crate::knowledge::PoolKey;
-use crate::scenario::{Scenario, ScenarioEvent, ScenarioRound, ScenarioStep};
+use crate::recovery::{DurableFleet, DurableOptions};
+use crate::scenario::{FaultSchedule, Scenario, ScenarioEvent, ScenarioRound, ScenarioStep};
 use crate::service::{small_tuner_options, FleetOptions, FleetService, SloReport};
-use crate::tenant::{TenantSpec, WorkloadDrift, WorkloadFamily};
+use crate::tenant::{SessionHealth, TenantSpec, WorkloadDrift, WorkloadFamily};
+use crate::wal::FRAME_LEN;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
+use simdb::FaultKind;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use telemetry::{MonotonicClock, TelemetryConfig, TelemetryHandle};
 
-/// Relative sampling weights of the six scenario event kinds.
+/// Relative sampling weights of the scenario event kinds.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct EventWeights {
     /// Weight of `Admit` (fresh tenant, or re-admission of a departed name).
@@ -57,6 +65,12 @@ pub struct EventWeights {
     pub scale_data: f64,
     /// Weight of `Drift`.
     pub drift: f64,
+    /// Weight of `InjectFault`. Defaults to 0.0 — fault events are opt-in (see
+    /// [`ScenarioDistribution::with_faults`]), and a zero weight leaves the generator's
+    /// RNG stream byte-identical to pre-fault corpora, so committed regression cases
+    /// regenerate unchanged.
+    #[serde(default)]
+    pub inject_fault: f64,
 }
 
 impl Default for EventWeights {
@@ -68,6 +82,7 @@ impl Default for EventWeights {
             resize: 0.5,
             scale_data: 1.0,
             drift: 2.0,
+            inject_fault: 0.0,
         }
     }
 }
@@ -105,6 +120,10 @@ pub struct ScenarioDistribution {
     pub min_iterations_for_slo: usize,
     /// Ceiling on per-tenant model counts for the bounded-budget property.
     pub max_models: usize,
+    /// Fault kinds `InjectFault` events draw from. Empty (the default) plus a zero
+    /// `inject_fault` weight means no fault events — the pre-fault distribution.
+    #[serde(default)]
+    pub fault_kinds: Vec<FaultKind>,
 }
 
 impl Default for ScenarioDistribution {
@@ -127,11 +146,29 @@ impl Default for ScenarioDistribution {
             unsafe_rate_ceiling: 0.75,
             min_iterations_for_slo: 10,
             max_models: 16,
+            fault_kinds: Vec::new(),
         }
     }
 }
 
 impl ScenarioDistribution {
+    /// The default distribution with fault injection switched on: `InjectFault` events
+    /// carry a meaningful weight and draw from every [`FaultKind`]. Tenants under
+    /// injected faults may legitimately exceed a cold-start unsafe-rate ceiling tuned
+    /// for clean runs (quarantine probes re-measure the pinned safe config while regret
+    /// accrues), so the SLO exemption floor rises with it.
+    pub fn with_faults() -> Self {
+        ScenarioDistribution {
+            event_weights: EventWeights {
+                inject_fault: 1.5,
+                ..Default::default()
+            },
+            fault_kinds: FaultKind::ALL.to_vec(),
+            min_iterations_for_slo: 14,
+            ..Default::default()
+        }
+    }
+
     /// Serializes the distribution to JSON.
     pub fn to_json(&self) -> Result<String, String> {
         serde_json::to_string(self).map_err(|e| e.to_string())
@@ -158,6 +195,12 @@ pub struct FuzzCase {
     pub rounds: usize,
     /// Round after which the replay leg snapshots and restores (in `[1, rounds - 1]`).
     pub cut_round: usize,
+    /// Round after which the crash leg kills the durable fleet and recovers from
+    /// storage (in `[1, rounds - 1]`; `0` — the serde default for pre-fault corpus
+    /// entries — skips the crash leg). Derived arithmetically from the seed and case
+    /// index, not from the generator's RNG stream, so older streams stay byte-stable.
+    #[serde(default)]
+    pub kill_round: usize,
     /// Tenants admitted before round 0.
     pub initial_tenants: Vec<TenantSpec>,
     /// The generated timeline.
@@ -311,6 +354,13 @@ impl ScenarioGenerator {
                 w.resize,
                 w.scale_data,
                 w.drift,
+                // Appended last with a 0.0 default, so pre-fault generator streams are
+                // byte-identical (a zero weight never absorbs any of the pick mass).
+                if dist.fault_kinds.is_empty() {
+                    0.0
+                } else {
+                    w.inject_fault
+                },
             ];
             let total: f64 = weights.iter().map(|x| x.max(0.0)).sum();
             let mut pick = if total > 0.0 {
@@ -362,6 +412,29 @@ impl ScenarioGenerator {
                     let factor = self.rng.gen_range(0.5..3.0);
                     scenario = scenario.at(round, ScenarioEvent::ScaleData { tenant, factor });
                 }
+                6 => {
+                    let tenant = live[self.rng.gen_range(0..live.len())].clone();
+                    let kind = dist.fault_kinds[self.rng.gen_range(0..dist.fault_kinds.len())];
+                    let schedule = if self.rng.gen_bool(0.5) {
+                        FaultSchedule::Burst {
+                            count: self.rng.gen_range(1..=4usize),
+                        }
+                    } else {
+                        FaultSchedule::Seeded {
+                            seed: self.rng.next_u64(),
+                            rate: self.rng.gen_range(0.2..0.9),
+                            duration: self.rng.gen_range(2..8usize),
+                        }
+                    };
+                    scenario = scenario.at(
+                        round,
+                        ScenarioEvent::InjectFault {
+                            tenant,
+                            kind,
+                            schedule,
+                        },
+                    );
+                }
                 _ => {
                     let drift = self.sample_drift();
                     if self
@@ -388,11 +461,15 @@ impl ScenarioGenerator {
         }
 
         let cut_round = self.rng.gen_range(1..rounds);
+        // Derived without touching the RNG (see `FuzzCase::kill_round`): mixing the seed
+        // with the case index spreads kills across the horizon deterministically.
+        let kill_round = 1 + (self.seed as usize).wrapping_add(self.produced * 7) % (rounds - 1);
         let case = FuzzCase {
             name: scenario.name.clone(),
             seed: self.seed,
             rounds,
             cut_round,
+            kill_round,
             initial_tenants,
             scenario,
         };
@@ -434,6 +511,15 @@ pub struct RunArtifacts {
     pub replay_identical: bool,
     /// Short description of the replay comparison.
     pub replay_detail: String,
+    /// Whether the crash leg (durable fleet killed at [`FuzzCase::kill_round`] with a
+    /// torn WAL tail, recovered, run to the horizon) ended with byte-identical snapshot
+    /// JSON. Vacuously `true` when `kill_round` is 0 (pre-fault corpus entries).
+    pub crash_identical: bool,
+    /// Short description of the crash-recovery comparison.
+    pub crash_detail: String,
+    /// Probation interval quarantined tenants are held against by the liveness
+    /// property (a quarantined tenant must be probed at least this often, in rounds).
+    pub probation_interval: usize,
 }
 
 /// One failed property check.
@@ -470,7 +556,7 @@ impl PropertyRegistry {
         self.properties.push(Property { name, check });
     }
 
-    /// The five standard fleet-wide properties (see the module docs).
+    /// The seven standard fleet-wide properties (see the module docs).
     pub fn standard() -> Self {
         let mut registry = PropertyRegistry::new();
         registry.push("replay_bit_identity", |a| {
@@ -499,17 +585,26 @@ impl PropertyRegistry {
                             || f.starts_with(&format!("migrate {} ", tenant.name))
                     });
                     let before = prev.tenants.iter().find(|t| t.name == tenant.name);
+                    // Progress counts faulted attempts: a tenant burning its slot on a
+                    // failed measurement was scheduled, not starved. The floor applies
+                    // only to tenants that *entered* the round healthy — backoff and
+                    // quarantine legitimately pause or throttle a tenant (their own
+                    // liveness is gated by `quarantine_liveness`).
+                    let progress = tenant.iterations + tenant.faulted_count;
                     let floor = match before {
                         // A (re)admission this round starts a fresh count; it still
                         // must run at least once in its first round.
                         _ if rejoined => 1,
-                        Some(b) => b.iterations + 1,
+                        Some(b) if b.health == SessionHealth::Healthy => {
+                            b.iterations + b.faulted_count + 1
+                        }
+                        Some(_) => 0,
                         None => 1,
                     };
-                    if tenant.iterations < floor {
+                    if progress < floor {
                         return Some(format!(
-                            "tenant `{}` starved at round {}: {} iterations < floor {}",
-                            tenant.name, cur.round, tenant.iterations, floor
+                            "tenant `{}` starved at round {}: progress {} < floor {}",
+                            tenant.name, cur.round, progress, floor
                         ));
                     }
                 }
@@ -543,6 +638,28 @@ impl PropertyRegistry {
                     "journal retained {} events, ring budget {}",
                     a.journal_events, a.journal_budget
                 ));
+            }
+            None
+        });
+        registry.push("crash_recovery_bit_identity", |a| {
+            (!a.crash_identical).then(|| a.crash_detail.clone())
+        });
+        registry.push("quarantine_liveness", |a| {
+            for round in &a.rounds {
+                for tenant in &round.tenants {
+                    if let SessionHealth::Quarantined {
+                        rounds_since_probe, ..
+                    } = tenant.health
+                    {
+                        if rounds_since_probe > a.probation_interval.max(1) {
+                            return Some(format!(
+                                "tenant `{}` quarantined without a probe for {} rounds at \
+                                 round {} (probation interval {})",
+                                tenant.name, rounds_since_probe, round.round, a.probation_interval
+                            ));
+                        }
+                    }
+                }
             }
             None
         });
@@ -748,9 +865,18 @@ pub fn run_fuzz_case(case: &FuzzCase, dist: &ScenarioDistribution) -> Result<Run
     // Replay leg: telemetry off, interrupted by a snapshot/restore at the cut.
     let (replay_svc, _) = run_leg(case, TelemetryHandle::disabled(), case.cut_round, false)?;
     let cut_json = replay_svc.snapshot_json()?;
-    let mut resumed = FleetService::restore_json(&cut_json)?;
+    let mut resumed = FleetService::restore_json(&cut_json).map_err(|e| e.to_string())?;
     continue_leg(&mut resumed, case, case.rounds - case.cut_round, false)?;
     let replay_snapshot = resumed.snapshot_json()?;
+
+    // Crash leg: a durable fleet killed after `kill_round` with a fuzzed torn tail,
+    // recovered from surviving storage, run to the horizon. Snapshots never carry
+    // telemetry, so its bytes are comparable to the reference leg's.
+    let (crash_identical, crash_detail) = if case.kill_round >= 1 && case.kill_round < case.rounds {
+        run_crash_leg(case, &reference_snapshot)?
+    } else {
+        (true, format!("skipped (kill_round {})", case.kill_round))
+    };
 
     let replay_identical = reference_snapshot == replay_snapshot;
     let replay_detail = if replay_identical {
@@ -788,7 +914,61 @@ pub fn run_fuzz_case(case: &FuzzCase, dist: &ScenarioDistribution) -> Result<Run
         journal_budget,
         replay_identical,
         replay_detail,
+        crash_identical,
+        crash_detail,
+        probation_interval: fuzz_fleet_options().retry.probation_interval,
     })
+}
+
+/// Runs the crash leg: a [`DurableFleet`] killed after [`FuzzCase::kill_round`] rounds,
+/// its WAL torn by a kill-round-derived number of bytes (covering clean cuts, torn
+/// frames and whole lost entries), recovered from the surviving storage and run to the
+/// horizon. Returns whether its final snapshot equals the reference leg's, with detail.
+fn run_crash_leg(case: &FuzzCase, reference_snapshot: &str) -> Result<(bool, String), String> {
+    let mut svc = FleetService::new(fuzz_fleet_options());
+    for spec in &case.initial_tenants {
+        svc.admit(spec.clone());
+    }
+    let mut durable = DurableFleet::new(svc, case.scenario.clone(), DurableOptions::default());
+    durable
+        .run_rounds(case.kill_round)
+        .map_err(|e| e.to_string())?;
+    let torn = (case.kill_round * 13) % (FRAME_LEN + 7);
+    let storage = durable.crash(torn);
+    let (mut recovered, _report) = DurableFleet::recover(
+        &storage,
+        case.scenario.clone(),
+        DurableOptions::default(),
+        TelemetryHandle::disabled(),
+    )
+    .map_err(|e| format!("recovery after kill at round {}: {e}", case.kill_round))?;
+    recovered
+        .run_rounds(case.rounds - recovered.service().rounds())
+        .map_err(|e| e.to_string())?;
+    let crash_snapshot = recovered.service().snapshot_json()?;
+    if crash_snapshot == reference_snapshot {
+        Ok((
+            true,
+            format!(
+                "recovered run identical (killed at round {}, {torn} WAL bytes torn)",
+                case.kill_round
+            ),
+        ))
+    } else {
+        let diverged = reference_snapshot
+            .bytes()
+            .zip(crash_snapshot.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| reference_snapshot.len().min(crash_snapshot.len()));
+        Ok((
+            false,
+            format!(
+                "recovered snapshot diverges at byte {diverged} (killed at round {}, {torn} WAL \
+                 bytes torn)",
+                case.kill_round
+            ),
+        ))
+    }
 }
 
 /// Which tenant name an event addresses (the admitted name for `Admit`).
@@ -799,7 +979,8 @@ fn event_subject(event: &ScenarioEvent) -> &str {
         | ScenarioEvent::Migrate { tenant, .. }
         | ScenarioEvent::Resize { tenant, .. }
         | ScenarioEvent::ScaleData { tenant, .. }
-        | ScenarioEvent::Drift { tenant, .. } => tenant,
+        | ScenarioEvent::Drift { tenant, .. }
+        | ScenarioEvent::InjectFault { tenant, .. } => tenant,
     }
 }
 
@@ -813,6 +994,8 @@ fn truncate_horizon(case: &FuzzCase, rounds: usize) -> Option<FuzzCase> {
     let mut candidate = case.clone();
     candidate.rounds = rounds;
     candidate.cut_round = candidate.cut_round.clamp(1, rounds - 1);
+    // A zero kill_round (crash leg disabled) stays zero through shrinking.
+    candidate.kill_round = candidate.kill_round.min(rounds - 1);
     candidate
         .scenario
         .steps
@@ -1016,8 +1199,66 @@ mod tests {
                 "fairness_floor",
                 "no_knowledge_leakage",
                 "bounded_budget",
+                "crash_recovery_bit_identity",
+                "quarantine_liveness",
             ]
         );
+    }
+
+    #[test]
+    fn fault_free_streams_are_unchanged_by_the_fault_extension() {
+        // The pre-fault corpus regenerates byte-identically: with fault events disabled
+        // (the default), the generator draws the exact same stream it always did, and
+        // the only new case field is the RNG-free kill_round.
+        let dist = ScenarioDistribution::default();
+        let mut generator = ScenarioGenerator::new(dist, 101);
+        for _ in 0..20 {
+            let case = generator.next_case();
+            assert!(case
+                .scenario
+                .steps
+                .iter()
+                .all(|s| !matches!(s.event, ScenarioEvent::InjectFault { .. })));
+            assert!(case.kill_round >= 1 && case.kill_round < case.rounds);
+        }
+    }
+
+    #[test]
+    fn fault_enabled_distribution_schedules_fault_events() {
+        let dist = ScenarioDistribution::with_faults();
+        let mut generator = ScenarioGenerator::new(dist, 77);
+        let faults = (0..40)
+            .flat_map(|_| generator.next_case().scenario.steps)
+            .filter(|s| matches!(s.event, ScenarioEvent::InjectFault { .. }))
+            .count();
+        assert!(
+            faults >= 5,
+            "with_faults() should schedule fault events regularly (got {faults})"
+        );
+    }
+
+    #[test]
+    fn fuzzed_fault_case_passes_all_standard_properties() {
+        let dist = ScenarioDistribution {
+            max_rounds: 6,
+            max_initial_tenants: 2,
+            max_events: 5,
+            ..ScenarioDistribution::with_faults()
+        };
+        let mut generator = ScenarioGenerator::new(dist.clone(), 11);
+        let case = (0..30)
+            .map(|_| generator.next_case())
+            .find(|c| {
+                c.scenario
+                    .steps
+                    .iter()
+                    .any(|s| matches!(s.event, ScenarioEvent::InjectFault { .. }))
+            })
+            .expect("the fault distribution produces fault events");
+        let artifacts = run_fuzz_case(&case, &dist).unwrap();
+        let violations = PropertyRegistry::standard().check_all(&artifacts);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+        assert!(artifacts.crash_identical, "{}", artifacts.crash_detail);
     }
 
     #[test]

@@ -55,23 +55,31 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod fuzz;
 pub mod knowledge;
+pub mod recovery;
 pub mod scenario;
 pub mod scheduler;
 pub mod service;
 pub mod tenant;
+pub mod wal;
 
+pub use error::FleetError;
 pub use fuzz::{
     run_fuzz_case, shrink_case, FuzzCase, PropertyRegistry, RegressionCase, RunArtifacts,
     ScenarioDistribution, ScenarioGenerator, Violation,
 };
 pub use knowledge::{KnowledgeBase, KnowledgeBaseOptions, KnowledgeTotals, PoolKey, WarmStart};
+pub use recovery::{DurableFleet, DurableOptions, DurableStorage, RecoveryReport};
 pub use scenario::{
-    run_scenario, Scenario, ScenarioError, ScenarioEvent, ScenarioReport, ScenarioStep,
+    run_scenario, FaultSchedule, Scenario, ScenarioError, ScenarioEvent, ScenarioReport,
+    ScenarioStep,
 };
-pub use scheduler::{RoundPlan, SchedulerOptions, SessionScheduler, TenantStatus};
+pub use scheduler::{HealthClass, RoundPlan, SchedulerOptions, SessionScheduler, TenantStatus};
 pub use service::{FleetOptions, FleetReport, FleetService, FleetSnapshot, SloReport};
 pub use tenant::{
-    TenantSession, TenantSessionState, TenantSpec, TenantSummary, WorkloadDrift, WorkloadFamily,
+    RetryPolicy, SessionHealth, TenantSession, TenantSessionState, TenantSpec, TenantSummary,
+    WorkloadDrift, WorkloadFamily,
 };
+pub use wal::{WalEntry, WalScan, WriteAheadLog};

@@ -1,0 +1,402 @@
+//! Crash-safe fleet execution: periodic snapshots + a checksummed WAL + deterministic
+//! replay recovery.
+//!
+//! [`DurableFleet`] wraps a [`FleetService`] driven by a [`Scenario`] and maintains a
+//! [`DurableStorage`] — the state that would survive a crash: the last periodic snapshot
+//! plus a [`WriteAheadLog`] of per-round commit records. The fleet's determinism contract
+//! does the heavy lifting: a round's outcome is a pure function of the snapshot it
+//! started from and the scenario, so the *redo function is re-execution*. WAL entries
+//! carry no observations — only a sequence number, the committed round, and an
+//! FNV-1a-64 digest of the canonical post-round snapshot JSON that the replay is
+//! verified against.
+//!
+//! The recovery invariant — enforced by `bench --bin fault_injection` in CI and fuzzed
+//! by the `crash_recovery_bit_identity` property — is:
+//!
+//! > Kill the process after *any* round (tearing an arbitrary number of bytes off the
+//! > WAL tail), recover from the surviving storage, and continue to the horizon: the
+//! > final snapshot is **bit-identical** to a run that was never interrupted.
+//!
+//! Torn WAL tails are detected by checksum and dropped (the round they would have
+//! committed is simply re-executed); mid-journal corruption and digest mismatches fail
+//! recovery with a typed [`FleetError`] rather than resurrecting a wrong state.
+
+use crate::error::FleetError;
+use crate::scenario::Scenario;
+use crate::service::{FleetService, FleetSnapshot};
+use crate::wal::{fnv1a64, WriteAheadLog};
+use telemetry::{CounterId, EventKind, TelemetryHandle};
+
+/// Options of a [`DurableFleet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DurableOptions {
+    /// A full snapshot is taken (and the WAL truncated) every `snapshot_interval`
+    /// committed rounds. `1` snapshots every round (an always-empty WAL); larger values
+    /// trade recovery replay work for snapshot serialization work.
+    pub snapshot_interval: usize,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            snapshot_interval: 4,
+        }
+    }
+}
+
+/// What survives a crash: the last periodic snapshot and the WAL bytes written since.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurableStorage {
+    /// Canonical JSON of the last periodic snapshot.
+    pub snapshot_json: String,
+    /// Fleet round counter at the moment the snapshot was taken.
+    pub snapshot_round: usize,
+    /// Raw WAL bytes appended since that snapshot (possibly torn by the crash).
+    pub wal_bytes: Vec<u8>,
+}
+
+/// What [`DurableFleet::recover`] did.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RecoveryReport {
+    /// Round the recovered snapshot anchored the replay at.
+    pub snapshot_round: usize,
+    /// Rounds re-executed from the WAL's commit records.
+    pub replayed_rounds: usize,
+    /// Bytes of torn WAL tail dropped (0 after a clean shutdown).
+    pub torn_bytes: usize,
+}
+
+/// A crash-safe wrapper around a scenario-driven fleet.
+///
+/// Construction takes a genesis snapshot, so [`DurableFleet::storage`] is total — there
+/// is no window in which a crash loses everything. Each [`DurableFleet::run_round`]
+/// fires the scenario steps due at the current round, executes the round, appends a
+/// commit record to the WAL, and every [`DurableOptions::snapshot_interval`] rounds
+/// replaces the snapshot and truncates the WAL.
+pub struct DurableFleet {
+    // FleetService holds live sessions (no Debug); summarize instead.
+    svc: FleetService,
+    scenario: Scenario,
+    options: DurableOptions,
+    wal: WriteAheadLog,
+    snapshot_json: String,
+    snapshot_round: usize,
+    rounds_since_snapshot: usize,
+}
+
+impl std::fmt::Debug for DurableFleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableFleet")
+            .field("rounds", &self.svc.rounds())
+            .field("scenario", &self.scenario.name)
+            .field("snapshot_round", &self.snapshot_round)
+            .field("wal_bytes", &self.wal.len_bytes())
+            .finish()
+    }
+}
+
+impl DurableFleet {
+    /// Wraps a service and its driving scenario, taking the genesis snapshot.
+    pub fn new(svc: FleetService, scenario: Scenario, options: DurableOptions) -> Self {
+        let snapshot_json = svc.canonical_snapshot_json();
+        let snapshot_round = svc.rounds();
+        DurableFleet {
+            svc,
+            scenario,
+            options,
+            wal: WriteAheadLog::new(),
+            snapshot_json,
+            snapshot_round,
+            rounds_since_snapshot: 0,
+        }
+    }
+
+    /// The wrapped service.
+    pub fn service(&self) -> &FleetService {
+        &self.svc
+    }
+
+    /// Mutable access to the wrapped service (telemetry installation etc.).
+    pub fn service_mut(&mut self) -> &mut FleetService {
+        &mut self.svc
+    }
+
+    /// The driving scenario.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The live WAL.
+    pub fn wal(&self) -> &WriteAheadLog {
+        &self.wal
+    }
+
+    /// Fires due scenario steps, executes one round, and commits it to the WAL.
+    /// Returns the iterations the round executed.
+    pub fn run_round(&mut self) -> Result<usize, FleetError> {
+        let round = self.svc.rounds();
+        for step in self.scenario.due_at(round) {
+            step.event
+                .apply(&mut self.svc)
+                .map_err(FleetError::Scenario)?;
+        }
+        let iterations = self.svc.run_round();
+        let json = self.svc.canonical_snapshot_json();
+        self.wal
+            .append(self.svc.rounds() as u64, fnv1a64(json.as_bytes()));
+        self.svc.telemetry().incr(CounterId::WalAppends);
+        self.rounds_since_snapshot += 1;
+        if self.rounds_since_snapshot >= self.options.snapshot_interval.max(1) {
+            self.snapshot_json = json;
+            self.snapshot_round = self.svc.rounds();
+            self.rounds_since_snapshot = 0;
+            self.wal.clear();
+        }
+        Ok(iterations)
+    }
+
+    /// Runs `n` rounds; returns the total iterations executed.
+    pub fn run_rounds(&mut self, n: usize) -> Result<usize, FleetError> {
+        let mut total = 0;
+        for _ in 0..n {
+            total += self.run_round()?;
+        }
+        Ok(total)
+    }
+
+    /// The state a crash right now would leave behind.
+    pub fn storage(&self) -> DurableStorage {
+        DurableStorage {
+            snapshot_json: self.snapshot_json.clone(),
+            snapshot_round: self.snapshot_round,
+            wal_bytes: self.wal.bytes().to_vec(),
+        }
+    }
+
+    /// Simulates a crash that loses the last `torn` bytes of the WAL and returns what
+    /// survives. (`torn` larger than the journal tears it to empty.)
+    pub fn crash(&self, torn: usize) -> DurableStorage {
+        let mut storage = self.storage();
+        let keep = storage.wal_bytes.len().saturating_sub(torn);
+        storage.wal_bytes.truncate(keep);
+        storage
+    }
+
+    /// Recovers a durable fleet from crash-surviving storage: restores the snapshot,
+    /// drops any torn WAL tail, re-executes the committed rounds under the scenario, and
+    /// verifies each replayed round's state digest against the WAL's commit record.
+    ///
+    /// The recovered fleet continues **bit-identically** to the crashed one: re-executed
+    /// rounds are pure functions of restored state, so replaying them reproduces the
+    /// exact bytes the digests were computed from. A digest mismatch means the replay
+    /// diverged (damaged snapshot, wrong scenario) and fails with
+    /// [`FleetError::RecoveryDivergence`] instead of resurrecting a wrong state.
+    pub fn recover(
+        storage: &DurableStorage,
+        scenario: Scenario,
+        options: DurableOptions,
+        telemetry: TelemetryHandle,
+    ) -> Result<(Self, RecoveryReport), FleetError> {
+        let scan = WriteAheadLog::from_bytes(storage.wal_bytes.clone())?.scan()?;
+        let mut svc = FleetService::restore_with_telemetry(
+            serde_json::from_str::<FleetSnapshot>(&storage.snapshot_json)
+                .map_err(|e| FleetError::SnapshotParse(e.to_string()))?,
+            telemetry,
+        )?;
+        svc.telemetry().add(
+            CounterId::WalTornEntriesDropped,
+            (scan.torn_bytes > 0) as u64,
+        );
+        // Re-execute every committed round, checking each digest as we go.
+        for entry in &scan.entries {
+            for step in scenario.due_at(svc.rounds()) {
+                step.event.apply(&mut svc).map_err(FleetError::Scenario)?;
+            }
+            svc.run_round();
+            svc.telemetry().incr(CounterId::RecoveryReplays);
+            let digest = fnv1a64(svc.canonical_snapshot_json().as_bytes());
+            if digest != entry.digest {
+                return Err(FleetError::RecoveryDivergence {
+                    round: entry.round as usize,
+                    expected: entry.digest,
+                    actual: digest,
+                });
+            }
+        }
+        let report = RecoveryReport {
+            snapshot_round: storage.snapshot_round,
+            replayed_rounds: scan.entries.len(),
+            torn_bytes: scan.torn_bytes,
+        };
+        if svc.telemetry().is_enabled() {
+            svc.telemetry().event(
+                EventKind::WalRecovered,
+                "fleet",
+                &format!(
+                    "snapshot@{} +{} replayed, {} torn bytes dropped",
+                    report.snapshot_round, report.replayed_rounds, report.torn_bytes
+                ),
+            );
+        }
+        // Rebuild the durable wrapper anchored at a fresh post-recovery snapshot; the
+        // torn/old WAL bytes are superseded.
+        let mut durable = DurableFleet::new(svc, scenario, options);
+        durable.wal = WriteAheadLog::new();
+        Ok((durable, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{FaultSchedule, ScenarioEvent};
+    use crate::service::{small_tuner_options, FleetOptions};
+    use crate::tenant::{TenantSpec, WorkloadFamily};
+    use crate::wal::FRAME_LEN;
+    use simdb::FaultKind;
+
+    fn small_service(n: usize) -> FleetService {
+        let mut svc = FleetService::new(FleetOptions {
+            workers: 1,
+            tuner: small_tuner_options(),
+            ..Default::default()
+        });
+        for i in 0..n {
+            let family = WorkloadFamily::ALL[i % WorkloadFamily::ALL.len()];
+            let mut spec = TenantSpec::named(format!("t{i}"), family, 4000 + i as u64);
+            spec.deterministic = true;
+            svc.admit(spec);
+        }
+        svc
+    }
+
+    fn faulty_scenario() -> Scenario {
+        Scenario::new("durable-test")
+            .at(
+                2,
+                ScenarioEvent::InjectFault {
+                    tenant: "t0".into(),
+                    kind: FaultKind::Failure,
+                    schedule: FaultSchedule::Burst { count: 4 },
+                },
+            )
+            .at(
+                4,
+                ScenarioEvent::ScaleData {
+                    tenant: "t1".into(),
+                    factor: 1.5,
+                },
+            )
+    }
+
+    fn reference_snapshot(rounds: usize) -> String {
+        let mut fleet = DurableFleet::new(
+            small_service(2),
+            faulty_scenario(),
+            DurableOptions::default(),
+        );
+        fleet.run_rounds(rounds).unwrap();
+        fleet.service().canonical_snapshot_json()
+    }
+
+    #[test]
+    fn rounds_commit_to_the_wal_and_snapshots_truncate_it() {
+        let mut fleet = DurableFleet::new(
+            small_service(2),
+            faulty_scenario(),
+            DurableOptions {
+                snapshot_interval: 3,
+            },
+        );
+        fleet.run_rounds(2).unwrap();
+        assert_eq!(fleet.wal().scan().unwrap().entries.len(), 2);
+        fleet.run_round().unwrap();
+        // Third round hit the snapshot interval: WAL truncated, snapshot advanced.
+        assert_eq!(fleet.wal().len_bytes(), 0);
+        assert_eq!(fleet.storage().snapshot_round, 3);
+    }
+
+    #[test]
+    fn crash_at_every_round_recovers_bit_identically() {
+        let horizon = 7;
+        let reference = reference_snapshot(horizon);
+        for kill_round in 1..horizon {
+            let mut fleet = DurableFleet::new(
+                small_service(2),
+                faulty_scenario(),
+                DurableOptions::default(),
+            );
+            fleet.run_rounds(kill_round).unwrap();
+            // Tear a round-dependent number of bytes off the WAL tail, torn frames
+            // included: recovery must cope with any cut.
+            let storage = fleet.crash((kill_round * 11) % (FRAME_LEN + 5));
+            let (mut recovered, report) = DurableFleet::recover(
+                &storage,
+                faulty_scenario(),
+                DurableOptions::default(),
+                TelemetryHandle::disabled(),
+            )
+            .unwrap_or_else(|e| panic!("kill at round {kill_round}: {e}"));
+            assert!(report.replayed_rounds + report.snapshot_round <= kill_round);
+            recovered
+                .run_rounds(horizon - recovered.service().rounds())
+                .unwrap();
+            assert_eq!(
+                recovered.service().canonical_snapshot_json(),
+                reference,
+                "kill at round {kill_round}"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_from_a_wrong_scenario_is_a_typed_divergence() {
+        let mut fleet = DurableFleet::new(
+            small_service(2),
+            faulty_scenario(),
+            DurableOptions::default(),
+        );
+        fleet.run_rounds(3).unwrap();
+        let storage = fleet.storage();
+        // Replaying under a different timeline produces different bytes than the WAL
+        // digests committed — recovery must refuse, not resurrect a wrong state.
+        let wrong = Scenario::new("wrong").at(
+            1,
+            ScenarioEvent::ScaleData {
+                tenant: "t0".into(),
+                factor: 9.0,
+            },
+        );
+        let err = DurableFleet::recover(
+            &storage,
+            wrong,
+            DurableOptions::default(),
+            TelemetryHandle::disabled(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, FleetError::RecoveryDivergence { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn mid_journal_corruption_fails_recovery_with_a_typed_error() {
+        let mut fleet = DurableFleet::new(
+            small_service(1),
+            Scenario::new("plain"),
+            DurableOptions::default(),
+        );
+        fleet.run_rounds(3).unwrap();
+        let mut storage = fleet.storage();
+        storage.wal_bytes[6] ^= 0x10;
+        let err = DurableFleet::recover(
+            &storage,
+            Scenario::new("plain"),
+            DurableOptions::default(),
+            TelemetryHandle::disabled(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, FleetError::WalCorrupt { .. }), "{err}");
+    }
+}

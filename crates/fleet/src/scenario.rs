@@ -27,7 +27,28 @@
 
 use crate::service::FleetService;
 use crate::tenant::{TenantSpec, TenantSummary, WorkloadDrift};
-use simdb::HardwareSpec;
+use simdb::{FaultKind, HardwareSpec};
+
+/// When the injected faults of a [`ScenarioEvent::InjectFault`] strike.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum FaultSchedule {
+    /// The tenant's next `count` measurement attempts fault, back to back.
+    Burst {
+        /// Consecutive faulted attempts.
+        count: usize,
+    },
+    /// Each of the tenant's next `duration` measurement attempts faults independently
+    /// with probability `rate`, drawn from a dedicated `StdRng` seeded with `seed` (so
+    /// the fault stream never perturbs the tenant's own noise stream).
+    Seeded {
+        /// Seed of the fault-plan RNG.
+        seed: u64,
+        /// Per-attempt fault probability in `[0, 1]`.
+        rate: f64,
+        /// Length of the fault window in measurement attempts.
+        duration: usize,
+    },
+}
 
 /// One scripted environment change.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -79,6 +100,18 @@ pub enum ScenarioEvent {
         tenant: String,
         /// The drift transform to apply.
         drift: WorkloadDrift,
+    },
+    /// Measurement faults are scheduled against the named tenant's instance: its next
+    /// attempts fail, time out, or report corrupted scores according to `schedule` (see
+    /// [`simdb::FaultPlan`]). The fault plan lands in the instance's snapshot state, so
+    /// the injection replays bit-identically like every other event.
+    InjectFault {
+        /// Name of the afflicted tenant.
+        tenant: String,
+        /// What kind of fault strikes.
+        kind: FaultKind,
+        /// When the faults strike.
+        schedule: FaultSchedule,
     },
 }
 
@@ -133,6 +166,24 @@ impl ScenarioEvent {
                     .ok_or_else(|| format!("no tenant named `{tenant}`"))?;
                 session.apply_drift(drift.clone());
                 Ok(format!("drift {tenant} ({drift:?})"))
+            }
+            ScenarioEvent::InjectFault {
+                tenant,
+                kind,
+                schedule,
+            } => {
+                let session = svc
+                    .session_mut(tenant)
+                    .ok_or_else(|| format!("no tenant named `{tenant}`"))?;
+                match *schedule {
+                    FaultSchedule::Burst { count } => session.inject_faults(*kind, count),
+                    FaultSchedule::Seeded {
+                        seed,
+                        rate,
+                        duration,
+                    } => session.inject_seeded_faults(*kind, rate, duration, seed),
+                }
+                Ok(format!("inject-fault {tenant} ({})", kind.name()))
             }
         }
     }
@@ -288,7 +339,8 @@ impl Scenario {
                 ScenarioEvent::Migrate { tenant, .. }
                 | ScenarioEvent::Resize { tenant, .. }
                 | ScenarioEvent::ScaleData { tenant, .. }
-                | ScenarioEvent::Drift { tenant, .. } => {
+                | ScenarioEvent::Drift { tenant, .. }
+                | ScenarioEvent::InjectFault { tenant, .. } => {
                     if !live.contains(&tenant.as_str()) {
                         return Err(ScenarioError::UnknownTenant {
                             step: i,

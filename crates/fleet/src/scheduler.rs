@@ -30,6 +30,21 @@ impl Default for SchedulerOptions {
     }
 }
 
+/// How the scheduler should treat a tenant this round, derived from the session's
+/// fault-handling state (see `tenant::SessionHealth`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HealthClass {
+    /// Full participation: fairness floor plus regret bonus.
+    #[default]
+    Active,
+    /// Sitting out a retry backoff: zero slots this round.
+    Suspended,
+    /// Quarantined with a probe due: exactly one slot, no bonus.
+    Probe,
+    /// Quarantined between probes: zero slots.
+    Dormant,
+}
+
 /// Per-tenant signals the scheduler consumes.
 #[derive(Debug, Clone, Copy)]
 pub struct TenantStatus {
@@ -37,6 +52,19 @@ pub struct TenantStatus {
     pub recent_regret: f64,
     /// Iterations the tenant has performed in total.
     pub iterations: usize,
+    /// Fault-handling class for this round.
+    pub health: HealthClass,
+}
+
+impl TenantStatus {
+    /// A healthy (fully participating) status.
+    pub fn active(recent_regret: f64, iterations: usize) -> Self {
+        TenantStatus {
+            recent_regret,
+            iterations,
+            health: HealthClass::Active,
+        }
+    }
 }
 
 /// The slot assignment of one round.
@@ -123,13 +151,27 @@ impl SessionScheduler {
             };
         }
 
-        // Fairness floor: every tenant gets the base slots.
-        let mut slots = vec![self.options.base_slots; n];
+        // Fairness floor for active tenants; suspended/dormant tenants sit out the
+        // round entirely and a due probe gets exactly one slot. The floor (and the
+        // bonus below) deliberately ignores unhealthy tenants: deprioritizing a
+        // quarantined session must never shrink what its healthy peers receive.
+        let mut slots: Vec<usize> = statuses
+            .iter()
+            .map(|st| match st.health {
+                HealthClass::Active => self.options.base_slots,
+                HealthClass::Probe => 1,
+                HealthClass::Suspended | HealthClass::Dormant => 0,
+            })
+            .collect();
 
-        // Priority: the top share of tenants by recent regret get bonus slots.
-        if self.options.bonus_slots > 0 && self.options.bonus_fraction > 0.0 {
-            let k = ((n as f64 * self.options.bonus_fraction).ceil() as usize).clamp(1, n);
-            let mut ranked: Vec<usize> = (0..n).collect();
+        // Priority: the top share of *active* tenants by recent regret get bonus slots.
+        let active: Vec<usize> = (0..n)
+            .filter(|&i| statuses[i].health == HealthClass::Active)
+            .collect();
+        if self.options.bonus_slots > 0 && self.options.bonus_fraction > 0.0 && !active.is_empty() {
+            let k = ((active.len() as f64 * self.options.bonus_fraction).ceil() as usize)
+                .clamp(1, active.len());
+            let mut ranked = active;
             ranked.sort_by(|&a, &b| {
                 statuses[b]
                     .recent_regret
@@ -169,9 +211,14 @@ mod tests {
     use super::*;
 
     fn status(r: f64) -> TenantStatus {
+        TenantStatus::active(r, 10)
+    }
+
+    fn unhealthy(r: f64, health: HealthClass) -> TenantStatus {
         TenantStatus {
             recent_regret: r,
             iterations: 10,
+            health,
         }
     }
 
@@ -253,6 +300,49 @@ mod tests {
         assert_eq!(s.granted().len(), 0);
         let plan = s.plan_round(&[]);
         assert_eq!(plan.total_slots(), 0);
+    }
+
+    #[test]
+    fn suspended_and_dormant_tenants_get_zero_slots_and_probes_exactly_one() {
+        let mut s = SessionScheduler::new(SchedulerOptions {
+            base_slots: 2,
+            bonus_slots: 3,
+            bonus_fraction: 1.0,
+        });
+        let statuses = vec![
+            unhealthy(100.0, HealthClass::Suspended),
+            unhealthy(100.0, HealthClass::Dormant),
+            unhealthy(100.0, HealthClass::Probe),
+            status(0.5),
+        ];
+        let plan = s.plan_round(&statuses);
+        assert_eq!(plan.slots[0], 0, "suspended sits out");
+        assert_eq!(plan.slots[1], 0, "dormant sits out");
+        assert_eq!(
+            plan.slots[2], 1,
+            "a due probe gets exactly one slot, no bonus"
+        );
+        assert!(plan.slots[3] >= 2, "active tenants keep the full floor");
+    }
+
+    #[test]
+    fn bonus_ranking_ignores_unhealthy_tenants() {
+        // The highest-regret tenant is quarantined; the bonus must flow to the best
+        // *active* tenant instead of being burned on an unschedulable one.
+        let mut s = SessionScheduler::new(SchedulerOptions {
+            base_slots: 1,
+            bonus_slots: 3,
+            bonus_fraction: 0.25,
+        });
+        let statuses = vec![
+            unhealthy(500.0, HealthClass::Dormant),
+            status(1.0),
+            status(50.0),
+            status(2.0),
+        ];
+        let plan = s.plan_round(&statuses);
+        assert_eq!(plan.slots[0], 0);
+        assert_eq!(plan.slots[2], 4, "bonus goes to the best active tenant");
     }
 
     #[test]

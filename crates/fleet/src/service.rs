@@ -8,9 +8,10 @@
 //! deterministic regardless of thread timing. That determinism is what makes the
 //! fleet-wide snapshot/restore replay test meaningful.
 
+use crate::error::FleetError;
 use crate::knowledge::{KnowledgeBase, KnowledgeBaseOptions, KnowledgeTotals, PoolKey};
 use crate::scheduler::{SchedulerOptions, SessionScheduler, TenantStatus};
-use crate::tenant::{TenantSession, TenantSessionState, TenantSpec, TenantSummary};
+use crate::tenant::{RetryPolicy, TenantSession, TenantSessionState, TenantSpec, TenantSummary};
 use onlinetune::subspace::SubspaceOptions;
 use onlinetune::OnlineTuneOptions;
 use telemetry::{CounterId, EventKind, GaugeId, SpanId, TelemetryHandle};
@@ -46,6 +47,11 @@ pub struct FleetOptions {
     /// hyperopt parallelism through [`FleetOptions::hyperopt_workers`] instead (the
     /// nested field remains meaningful for standalone, non-fleet tuners).
     pub tuner: OnlineTuneOptions,
+    /// Fault handling applied to every tenant: retry/backoff bounds and the quarantine
+    /// probation schedule (see [`RetryPolicy`]). Counted in scheduler rounds, so the
+    /// policy is deterministic and snapshot-replayable like everything else.
+    #[serde(default)]
+    pub retry: RetryPolicy,
 }
 
 impl Default for FleetOptions {
@@ -57,6 +63,7 @@ impl Default for FleetOptions {
             knowledge: KnowledgeBaseOptions::default(),
             warm_start_on_admit: true,
             tuner: OnlineTuneOptions::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -218,6 +225,7 @@ impl FleetService {
         // at admission, when the session's tuner options are fixed.
         tuner.cluster.hyperopt_workers = self.effective_hyperopt_workers();
         let mut session = TenantSession::new(spec, tuner);
+        session.set_retry_policy(self.options.retry);
         session.set_telemetry(&self.telemetry);
         if self.options.warm_start_on_admit {
             let warm = self.knowledge.warm_start(&key);
@@ -436,6 +444,7 @@ impl FleetService {
             .map(|t| TenantStatus {
                 recent_regret: t.recent_regret(),
                 iterations: t.iteration(),
+                health: t.scheduling_class(),
             })
             .collect();
         let span = self.telemetry.begin_span();
@@ -470,6 +479,12 @@ impl FleetService {
         // Deterministic knowledge merge.
         for i in 0..self.tenants.len() {
             self.merge_contribution(i);
+        }
+
+        // Advance every tenant's fault clock: backoffs count down and quarantined
+        // tenants accrue probation credit in *rounds*, never wall time.
+        for session in &mut self.tenants {
+            session.tick_round();
         }
 
         self.rounds += 1;
@@ -606,6 +621,15 @@ impl FleetService {
         serde_json::to_string(&self.snapshot()).map_err(|e| e.to_string())
     }
 
+    /// [`FleetService::snapshot_json`] as an infallible convenience: serialization of an
+    /// in-memory snapshot cannot fail for well-formed state, and recovery paths need the
+    /// canonical bytes without error plumbing. These are the bytes the WAL digests and
+    /// the crash-recovery bit-identity checks compare.
+    pub fn canonical_snapshot_json(&self) -> String {
+        self.snapshot_json()
+            .expect("an in-memory fleet snapshot always serializes")
+    }
+
     /// Rebuilds a service from a snapshot; every session continues bit-identically.
     ///
     /// The hyperopt worker grant is re-clamped against *this* machine's parallelism
@@ -613,7 +637,10 @@ impl FleetService {
     /// combined budget of [`FleetOptions::hyperopt_workers`] must hold where the fleet
     /// actually runs). Hyperopt results are worker-count independent, so the re-grant
     /// cannot perturb replay.
-    pub fn restore(snapshot: FleetSnapshot) -> Result<Self, String> {
+    ///
+    /// Malformed per-tenant state surfaces as [`FleetError::TenantRestore`] naming the
+    /// offending tenant — a damaged snapshot degrades into a typed error, not a panic.
+    pub fn restore(snapshot: FleetSnapshot) -> Result<Self, FleetError> {
         let tenants = snapshot
             .tenants
             .into_iter()
@@ -640,7 +667,7 @@ impl FleetService {
     pub fn restore_with_telemetry(
         snapshot: FleetSnapshot,
         telemetry: TelemetryHandle,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, FleetError> {
         let mut svc = FleetService::restore(snapshot)?;
         svc.set_telemetry(telemetry);
         svc.telemetry.incr(CounterId::RestoresCompleted);
@@ -655,8 +682,11 @@ impl FleetService {
     }
 
     /// Restores a service from JSON produced by [`FleetService::snapshot_json`].
-    pub fn restore_json(json: &str) -> Result<Self, String> {
-        let snapshot: FleetSnapshot = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    /// Truncated or bit-flipped bytes yield [`FleetError::SnapshotParse`]; structurally
+    /// valid JSON with a broken tenant yields [`FleetError::TenantRestore`].
+    pub fn restore_json(json: &str) -> Result<Self, FleetError> {
+        let snapshot: FleetSnapshot =
+            serde_json::from_str(json).map_err(|e| FleetError::SnapshotParse(e.to_string()))?;
         FleetService::restore(snapshot)
     }
 }
@@ -912,6 +942,87 @@ mod tests {
                 summary.warm_start_safe
             );
         }
+    }
+
+    #[test]
+    fn malformed_snapshots_restore_as_typed_errors_not_panics() {
+        let mut svc = small_service(2, 1);
+        svc.run_rounds(1);
+        let json = svc.snapshot_json().unwrap();
+
+        // Truncated bytes (a torn snapshot write).
+        let truncated = &json[..json.len() / 2];
+        let Err(err) = FleetService::restore_json(truncated) else {
+            panic!("a truncated snapshot must not restore");
+        };
+        assert!(matches!(err, FleetError::SnapshotParse(_)), "{err}");
+
+        // A bit-flip that breaks the JSON structure itself.
+        let flipped = json.replacen('{', "[", 1);
+        let Err(err) = FleetService::restore_json(&flipped) else {
+            panic!("a structurally broken snapshot must not restore");
+        };
+        assert!(matches!(err, FleetError::SnapshotParse(_)), "{err}");
+
+        // Structurally valid JSON whose first tenant references an unknown knob: the
+        // typed error names the offending tenant.
+        let tenants_at = json.find("\"tenants\"").unwrap();
+        let (head, tail) = json.split_at(tenants_at);
+        let poisoned = format!(
+            "{head}{}",
+            tail.replacen("innodb_buffer_pool_size", "bogus_knob_zzz", 1)
+        );
+        let Err(err) = FleetService::restore_json(&poisoned) else {
+            panic!("a poisoned tenant must not restore");
+        };
+        match err {
+            FleetError::TenantRestore { tenant, reason } => {
+                assert_eq!(tenant, "tenant-0");
+                assert!(reason.contains("unknown knob"), "{reason}");
+            }
+            other => panic!("expected TenantRestore, got {other}"),
+        }
+    }
+
+    #[test]
+    fn quarantine_deprioritizes_without_starving_healthy_tenants() {
+        use crate::tenant::SessionHealth;
+        use simdb::FaultKind;
+
+        let mut svc = small_service(3, 1);
+        svc.set_telemetry(TelemetryHandle::enabled());
+        // Tenant 0 faults on every attempt for a long stretch: it must walk through
+        // backoff into quarantine while the other two keep full progress.
+        svc.session_mut("tenant-0")
+            .unwrap()
+            .inject_faults(FaultKind::Timeout, 50);
+        for round in 0..12 {
+            let before: Vec<usize> = ["tenant-1", "tenant-2"]
+                .iter()
+                .map(|n| svc.session(n).unwrap().iteration())
+                .collect();
+            svc.run_round();
+            for (i, name) in ["tenant-1", "tenant-2"].iter().enumerate() {
+                assert!(
+                    svc.session(name).unwrap().iteration() > before[i],
+                    "{name} starved at round {round}"
+                );
+            }
+        }
+        let sick = svc.session("tenant-0").unwrap();
+        assert!(
+            matches!(sick.health(), SessionHealth::Quarantined { .. }),
+            "50 consecutive faults must exhaust the retry budget: {:?}",
+            sick.health()
+        );
+        let snap = svc.metrics_snapshot();
+        assert_eq!(snap.counter(CounterId::Quarantines), 1);
+        assert!(snap.counter(CounterId::MeasurementFaults) >= 3);
+        assert!(
+            snap.counter(CounterId::ProbeIterations) >= 1,
+            "quarantine must keep probing, not forget the tenant"
+        );
+        assert!(snap.counter(CounterId::FaultBackoffs) >= 2);
     }
 
     #[test]

@@ -379,6 +379,99 @@ pub struct TenantSummary {
     pub warm_start_safe: usize,
     /// Observations received from the knowledge base at warm start.
     pub warm_start_observations: usize,
+    /// Fault-handling state at the time of the summary.
+    #[serde(default)]
+    pub health: SessionHealth,
+    /// Lifetime faulted measurement attempts (a faulted attempt consumes a scheduler
+    /// slot without advancing `iterations` — fairness accounting sums both).
+    #[serde(default)]
+    pub faulted_count: usize,
+}
+
+/// Where a session stands in the fault-handling state machine.
+///
+/// Transitions are driven exclusively by measurement outcomes and scheduler rounds —
+/// no wall clock, no RNG — so a restored snapshot replays the exact same trajectory:
+///
+/// ```text
+///            fault (attempt < max)                attempts exhausted
+/// Healthy ──────────────────────▶ Backoff ─ ... ─▶ Quarantined
+///    ▲   ◀──── backoff expires ─────┘                   │ ▲
+///    │                                                  ▼ │ probe faults
+///    └──────── `readmit_after` probe successes ──── probation
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub enum SessionHealth {
+    /// Normal tuning; full scheduler participation.
+    #[default]
+    Healthy,
+    /// A measurement faulted; the session sits out `remaining` scheduler rounds before
+    /// retrying (exponential in the consecutive-fault attempt number).
+    Backoff {
+        /// Rounds left to sit out.
+        remaining: usize,
+        /// Which consecutive fault attempt produced this backoff (1-based).
+        attempt: usize,
+    },
+    /// The retry budget is exhausted: the session pins its last known-safe
+    /// configuration and only runs periodic probe iterations until probation passes.
+    Quarantined {
+        /// Rounds since the last probe ran (probes are due every
+        /// [`RetryPolicy::probation_interval`] rounds).
+        rounds_since_probe: usize,
+        /// Consecutive successful probes; reaching [`RetryPolicy::readmit_after`]
+        /// readmits the session.
+        probation_successes: usize,
+    },
+}
+
+impl SessionHealth {
+    /// Stable export label (used in summaries and bench reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SessionHealth::Healthy => "healthy",
+            SessionHealth::Backoff { .. } => "backoff",
+            SessionHealth::Quarantined { .. } => "quarantined",
+        }
+    }
+}
+
+/// Deterministic fault-handling knobs of one session. All quantities are measured in
+/// scheduler rounds or attempt counts — never wall-clock time — which is what keeps
+/// retry behavior inside the bit-identical replay contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RetryPolicy {
+    /// Consecutive faulted attempts tolerated before quarantine.
+    pub max_attempts: usize,
+    /// Backoff after the first faulted attempt, in rounds; attempt `k` waits
+    /// `backoff_base << (k-1)` rounds.
+    pub backoff_base: usize,
+    /// Upper bound on any single backoff, in rounds.
+    pub backoff_cap: usize,
+    /// Rounds between probe iterations while quarantined.
+    pub probation_interval: usize,
+    /// Consecutive successful probes required for readmission.
+    pub readmit_after: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base: 1,
+            backoff_cap: 8,
+            probation_interval: 2,
+            readmit_after: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff duration in rounds for the `attempt`-th consecutive fault (1-based).
+    pub fn backoff_rounds(&self, attempt: usize) -> usize {
+        let shift = attempt.saturating_sub(1).min(16);
+        (self.backoff_base.max(1) << shift).min(self.backoff_cap.max(1))
+    }
 }
 
 /// A running tuning session for one tenant.
@@ -397,6 +490,15 @@ pub struct TenantSession {
     pending: Contribution,
     warm_start_safe: usize,
     warm_start_observations: usize,
+    health: SessionHealth,
+    retry: RetryPolicy,
+    /// Consecutive faulted measurement attempts (resets on any success).
+    fault_attempts: usize,
+    /// Total faulted measurement attempts over the session's lifetime.
+    faulted_count: usize,
+    /// Last configuration measured safe; quarantined probes pin this (falling back to
+    /// the reference configuration before the first safe measurement).
+    last_safe_config: Option<Configuration>,
     /// Observability sink (runtime-only, never serialized): a child of the fleet's
     /// telemetry core, so the session can record from its worker thread without
     /// contending with other tenants. Read-only w.r.t. tuning state.
@@ -429,6 +531,21 @@ pub struct TenantSessionState {
     /// Observations received at warm start.
     #[serde(default)]
     pub warm_start_observations: usize,
+    /// Fault-handling state (`default` keeps pre-fault-model snapshots readable).
+    #[serde(default)]
+    pub health: SessionHealth,
+    /// Retry/backoff/quarantine policy.
+    #[serde(default)]
+    pub retry: RetryPolicy,
+    /// Consecutive faulted attempts.
+    #[serde(default)]
+    pub fault_attempts: usize,
+    /// Lifetime faulted attempts.
+    #[serde(default)]
+    pub faulted_count: usize,
+    /// Pinned last known-safe configuration.
+    #[serde(default)]
+    pub last_safe_config: Option<Configuration>,
 }
 
 impl TenantSession {
@@ -462,7 +579,9 @@ impl TenantSession {
         let context0 = featurizer.featurize(&queries0, spec0.arrival_rate_qps, &stats0);
         let objective = generator.objective_at(0);
         let score0 = objective.score(&db.peek(&reference, &spec0));
-        tuner.observe(&context0, &reference, score0, None, true);
+        tuner
+            .observe(&context0, &reference, score0, None, true)
+            .expect("the reference peek is noise-free and finite");
 
         TenantSession {
             spec,
@@ -479,6 +598,11 @@ impl TenantSession {
             pending: Contribution::default(),
             warm_start_safe: 0,
             warm_start_observations: 0,
+            health: SessionHealth::Healthy,
+            retry: RetryPolicy::default(),
+            fault_attempts: 0,
+            faulted_count: 0,
+            last_safe_config: None,
             telemetry: TelemetryHandle::disabled(),
         }
     }
@@ -625,7 +749,21 @@ impl TenantSession {
     }
 
     /// Runs one suggest→apply→observe iteration and returns the achieved regret.
+    ///
+    /// A faulted measurement (injected fault marker or non-finite score) feeds *nothing*
+    /// to the tuner: the attempt does not advance the iteration counter (the retry will
+    /// re-attempt the same workload position), increments the fault accounting and moves
+    /// the session into [`SessionHealth::Backoff`] — or [`SessionHealth::Quarantined`]
+    /// once the retry budget is exhausted. Quarantined sessions run probe iterations
+    /// instead (see the health state machine on [`SessionHealth`]).
     pub fn step(&mut self) -> f64 {
+        match self.health {
+            SessionHealth::Healthy => {}
+            // Defensive: the scheduler grants no slots during backoff, but a direct
+            // caller must not bypass it.
+            SessionHealth::Backoff { .. } => return 0.0,
+            SessionHealth::Quarantined { .. } => return self.probe_step(),
+        }
         let span = self.telemetry.begin_span();
         let it = self.iteration;
         let spec = self.generator.spec_at(it);
@@ -646,14 +784,25 @@ impl TenantSession {
         self.db.apply_config(&suggestion.config);
         let eval = self.db.run_interval(&spec, self.spec.interval_s);
         let score = objective.score(&eval.outcome);
+        if eval.fault.is_some() || !score.is_finite() {
+            self.note_fault(eval.fault, score);
+            self.telemetry.end_span(SpanId::Iteration, span);
+            return 0.0;
+        }
+        self.fault_attempts = 0;
         let was_safe = score >= threshold - 0.05 * threshold.abs();
-        self.tuner.observe(
-            &context,
-            &suggestion.config,
-            score,
-            Some(&eval.metrics),
-            was_safe,
-        );
+        self.tuner
+            .observe(
+                &context,
+                &suggestion.config,
+                score,
+                Some(&eval.metrics),
+                was_safe,
+            )
+            .expect("score and context were validated finite above");
+        if was_safe {
+            self.last_safe_config = Some(suggestion.config.clone());
+        }
 
         let regret = (threshold - score).max(0.0);
         self.iteration += 1;
@@ -689,6 +838,224 @@ impl TenantSession {
         regret
     }
 
+    /// Accounts one faulted measurement attempt and advances the health machine:
+    /// backoff while attempts remain, quarantine once the budget is exhausted.
+    fn note_fault(&mut self, fault: Option<simdb::FaultKind>, score: f64) {
+        self.faulted_count += 1;
+        self.fault_attempts += 1;
+        self.telemetry.incr(CounterId::MeasurementFaults);
+        if self.telemetry.is_enabled() {
+            let kind = fault.map(|f| f.name()).unwrap_or("non_finite_score");
+            self.telemetry.event(
+                EventKind::MeasurementFault,
+                &self.spec.name,
+                &format!(
+                    "iteration={} kind={kind} score={score} attempt={}",
+                    self.iteration, self.fault_attempts
+                ),
+            );
+        }
+        if self.fault_attempts >= self.retry.max_attempts {
+            self.health = SessionHealth::Quarantined {
+                rounds_since_probe: 0,
+                probation_successes: 0,
+            };
+            self.telemetry.incr(CounterId::Quarantines);
+            if self.telemetry.is_enabled() {
+                self.telemetry.event(
+                    EventKind::TenantQuarantined,
+                    &self.spec.name,
+                    &format!(
+                        "iteration={} after {} consecutive faults",
+                        self.iteration, self.fault_attempts
+                    ),
+                );
+            }
+        } else {
+            let remaining = self.retry.backoff_rounds(self.fault_attempts);
+            self.health = SessionHealth::Backoff {
+                remaining,
+                attempt: self.fault_attempts,
+            };
+            self.telemetry.incr(CounterId::FaultBackoffs);
+            if self.telemetry.is_enabled() {
+                self.telemetry.event(
+                    EventKind::BackoffStarted,
+                    &self.spec.name,
+                    &format!(
+                        "iteration={} attempt={} rounds={remaining}",
+                        self.iteration, self.fault_attempts
+                    ),
+                );
+            }
+        }
+    }
+
+    /// One probation iteration of a quarantined session: measure the pinned last-safe
+    /// configuration (falling back to the reference) without feeding the tuner. A
+    /// successful probe advances probation; a faulted probe resets it.
+    fn probe_step(&mut self) -> f64 {
+        let SessionHealth::Quarantined {
+            probation_successes,
+            ..
+        } = self.health
+        else {
+            return 0.0;
+        };
+        let span = self.telemetry.begin_span();
+        let it = self.iteration;
+        let spec = self.generator.spec_at(it);
+        let objective = self.generator.objective_at(it);
+        let threshold = objective.score(&self.db.peek(&self.reference, &spec));
+        let probe_config = self
+            .last_safe_config
+            .clone()
+            .unwrap_or_else(|| self.reference.clone());
+        self.db.apply_config(&probe_config);
+        let eval = self.db.run_interval(&spec, self.spec.interval_s);
+        let score = objective.score(&eval.outcome);
+        self.telemetry.incr(CounterId::ProbeIterations);
+
+        if eval.fault.is_some() || !score.is_finite() {
+            // A faulted probe resets probation but is not a new backoff escalation —
+            // the session is already in the deepest degradation state.
+            self.faulted_count += 1;
+            self.telemetry.incr(CounterId::MeasurementFaults);
+            if self.telemetry.is_enabled() {
+                let kind = eval.fault.map(|f| f.name()).unwrap_or("non_finite_score");
+                self.telemetry.event(
+                    EventKind::MeasurementFault,
+                    &self.spec.name,
+                    &format!("iteration={} kind={kind} score={score} probe=true", it),
+                );
+            }
+            self.health = SessionHealth::Quarantined {
+                rounds_since_probe: 0,
+                probation_successes: 0,
+            };
+            self.telemetry.end_span(SpanId::Iteration, span);
+            return 0.0;
+        }
+
+        // A clean probe is a real iteration of the pinned configuration: the workload
+        // position advances and regret/safety accounting continue, but the tuner sees
+        // nothing (quarantine means its suggestions are not trusted to run yet).
+        let was_safe = score >= threshold - 0.05 * threshold.abs();
+        let regret = (threshold - score).max(0.0);
+        self.iteration += 1;
+        self.cumulative_regret += regret;
+        self.total_score += score;
+        if !was_safe {
+            self.unsafe_count += 1;
+        }
+        if self.recent_regret.len() == REGRET_WINDOW {
+            self.recent_regret.pop_front();
+        }
+        self.recent_regret.push_back(regret);
+        self.telemetry.incr(CounterId::Iterations);
+        if !was_safe {
+            self.telemetry.incr(CounterId::UnsafeIterations);
+        }
+
+        let successes = probation_successes + 1;
+        if successes >= self.retry.readmit_after.max(1) {
+            self.health = SessionHealth::Healthy;
+            self.fault_attempts = 0;
+            self.telemetry.incr(CounterId::Readmissions);
+            if self.telemetry.is_enabled() {
+                self.telemetry.event(
+                    EventKind::TenantReadmitted,
+                    &self.spec.name,
+                    &format!(
+                        "iteration={} after {successes} clean probes",
+                        self.iteration
+                    ),
+                );
+            }
+        } else {
+            self.health = SessionHealth::Quarantined {
+                rounds_since_probe: 0,
+                probation_successes: successes,
+            };
+        }
+        self.telemetry.end_span(SpanId::Iteration, span);
+        regret
+    }
+
+    /// Advances round-based health counters; the fleet service calls this once per
+    /// scheduler round for every tenant, after the round's steps ran.
+    pub fn tick_round(&mut self) {
+        match &mut self.health {
+            SessionHealth::Healthy => {}
+            SessionHealth::Backoff { remaining, .. } => {
+                *remaining = remaining.saturating_sub(1);
+                if *remaining == 0 {
+                    self.health = SessionHealth::Healthy;
+                }
+            }
+            SessionHealth::Quarantined {
+                rounds_since_probe, ..
+            } => {
+                *rounds_since_probe += 1;
+            }
+        }
+    }
+
+    /// How the scheduler should treat this session next round.
+    pub fn scheduling_class(&self) -> crate::scheduler::HealthClass {
+        match self.health {
+            SessionHealth::Healthy => crate::scheduler::HealthClass::Active,
+            SessionHealth::Backoff { .. } => crate::scheduler::HealthClass::Suspended,
+            SessionHealth::Quarantined {
+                rounds_since_probe, ..
+            } => {
+                if rounds_since_probe >= self.retry.probation_interval.max(1) {
+                    crate::scheduler::HealthClass::Probe
+                } else {
+                    crate::scheduler::HealthClass::Dormant
+                }
+            }
+        }
+    }
+
+    /// Current fault-handling state.
+    pub fn health(&self) -> SessionHealth {
+        self.health
+    }
+
+    /// Lifetime faulted measurement attempts.
+    pub fn faulted_count(&self) -> usize {
+        self.faulted_count
+    }
+
+    /// The session's retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Installs a retry policy (the fleet service does this at admission so all
+    /// sessions share the fleet-level policy).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Schedules `count` injected measurement faults of `kind` starting with the next
+    /// measurement (scenario-scripted).
+    pub fn inject_faults(&mut self, kind: simdb::FaultKind, count: usize) {
+        self.db.inject_faults(kind, count);
+    }
+
+    /// Opens a seeded probabilistic fault window over the next `intervals` measurements.
+    pub fn inject_seeded_faults(
+        &mut self,
+        kind: simdb::FaultKind,
+        rate: f64,
+        intervals: usize,
+        seed: u64,
+    ) {
+        self.db.inject_seeded_faults(kind, rate, intervals, seed);
+    }
+
     /// Takes the knowledge queued since the last collection.
     pub fn drain_contribution(&mut self) -> Contribution {
         std::mem::take(&mut self.pending)
@@ -708,6 +1075,8 @@ impl TenantSession {
             recluster_count: self.tuner.recluster_count(),
             warm_start_safe: self.warm_start_safe,
             warm_start_observations: self.warm_start_observations,
+            health: self.health,
+            faulted_count: self.faulted_count,
         }
     }
 
@@ -726,14 +1095,26 @@ impl TenantSession {
             recent_regret: self.recent_regret.iter().copied().collect(),
             warm_start_safe: self.warm_start_safe,
             warm_start_observations: self.warm_start_observations,
+            health: self.health,
+            retry: self.retry,
+            fault_attempts: self.fault_attempts,
+            faulted_count: self.faulted_count,
+            last_safe_config: self.last_safe_config.clone(),
         }
     }
 
     /// Rebuilds a session from an exported state; the restored session continues
-    /// bit-identically to the exported one.
-    pub fn restore(state: TenantSessionState) -> Result<Self, String> {
-        let tuner = OnlineTune::restore(state.tuner)?;
-        let db = SimDatabase::restore(state.db)?;
+    /// bit-identically to the exported one. A malformed tenant state — truncated,
+    /// bit-flipped, or referencing unknown knobs — yields a typed
+    /// [`crate::error::FleetError::TenantRestore`] naming the tenant, never a panic.
+    pub fn restore(state: TenantSessionState) -> Result<Self, crate::error::FleetError> {
+        let name = state.spec.name.clone();
+        let tenant_err = |reason: String| crate::error::FleetError::TenantRestore {
+            tenant: name.clone(),
+            reason,
+        };
+        let tuner = OnlineTune::restore(state.tuner).map_err(&tenant_err)?;
+        let db = SimDatabase::restore(state.db).map_err(&tenant_err)?;
         let featurizer = ContextFeaturizer::with_defaults();
         let generator = state.spec.build_generator();
         let reference = Configuration::dba_default(tuner.catalogue());
@@ -752,6 +1133,11 @@ impl TenantSession {
             pending: Contribution::default(),
             warm_start_safe: state.warm_start_safe,
             warm_start_observations: state.warm_start_observations,
+            health: state.health,
+            retry: state.retry,
+            fault_attempts: state.fault_attempts,
+            faulted_count: state.faulted_count,
+            last_safe_config: state.last_safe_config,
             telemetry: TelemetryHandle::disabled(),
         })
     }
@@ -849,6 +1235,142 @@ mod tests {
         for _ in 0..3 {
             assert_eq!(s.step().to_bits(), restored.step().to_bits());
         }
+    }
+
+    #[test]
+    fn retry_backoff_quarantine_and_probation_readmission() {
+        let mut spec = TenantSpec::named("q", WorkloadFamily::Ycsb, 11);
+        spec.deterministic = true;
+        let mut s = TenantSession::new(spec, small_tuner_options());
+        for _ in 0..2 {
+            s.step();
+        }
+        assert_eq!(s.health(), SessionHealth::Healthy);
+
+        s.inject_faults(simdb::FaultKind::Failure, 3);
+        // Fault 1: one-round backoff, expires at the round tick.
+        s.step();
+        assert_eq!(
+            s.health(),
+            SessionHealth::Backoff {
+                remaining: 1,
+                attempt: 1
+            }
+        );
+        assert_eq!(
+            s.scheduling_class(),
+            crate::scheduler::HealthClass::Suspended
+        );
+        s.tick_round();
+        assert_eq!(s.health(), SessionHealth::Healthy);
+        // Fault 2: exponential — two rounds out.
+        s.step();
+        assert_eq!(
+            s.health(),
+            SessionHealth::Backoff {
+                remaining: 2,
+                attempt: 2
+            }
+        );
+        s.tick_round();
+        s.tick_round();
+        assert_eq!(s.health(), SessionHealth::Healthy);
+        // Fault 3 exhausts the retry budget.
+        let iters_before = s.iteration();
+        s.step();
+        assert_eq!(
+            s.health(),
+            SessionHealth::Quarantined {
+                rounds_since_probe: 0,
+                probation_successes: 0
+            }
+        );
+        assert_eq!(
+            s.iteration(),
+            iters_before,
+            "faulted attempts never advance the iteration counter"
+        );
+        assert_eq!(s.faulted_count(), 3);
+
+        // Probes come due every `probation_interval` rounds; the injected faults are
+        // exhausted, so two clean probes readmit the session.
+        s.tick_round();
+        assert_eq!(s.scheduling_class(), crate::scheduler::HealthClass::Dormant);
+        s.tick_round();
+        assert_eq!(s.scheduling_class(), crate::scheduler::HealthClass::Probe);
+        s.step();
+        assert_eq!(
+            s.health(),
+            SessionHealth::Quarantined {
+                rounds_since_probe: 0,
+                probation_successes: 1
+            }
+        );
+        assert_eq!(
+            s.iteration(),
+            iters_before + 1,
+            "probes are real measured iterations"
+        );
+        s.tick_round();
+        s.tick_round();
+        s.step();
+        assert_eq!(s.health(), SessionHealth::Healthy, "probation readmits");
+        assert_eq!(s.summary().faulted_count, 3);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_to_the_cap() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.backoff_rounds(1), 1);
+        assert_eq!(policy.backoff_rounds(2), 2);
+        assert_eq!(policy.backoff_rounds(3), 4);
+        assert_eq!(policy.backoff_rounds(4), 8);
+        assert_eq!(policy.backoff_rounds(5), 8, "capped");
+        assert_eq!(
+            policy.backoff_rounds(40),
+            8,
+            "huge attempts do not overflow"
+        );
+    }
+
+    fn seeded_fault_session() -> TenantSession {
+        let mut spec = TenantSpec::named("f", WorkloadFamily::Twitter, 23);
+        spec.deterministic = true;
+        let mut s = TenantSession::new(spec, small_tuner_options());
+        s.inject_seeded_faults(simdb::FaultKind::CorruptNan, 0.5, 30, 9);
+        s
+    }
+
+    #[test]
+    fn fault_state_survives_snapshot_restore_bit_identically() {
+        let mut a = seeded_fault_session();
+        let mut b = seeded_fault_session();
+        for _ in 0..6 {
+            a.step();
+            a.tick_round();
+            b.step();
+            b.tick_round();
+        }
+        let mut b = TenantSession::restore(b.export_state()).unwrap();
+        for _ in 0..6 {
+            a.step();
+            a.tick_round();
+            b.step();
+            b.tick_round();
+        }
+        assert!(
+            a.faulted_count() > 0,
+            "the seeded window should have struck"
+        );
+        assert_eq!(a.health(), b.health());
+        assert_eq!(a.faulted_count(), b.faulted_count());
+        assert_eq!(a.iteration(), b.iteration());
+        let (sa, sb) = (a.summary(), b.summary());
+        assert_eq!(sa.total_score.to_bits(), sb.total_score.to_bits());
+        assert_eq!(
+            sa.cumulative_regret.to_bits(),
+            sb.cumulative_regret.to_bits()
+        );
     }
 
     #[test]

@@ -205,6 +205,19 @@ impl ContextualGp {
                 actual: obs.context.len(),
             });
         }
+        // Non-finite data is rejected *before* the store push: once a NaN observation
+        // lives in the store, every later refit would fail forever.
+        if obs
+            .config
+            .iter()
+            .chain(obs.context.iter())
+            .any(|v| !v.is_finite())
+        {
+            return Err(GpError::NonFiniteInput { index: 0 });
+        }
+        if !obs.performance.is_finite() {
+            return Err(GpError::NonFiniteTarget { index: 0 });
+        }
         let joint = self.joint(&obs.config, &obs.context);
         let performance = obs.performance;
         self.observations.push(obs);

@@ -80,6 +80,19 @@ pub enum GpError {
         /// Dimension of the query point.
         actual: usize,
     },
+    /// A training input contains a NaN or infinite coordinate. Non-finite inputs are
+    /// rejected before they can reach the Gram matrix, where a single NaN would poison
+    /// the whole factorization.
+    NonFiniteInput {
+        /// Index of the offending input row.
+        index: usize,
+    },
+    /// A training target is NaN or infinite. Non-finite targets are rejected before
+    /// they can reach the standardizer or the dual weights.
+    NonFiniteTarget {
+        /// Index of the offending target value.
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for GpError {
@@ -99,11 +112,34 @@ impl std::fmt::Display for GpError {
                     "query dimension {actual} does not match training dimension {expected}"
                 )
             }
+            GpError::NonFiniteInput { index } => {
+                write!(f, "training input {index} contains a non-finite coordinate")
+            }
+            GpError::NonFiniteTarget { index } => {
+                write!(f, "training target {index} is not finite")
+            }
         }
     }
 }
 
 impl std::error::Error for GpError {}
+
+/// Rejects non-finite training data before it can reach the factorization. A single
+/// NaN in the Gram matrix silently poisons every subsequent solve, so the boundary
+/// check is the only place the damage can be contained with a typed error.
+fn validate_finite(x: &[Vec<f64>], y: &[f64]) -> Result<(), GpError> {
+    for (index, row) in x.iter().enumerate() {
+        if row.iter().any(|v| !v.is_finite()) {
+            return Err(GpError::NonFiniteInput { index });
+        }
+    }
+    for (index, v) in y.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(GpError::NonFiniteTarget { index });
+        }
+    }
+    Ok(())
+}
 
 /// Posterior prediction at a single point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -242,6 +278,7 @@ impl GaussianProcess {
                 targets: y.len(),
             });
         }
+        validate_finite(x, y)?;
         let dim = x[0].len();
         let standardizer = Standardizer::fit(y);
         self.arena.y_std.clear();
@@ -329,6 +366,12 @@ impl GaussianProcess {
     /// this is simply `fit` on the single observation. If the fallback itself fails the
     /// previous fit is kept and the new observation is dropped.
     pub fn observe(&mut self, x_new: &[f64], y_new: f64) -> Result<(), GpError> {
+        if x_new.iter().any(|v| !v.is_finite()) {
+            return Err(GpError::NonFiniteInput { index: 0 });
+        }
+        if !y_new.is_finite() {
+            return Err(GpError::NonFiniteTarget { index: 0 });
+        }
         let Some(state) = self.fitted.as_mut() else {
             return self.fit(&[x_new.to_vec()], &[y_new]);
         };
@@ -746,6 +789,40 @@ mod tests {
         ));
     }
 
+    #[test]
+    fn non_finite_training_data_is_rejected_with_typed_errors() {
+        let mut gp = default_gp();
+        assert_eq!(
+            gp.fit(&[vec![0.1], vec![f64::NAN]], &[1.0, 2.0])
+                .unwrap_err(),
+            GpError::NonFiniteInput { index: 1 }
+        );
+        assert_eq!(
+            gp.fit(&[vec![0.1], vec![0.2]], &[1.0, f64::INFINITY])
+                .unwrap_err(),
+            GpError::NonFiniteTarget { index: 1 }
+        );
+        assert!(
+            gp.predict(&[0.5]).is_err(),
+            "rejected fits must not leave a fitted model behind"
+        );
+        // The incremental path rejects too, and keeps the existing fit intact.
+        let (xs, ys) = sample_problem();
+        gp.fit(&xs, &ys).unwrap();
+        let before = gp.predict(&[0.5]).unwrap();
+        assert_eq!(
+            gp.observe(&[f64::NEG_INFINITY], 1.0).unwrap_err(),
+            GpError::NonFiniteInput { index: 0 }
+        );
+        assert_eq!(
+            gp.observe(&[0.7], f64::NAN).unwrap_err(),
+            GpError::NonFiniteTarget { index: 0 }
+        );
+        let after = gp.predict(&[0.5]).unwrap();
+        assert_eq!(before.mean, after.mean);
+        assert_eq!(before.std_dev, after.std_dev);
+    }
+
     mod properties {
         use super::*;
         use crate::acquisition::{lower_confidence_bound, upper_confidence_bound};
@@ -754,6 +831,41 @@ mod tests {
 
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Satellite property of the fault-tolerance PR: a fuzzed interleaving of
+            /// finite and non-finite observations must never yield a non-finite
+            /// posterior — every poisoned feed is rejected at the boundary and every
+            /// accepted feed keeps the factor healthy.
+            #[test]
+            fn prop_mixed_finite_and_poisoned_feeds_keep_the_posterior_finite(
+                feeds in proptest::collection::vec(
+                    (-1.0f64..1.0, -5.0f64..5.0, 0u8..4), 1..24),
+            ) {
+                let mut gp = default_gp();
+                for (x, y, poison) in &feeds {
+                    let (xq, yq) = match poison {
+                        1 => (f64::NAN, *y),
+                        2 => (*x, f64::INFINITY),
+                        3 => (f64::NEG_INFINITY, f64::NAN),
+                        _ => (*x, *y),
+                    };
+                    let result = gp.observe(&[xq], yq);
+                    if *poison == 0 {
+                        prop_assert!(result.is_ok());
+                    } else {
+                        prop_assert!(matches!(
+                            result.unwrap_err(),
+                            GpError::NonFiniteInput { .. } | GpError::NonFiniteTarget { .. }
+                        ));
+                    }
+                    if gp.is_fitted() {
+                        let p = gp.predict(&[0.3]).unwrap();
+                        prop_assert!(p.mean.is_finite(), "mean {}", p.mean);
+                        prop_assert!(p.std_dev.is_finite(), "std {}", p.std_dev);
+                    }
+                }
+            }
+
             #[test]
             fn prop_predict_batch_bit_identical_to_pointwise(
                 kernel_idx in 0usize..4,

@@ -44,5 +44,5 @@ pub mod tuner;
 pub mod whitebox;
 
 pub use diagnostics::IterationDiagnostics;
-pub use tuner::{AblationFlags, OnlineTune, OnlineTuneOptions, Suggestion};
+pub use tuner::{AblationFlags, ObserveError, OnlineTune, OnlineTuneOptions, Suggestion};
 pub use whitebox::{RuleEngine, WhiteBoxRule};

@@ -7,7 +7,7 @@
 //! ```text
 //! let suggestion = tuner.suggest(&context, safety_threshold, clients);
 //! // apply suggestion.config to the database, run one interval, measure `performance`
-//! tuner.observe(&context, &suggestion.config, performance, Some(&metrics), performance >= safety_threshold);
+//! tuner.observe(&context, &suggestion.config, performance, Some(&metrics), performance >= safety_threshold)?;
 //! ```
 //!
 //! All ablation variants evaluated in §7.3 (`w/o white`, `w/o black`, `w/o subspace`,
@@ -534,6 +534,12 @@ impl OnlineTune {
     /// `performance` must be in higher-is-better units (negate latency objectives);
     /// `was_safe` states whether the measured performance met the safety threshold.
     ///
+    /// Non-finite feeds (NaN/±Inf performance or context — e.g. a corrupted measurement
+    /// scrape) are rejected with a typed [`ObserveError`] *before* any tuner state is
+    /// touched: the pending suggestion, the cluster models and the safety set are all
+    /// left exactly as they were, so the caller can treat the rejection as a failed
+    /// measurement and retry.
+    ///
     /// This is the hot path of online tuning: the selected cluster model absorbs the
     /// observation incrementally in `O(t²)` (Cholesky extension), falling back to a full
     /// `O(t³)` refit only on periodic hyper-parameter re-optimization, re-clustering, or
@@ -545,7 +551,13 @@ impl OnlineTune {
         performance: f64,
         metrics: Option<&InternalMetrics>,
         was_safe: bool,
-    ) {
+    ) -> Result<(), ObserveError> {
+        if !performance.is_finite() {
+            return Err(ObserveError::NonFinitePerformance { value: performance });
+        }
+        if let Some(index) = context.iter().position(|v| !v.is_finite()) {
+            return Err(ObserveError::NonFiniteContext { index });
+        }
         let span = self.telemetry.begin_span();
         let normalized = config.normalized(&self.catalogue);
         let pending = self.pending.take();
@@ -613,8 +625,40 @@ impl OnlineTune {
             self.last_metrics = Some(m.clone());
         }
         self.telemetry.end_span(SpanId::Observe, span);
+        Ok(())
     }
 }
+
+/// A rejected observation at the [`OnlineTune::observe`] boundary. The tuner state is
+/// untouched when one of these is returned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ObserveError {
+    /// The measured performance is NaN or infinite (e.g. a corrupted scrape).
+    NonFinitePerformance {
+        /// The offending value.
+        value: f64,
+    },
+    /// A context feature is NaN or infinite.
+    NonFiniteContext {
+        /// Index of the offending context coordinate.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for ObserveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObserveError::NonFinitePerformance { value } => {
+                write!(f, "observed performance {value} is not finite")
+            }
+            ObserveError::NonFiniteContext { index } => {
+                write!(f, "context feature {index} is not finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObserveError {}
 
 /// Complete serializable state of an [`OnlineTune`] session.
 ///
@@ -821,13 +865,15 @@ mod tests {
                 unsafe_count += 1;
             }
             best = best.max(perf);
-            tuner.observe(
-                &context,
-                &suggestion.config,
-                perf,
-                Some(&eval.metrics),
-                perf >= default_perf,
-            );
+            tuner
+                .observe(
+                    &context,
+                    &suggestion.config,
+                    perf,
+                    Some(&eval.metrics),
+                    perf >= default_perf,
+                )
+                .unwrap();
         }
         assert!(tuner.observation_count() == 30);
         assert!(
@@ -856,7 +902,9 @@ mod tests {
             let suggestion = tuner.suggest(&context, 100.0, 32);
             max_distance =
                 max_distance.max(suggestion.diagnostics.recommendation_distance_from_default);
-            tuner.observe(&context, &suggestion.config, 50.0 + i as f64, None, true);
+            tuner
+                .observe(&context, &suggestion.config, 50.0 + i as f64, None, true)
+                .unwrap();
         }
         // Without safety or subspace restriction the tuner samples the whole space, which is
         // far from the default in a 40-dimensional cube.
@@ -883,7 +931,9 @@ mod tests {
                     || suggestion.diagnostics.overridden_rule.is_some(),
                 "iteration {i} recommended a rule-violating configuration without an override"
             );
-            tuner.observe(&context, &suggestion.config, 20.0 + i as f64, None, true);
+            tuner
+                .observe(&context, &suggestion.config, 20.0 + i as f64, None, true)
+                .unwrap();
         }
     }
 
@@ -892,11 +942,15 @@ mod tests {
         let (mut tuner, cat) = make_tuner(AblationFlags::default());
         let context = context_for(0.5);
         let default = Configuration::dba_default(&cat);
-        tuner.observe(&context, &default, 100.0, None, true);
+        tuner
+            .observe(&context, &default, 100.0, None, true)
+            .unwrap();
         // Recommend, then report a large improvement over the threshold for the recommended
         // configuration: the subspace centre must move onto it.
         let first = tuner.suggest(&context, 100.0, 32);
-        tuner.observe(&context, &first.config, 200.0, None, true);
+        tuner
+            .observe(&context, &first.config, 200.0, None, true)
+            .unwrap();
         let second = tuner.suggest(&context, 100.0, 32);
         let expected = linalg::vecops::euclidean_distance(
             &first.config.normalized(&cat),
@@ -928,13 +982,15 @@ mod tests {
             db.apply_config(&s.config);
             let eval = db.run_interval(&workload, 180.0);
             let perf = eval.outcome.throughput_tps;
-            original.observe(
-                &context,
-                &s.config,
-                perf,
-                Some(&eval.metrics),
-                perf >= default_perf,
-            );
+            original
+                .observe(
+                    &context,
+                    &s.config,
+                    perf,
+                    Some(&eval.metrics),
+                    perf >= default_perf,
+                )
+                .unwrap();
         }
 
         let json = serde_json::to_string(&original.snapshot()).unwrap();
@@ -949,8 +1005,12 @@ mod tests {
             assert_eq!(a.normalized, b.normalized, "diverged at iteration {i}");
             assert_eq!(a.config.values(), b.config.values());
             let perf = default_perf + i as f64;
-            original.observe(&context, &a.config, perf, None, true);
-            restored.observe(&context, &b.config, perf, None, true);
+            original
+                .observe(&context, &a.config, perf, None, true)
+                .unwrap();
+            restored
+                .observe(&context, &b.config, perf, None, true)
+                .unwrap();
         }
         assert_eq!(original.observation_count(), restored.observation_count());
         assert_eq!(original.model_count(), restored.model_count());
@@ -993,7 +1053,9 @@ mod tests {
             } else {
                 context_for(0.1)
             };
-            tuner.observe(&ctx, &default, 100.0 + i as f64, None, true);
+            tuner
+                .observe(&ctx, &default, 100.0 + i as f64, None, true)
+                .unwrap();
         }
         assert_eq!(tuner.model_count(), 1);
         assert_eq!(tuner.recluster_count(), 0);

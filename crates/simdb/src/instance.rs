@@ -11,6 +11,7 @@
 //! execution time.
 
 use crate::config::Configuration;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::hardware::HardwareSpec;
 use crate::knobs::KnobCatalogue;
 use crate::metrics::{InternalMetrics, PerformanceOutcome};
@@ -34,6 +35,10 @@ pub struct Evaluation {
     pub data_size_gib: f64,
     /// Length of the interval in seconds.
     pub interval_s: f64,
+    /// The injected fault that hit this measurement, if any. Destructive faults
+    /// ([`FaultKind::destroys_interval`]) zero the outcome; corrupting faults garble
+    /// only the reported outcome while the instance keeps running normally.
+    pub fault: Option<FaultKind>,
 }
 
 impl Evaluation {
@@ -68,6 +73,10 @@ pub struct SimDatabaseState {
     pub failures: usize,
     /// Whether noise is disabled.
     pub deterministic: bool,
+    /// Pending injected-fault schedule (empty in snapshots taken before fault
+    /// injection existed — hence the serde default).
+    #[serde(default)]
+    pub fault_plan: FaultPlan,
 }
 
 /// A simulated MySQL-like cloud database instance.
@@ -83,6 +92,7 @@ pub struct SimDatabase {
     /// When true, the performance model is evaluated without noise (useful for tests and
     /// for computing ground-truth optima in the case study).
     deterministic: bool,
+    fault_plan: FaultPlan,
 }
 
 impl SimDatabase {
@@ -105,6 +115,7 @@ impl SimDatabase {
             intervals_run: 0,
             failures: 0,
             deterministic: false,
+            fault_plan: FaultPlan::new(),
         }
     }
 
@@ -136,6 +147,35 @@ impl SimDatabase {
     /// Number of system failures (hangs) observed so far.
     pub fn failures(&self) -> usize {
         self.failures
+    }
+
+    /// Total injected faults that have hit this instance's measurements.
+    pub fn faults_injected(&self) -> usize {
+        self.fault_plan.injected
+    }
+
+    /// The instance's pending fault schedule.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// Schedules `count` injected faults of `kind` starting with the *next* measurement.
+    pub fn inject_faults(&mut self, kind: FaultKind, count: usize) {
+        self.fault_plan.schedule(kind, self.intervals_run, count);
+    }
+
+    /// Opens a seeded probabilistic fault window over the next `intervals` measurements:
+    /// each faults with probability `rate`, decided by a dedicated RNG seeded with
+    /// `seed` (the noise RNG is never consulted, so non-faulted intervals keep their
+    /// exact noise draws).
+    pub fn inject_seeded_faults(
+        &mut self,
+        kind: FaultKind,
+        rate: f64,
+        intervals: usize,
+        seed: u64,
+    ) {
+        self.fault_plan.schedule_seeded(kind, rate, intervals, seed);
     }
 
     /// Current data size if the instance has started tracking it (after the first interval
@@ -200,8 +240,18 @@ impl SimDatabase {
             &self.hardware,
         );
 
-        let outcome = if model.outcome.failed {
+        // Injected-fault decision happens before the noise draw; destructive faults
+        // skip the noise draw entirely (the interval never ran), corrupting faults
+        // leave the true interval — and its noise draw — intact and garble only the
+        // reported outcome below. Either way the RNG streams are deterministic and
+        // fully captured by the snapshot.
+        let fault = self.fault_plan.next_fault(self.intervals_run);
+        let destroyed = fault.is_some_and(FaultKind::destroys_interval);
+
+        let true_outcome = if model.outcome.failed {
             self.failures += 1;
+            PerformanceOutcome::failure(FAILURE_LATENCY_MS)
+        } else if destroyed {
             PerformanceOutcome::failure(FAILURE_LATENCY_MS)
         } else if self.deterministic {
             model.outcome
@@ -218,7 +268,7 @@ impl SimDatabase {
         // Data growth: committed write transactions add rows. Calibrated so that a
         // write-heavy TPC-C-style workload grows from ~18 GiB to ~48 GiB over ~400 three-
         // minute intervals (Figure 1b / §7.1.1).
-        let write_tps = outcome.throughput_tps * effective.mix.write_fraction();
+        let write_tps = true_outcome.throughput_tps * effective.mix.write_fraction();
         // ~30 bytes of net new data per committed write (inserts add rows, updates mostly
         // rewrite in place); calibrated so a write-heavy run grows by tens of GiB over 400
         // three-minute intervals, matching Figure 1b.
@@ -226,12 +276,30 @@ impl SimDatabase {
         let new_size = tracked + growth_gib;
         self.data_size_gib = Some(new_size);
 
+        // Corrupting faults garble only the report; data growth above already used the
+        // true outcome, so the instance's internal trajectory is unaffected.
+        let outcome = match fault {
+            Some(FaultKind::CorruptNan) => PerformanceOutcome {
+                throughput_tps: f64::NAN,
+                latency_avg_ms: f64::NAN,
+                latency_p99_ms: f64::NAN,
+                failed: false,
+            },
+            Some(FaultKind::CorruptScale) => PerformanceOutcome {
+                throughput_tps: true_outcome.throughput_tps * 1000.0,
+                latency_avg_ms: true_outcome.latency_avg_ms / 1000.0,
+                latency_p99_ms: true_outcome.latency_p99_ms / 1000.0,
+                failed: false,
+            },
+            _ => true_outcome,
+        };
+
         let optimizer_stats = OptimizerStats::estimate(&effective);
         self.intervals_run += 1;
 
         Evaluation {
             outcome,
-            metrics: if model.outcome.failed {
+            metrics: if model.outcome.failed || destroyed {
                 InternalMetrics::zeroed()
             } else {
                 model.metrics
@@ -239,6 +307,7 @@ impl SimDatabase {
             optimizer_stats,
             data_size_gib: new_size,
             interval_s,
+            fault,
         }
     }
 
@@ -259,6 +328,7 @@ impl SimDatabase {
             intervals_run: self.intervals_run,
             failures: self.failures,
             deterministic: self.deterministic,
+            fault_plan: self.fault_plan.clone(),
         }
     }
 
@@ -290,6 +360,7 @@ impl SimDatabase {
             intervals_run: state.intervals_run,
             failures: state.failures,
             deterministic: state.deterministic,
+            fault_plan: state.fault_plan,
         })
     }
 
@@ -462,6 +533,79 @@ mod tests {
         assert!((db.data_size_gib().unwrap() - 15.0).abs() < 1e-12);
         db.scale_data(0.0); // clamped to the minimum tracked size, never negative
         assert!(db.data_size_gib().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn injected_failure_destroys_the_interval_but_not_the_instance() {
+        let mut db = SimDatabase::new(11);
+        db.set_deterministic(true);
+        db.apply_dba_default();
+        db.set_data_size(18.0);
+        let wl = tpcc_like();
+        db.inject_faults(FaultKind::Failure, 1);
+        let size_before = db.data_size_gib().unwrap();
+        let faulted = db.run_interval(&wl, 180.0);
+        assert_eq!(faulted.fault, Some(FaultKind::Failure));
+        assert!(faulted.outcome.failed);
+        assert_eq!(faulted.outcome.throughput_tps, 0.0);
+        assert!(
+            (db.data_size_gib().unwrap() - size_before).abs() < 1e-12,
+            "a destroyed interval must not grow data"
+        );
+        assert_eq!(db.failures(), 0, "injected faults are not organic failures");
+        assert_eq!(db.faults_injected(), 1);
+        // The next interval is clean again.
+        let clean = db.run_interval(&wl, 180.0);
+        assert_eq!(clean.fault, None);
+        assert!(!clean.outcome.failed);
+    }
+
+    #[test]
+    fn corrupting_faults_garble_only_the_report() {
+        let wl = tpcc_like();
+        let mut faulty = SimDatabase::new(12);
+        faulty.set_deterministic(true);
+        faulty.apply_dba_default();
+        faulty.set_data_size(18.0);
+        faulty.inject_faults(FaultKind::CorruptNan, 1);
+        faulty.inject_faults(FaultKind::CorruptScale, 1);
+
+        let mut clean = SimDatabase::new(12);
+        clean.set_deterministic(true);
+        clean.apply_dba_default();
+        clean.set_data_size(18.0);
+
+        let nan_eval = faulty.run_interval(&wl, 180.0);
+        assert_eq!(nan_eval.fault, Some(FaultKind::CorruptNan));
+        assert!(nan_eval.outcome.throughput_tps.is_nan());
+        let scale_eval = faulty.run_interval(&wl, 180.0);
+        assert_eq!(scale_eval.fault, Some(FaultKind::CorruptScale));
+        assert!(scale_eval.outcome.throughput_tps.is_finite());
+
+        clean.run_interval(&wl, 180.0);
+        clean.run_interval(&wl, 180.0);
+        // The true trajectory (data growth) is identical to the un-faulted twin.
+        assert_eq!(faulty.data_size_gib(), clean.data_size_gib());
+        assert!(faulty.data_size_gib().unwrap().is_finite());
+    }
+
+    #[test]
+    fn fault_schedule_survives_a_snapshot_round_trip() {
+        let wl = tpcc_like();
+        let mut db = SimDatabase::new(13);
+        db.apply_dba_default();
+        db.set_data_size(18.0);
+        db.inject_faults(FaultKind::Timeout, 2);
+        db.inject_seeded_faults(FaultKind::CorruptNan, 0.5, 8, 99);
+        db.run_interval(&wl, 180.0); // consume one scripted fault
+        let mut twin = SimDatabase::restore(db.snapshot()).unwrap();
+        for _ in 0..9 {
+            let a = db.run_interval(&wl, 180.0);
+            let b = twin.run_interval(&wl, 180.0);
+            assert_eq!(a.fault, b.fault);
+            assert_eq!(a.outcome.failed, b.outcome.failed);
+        }
+        assert_eq!(db.faults_injected(), twin.faults_injected());
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod fault;
 pub mod hardware;
 pub mod instance;
 pub mod knobs;
@@ -36,6 +37,7 @@ pub mod perfmodel;
 pub mod workload;
 
 pub use config::Configuration;
+pub use fault::{FaultKind, FaultPlan};
 pub use hardware::HardwareSpec;
 pub use instance::{Evaluation, SimDatabase};
 pub use knobs::{KnobCatalogue, KnobDef, KnobKind, KnobScale};

@@ -51,6 +51,16 @@ pub enum EventKind {
     SnapshotTaken,
     /// A fleet was restored from a snapshot.
     Restored,
+    /// A measurement attempt failed, timed out or returned a corrupted score.
+    MeasurementFault,
+    /// A session scheduled a deterministic retry backoff after a faulted measurement.
+    BackoffStarted,
+    /// A session exhausted its retry budget and entered quarantine.
+    TenantQuarantined,
+    /// A quarantined session passed probation and was readmitted.
+    TenantReadmitted,
+    /// A fleet was recovered from a snapshot plus WAL replay after a simulated crash.
+    WalRecovered,
 }
 
 impl EventKind {
@@ -75,6 +85,11 @@ impl EventKind {
             EventKind::BudgetEviction => "budget_eviction",
             EventKind::SnapshotTaken => "snapshot_taken",
             EventKind::Restored => "restored",
+            EventKind::MeasurementFault => "measurement_fault",
+            EventKind::BackoffStarted => "backoff_started",
+            EventKind::TenantQuarantined => "tenant_quarantined",
+            EventKind::TenantReadmitted => "tenant_readmitted",
+            EventKind::WalRecovered => "wal_recovered",
         }
     }
 }

@@ -78,11 +78,28 @@ pub enum CounterId {
     SnapshotsTaken,
     /// Fleet restores completed.
     RestoresCompleted,
+    /// Measurement attempts that failed, timed out or returned a corrupted score
+    /// (injected or organic).
+    MeasurementFaults,
+    /// Deterministic retry backoffs scheduled after a faulted measurement.
+    FaultBackoffs,
+    /// Sessions that exhausted their retry budget and entered quarantine.
+    Quarantines,
+    /// Probe iterations run by quarantined sessions (pinned last-safe configuration).
+    ProbeIterations,
+    /// Quarantined sessions readmitted after passing probation.
+    Readmissions,
+    /// Entries appended to a write-ahead observation journal.
+    WalAppends,
+    /// Torn or checksum-corrupt WAL tail entries detected and dropped during recovery.
+    WalTornEntriesDropped,
+    /// Rounds re-executed from the WAL during crash recovery.
+    RecoveryReplays,
 }
 
 impl CounterId {
     /// Number of counters in the registry.
-    pub const COUNT: usize = 29;
+    pub const COUNT: usize = 37;
 
     /// All counters, in export order.
     pub const ALL: [CounterId; CounterId::COUNT] = [
@@ -115,6 +132,14 @@ impl CounterId {
         CounterId::KbContributions,
         CounterId::SnapshotsTaken,
         CounterId::RestoresCompleted,
+        CounterId::MeasurementFaults,
+        CounterId::FaultBackoffs,
+        CounterId::Quarantines,
+        CounterId::ProbeIterations,
+        CounterId::Readmissions,
+        CounterId::WalAppends,
+        CounterId::WalTornEntriesDropped,
+        CounterId::RecoveryReplays,
     ];
 
     /// Stable export name (`snake_case`, used as the JSON key).
@@ -149,6 +174,14 @@ impl CounterId {
             CounterId::KbContributions => "kb_contributions",
             CounterId::SnapshotsTaken => "snapshots_taken",
             CounterId::RestoresCompleted => "restores_completed",
+            CounterId::MeasurementFaults => "measurement_faults",
+            CounterId::FaultBackoffs => "fault_backoffs",
+            CounterId::Quarantines => "quarantines",
+            CounterId::ProbeIterations => "probe_iterations",
+            CounterId::Readmissions => "readmissions",
+            CounterId::WalAppends => "wal_appends",
+            CounterId::WalTornEntriesDropped => "wal_torn_entries_dropped",
+            CounterId::RecoveryReplays => "recovery_replays",
         }
     }
 }

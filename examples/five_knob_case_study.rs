@@ -68,13 +68,15 @@ fn main() {
         if tps < threshold * 0.95 {
             unsafe_count += 1;
         }
-        tuner.observe(
-            &context,
-            &suggestion.config,
-            tps,
-            Some(&eval.metrics),
-            tps >= threshold * 0.95,
-        );
+        tuner
+            .observe(
+                &context,
+                &suggestion.config,
+                tps,
+                Some(&eval.metrics),
+                tps >= threshold * 0.95,
+            )
+            .expect("simulated measurements are finite");
 
         tuned_total += tps;
         default_total += threshold;

@@ -59,13 +59,15 @@ fn main() {
             suggestion.diagnostics.safety_set_size,
         );
 
-        tuner.observe(
-            &context,
-            &suggestion.config,
-            tps,
-            Some(&eval.metrics),
-            tps >= default_tps * 0.98,
-        );
+        tuner
+            .observe(
+                &context,
+                &suggestion.config,
+                tps,
+                Some(&eval.metrics),
+                tps >= default_tps * 0.98,
+            )
+            .expect("simulated measurements are finite");
     }
     println!(
         "\ncumulative transactions gained vs. always running the DBA default: {cumulative_gain:+.0}"

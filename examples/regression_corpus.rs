@@ -19,6 +19,7 @@ use fleet::fuzz::{
     ScenarioGenerator,
 };
 use fleet::scenario::ScenarioEvent;
+use fleet::SessionHealth;
 
 fn corpus_dir() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/regressions")
@@ -132,7 +133,48 @@ fn cold_start_unsafe_rate() -> RegressionCase {
     }
 }
 
+/// Entry 3 — a quarantine-exercising fault schedule.
+///
+/// Drawn from the fault-enabled distribution: an injected fault burst drives a tenant
+/// through the whole backoff → quarantine → probe machinery while the crash leg kills
+/// and recovers the fleet mid-timeline. Pinned (shrunk to the structural minimum that
+/// still quarantines) so the retry state machine, the probe scheduling and WAL recovery
+/// under active faults are replayed on every CI run.
+fn fault_quarantine_schedule() -> RegressionCase {
+    let dist = ScenarioDistribution::with_faults();
+    let quarantines = |c: &FuzzCase| {
+        run_fuzz_case(c, &dist)
+            .map(|a| {
+                a.rounds.iter().any(|r| {
+                    r.tenants
+                        .iter()
+                        .any(|t| matches!(t.health, SessionHealth::Quarantined { .. }))
+                })
+            })
+            .unwrap_or(false)
+    };
+    let mut generator = ScenarioGenerator::new(dist.clone(), 303);
+    let case = std::iter::from_fn(|| Some(generator.next_case()))
+        .take(120)
+        .find(|c| quarantines(c))
+        .expect("seed 303 with faults enabled produces a quarantining timeline");
+    let case = shrink_case(&case, quarantines, 60);
+    RegressionCase {
+        name: "fault_quarantine_schedule".into(),
+        description: "An injected fault burst exhausts a tenant's retry budget: the \
+                      session walks backoff -> quarantine -> probation while the crash \
+                      leg kills the durable fleet mid-timeline and recovers it from a \
+                      torn WAL. Pinned from the first fault-enabled fuzz sweep as the \
+                      minimal schedule that still quarantines, so the retry state \
+                      machine and recovery-under-faults replay on every CI run."
+            .into(),
+        distribution: dist,
+        case,
+    }
+}
+
 fn main() {
     commit(&migrate_fairness_floor());
     commit(&cold_start_unsafe_rate());
+    commit(&fault_quarantine_schedule());
 }

@@ -53,13 +53,15 @@ fn main() {
         db.apply_config(&suggestion.config);
         let eval = db.run_interval(&spec, 180.0);
         let score = Objective::P99Latency.score(&eval.outcome);
-        tuner.observe(
-            &context,
-            &suggestion.config,
-            score,
-            Some(&eval.metrics),
-            score >= threshold * 1.05, // latency scores are negative; 5% slack
-        );
+        tuner
+            .observe(
+                &context,
+                &suggestion.config,
+                score,
+                Some(&eval.metrics),
+                score >= threshold * 1.05, // latency scores are negative; 5% slack
+            )
+            .expect("simulated measurements are finite");
         phase_latency.push((
             cycle.is_transactional_phase(it),
             eval.outcome.latency_p99_ms,

@@ -48,13 +48,15 @@ fn tune_session(
         }
         tuned += tps * 180.0;
         default += threshold * 180.0;
-        tuner.observe(
-            &context,
-            &suggestion.config,
-            tps,
-            Some(&eval.metrics),
-            tps >= threshold * 0.95,
-        );
+        tuner
+            .observe(
+                &context,
+                &suggestion.config,
+                tps,
+                Some(&eval.metrics),
+                tps >= threshold * 0.95,
+            )
+            .expect("simulated measurements are finite");
     }
     (tuned, default, unsafe_count, db.failures())
 }
@@ -117,13 +119,15 @@ fn observations_accumulate_and_clusters_form_across_distinct_phases() {
         let suggestion = tuner.suggest(&context, threshold, spec.clients);
         db.apply_config(&suggestion.config);
         let eval = db.run_interval(&spec, 180.0);
-        tuner.observe(
-            &context,
-            &suggestion.config,
-            eval.outcome.throughput_tps,
-            Some(&eval.metrics),
-            eval.outcome.throughput_tps >= threshold * 0.95,
-        );
+        tuner
+            .observe(
+                &context,
+                &suggestion.config,
+                eval.outcome.throughput_tps,
+                Some(&eval.metrics),
+                eval.outcome.throughput_tps >= threshold * 0.95,
+            )
+            .expect("simulated measurements are finite");
     }
     assert_eq!(tuner.observation_count(), 70);
     assert!(
