@@ -5,15 +5,20 @@
 //! `O(n²)` triangular solve through a scalar `predict`. The batched path computes one
 //! `C × n` cross-kernel matrix (sharing the additive kernel's context column across all
 //! candidates) and one multi-RHS forward solve (`linalg::Cholesky::solve_lower_multi`),
-//! with no per-candidate allocation. This benchmark measures both paths on the same model
-//! over `n ∈ {50, 200, 800} × C ∈ {30, 100, 300}`, verifies the posteriors (and the
-//! LCB/UCB bounds derived from them) agree **exactly**, times the distance-cached vs
-//! uncached hyper-parameter optimization, and times a 16-tenant fleet round.
+//! with no per-candidate allocation. The batched sweep additionally splits across
+//! intra-op workers by a fixed candidate partition (`gp::PREDICT_CHUNK` granularity),
+//! recombined in candidate order — required to be **bit-identical** to the
+//! single-worker sweep at every worker count. This benchmark measures both paths on
+//! the same model over `n ∈ {50, 200, 800} × C ∈ {30, 100, 300}`, verifies the
+//! posteriors (and the LCB/UCB bounds derived from them) agree **exactly** — including
+//! a forced {1, 2, 4}-intra-op-worker sweep — times the distance-cached vs uncached
+//! hyper-parameter optimization, and times a 16-tenant fleet round.
 //!
 //! Run with `cargo run --release -p bench --bin suggest_path [fleet_rounds | --smoke]`;
 //! writes `BENCH_suggest.json` into the current directory and **exits non-zero when the
-//! batched and scalar posteriors differ in any bit** — CI runs `--smoke` so the
-//! bit-identity contract is enforced on every PR.
+//! batched and scalar posteriors differ in any bit, or any intra-op worker count shifts
+//! a posterior or bound** — CI runs `--smoke` so the bit-identity contract is enforced
+//! on every PR.
 
 use bench::report::{iterations_from_env, median, section};
 use bench::synthetic::{fitted_model, CONFIG_DIM, CONTEXT_DIM};
@@ -41,6 +46,13 @@ struct SweepPoint {
     batched_ms: f64,
     /// `scalar_ms / batched_ms`.
     speedup: f64,
+    /// Intra-op workers of the split batched sweep (machine parallelism).
+    intraop_workers: usize,
+    /// Median latency of the batched sweep split across intra-op workers
+    /// (milliseconds). On a single-CPU machine this equals `batched_ms`.
+    intraop_ms: f64,
+    /// `batched_ms / intraop_ms` — the intra-op parallelism win alone.
+    speedup_intraop: f64,
     /// Max |posterior mean difference| between the two paths (must be exactly 0).
     max_posterior_mean_diff: f64,
     /// Max |posterior std difference| between the two paths (must be exactly 0).
@@ -48,9 +60,11 @@ struct SweepPoint {
     /// Max |LCB/UCB difference| between the two paths (must be exactly 0).
     max_bound_diff: f64,
     /// Whether every posterior mean/std and LCB/UCB pair agrees **bit-for-bit**
-    /// (`f64::to_bits`). This is the value the CI gate keys on: unlike the abs-diff
-    /// columns above (kept for human-readable reporting), it cannot be fooled by a NaN
-    /// on one side, which an abs-diff folded through `f64::max` would silently drop.
+    /// (`f64::to_bits`) — between the scalar and batched paths AND between the
+    /// single-worker batched sweep and forced 2- and 4-intra-op-worker sweeps. This is
+    /// the value the CI gate keys on: unlike the abs-diff columns above (kept for
+    /// human-readable reporting), it cannot be fooled by a NaN on one side, which an
+    /// abs-diff folded through `f64::max` would silently drop.
     bits_identical: bool,
 }
 
@@ -87,7 +101,7 @@ struct SuggestReport {
     fleet: FleetPoint,
 }
 
-fn measure_sweep(model: &ContextualGp, n: usize, c: usize) -> SweepPoint {
+fn measure_sweep(model: &mut ContextualGp, n: usize, c: usize) -> SweepPoint {
     let mut rng = StdRng::seed_from_u64((n * 1000 + c) as u64);
     let candidates: Vec<Vec<f64>> = (0..c)
         .map(|_| (0..CONFIG_DIM).map(|_| rng.gen_range(0.0..1.0)).collect())
@@ -135,6 +149,20 @@ fn measure_sweep(model: &ContextualGp, n: usize, c: usize) -> SweepPoint {
         })
         .collect();
 
+    // Split batched sweep: same code path with the machine's intra-op workers granted —
+    // on a single-CPU runner the grant degenerates to the serial batched sweep.
+    let intraop_workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+    model.set_intraop_workers(intraop_workers);
+    let intraop_samples: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let start = Instant::now();
+            let _ = model
+                .predict_batch_with_scratch(&candidates, &context, &mut scratch)
+                .unwrap();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+
     let mut max_mean_diff = 0.0f64;
     let mut max_std_diff = 0.0f64;
     let mut max_bound_diff = 0.0f64;
@@ -151,14 +179,34 @@ fn measure_sweep(model: &ContextualGp, n: usize, c: usize) -> SweepPoint {
             && sucb.to_bits() == bucb.to_bits();
     }
 
+    // Determinism gate: force the worker-split sweep with 2 and 4 workers even on a
+    // single-CPU runner and require every posterior to match the single-worker batched
+    // sweep bit for bit.
+    for w in [2usize, 4] {
+        model.set_intraop_workers(w);
+        let split = model
+            .predict_batch_with_scratch(&candidates, &context, &mut scratch)
+            .unwrap();
+        bits_identical &= split.len() == batched_out.len();
+        for (p, (bp, _, _)) in split.iter().zip(batched_out.iter()) {
+            bits_identical &= p.mean.to_bits() == bp.mean.to_bits()
+                && p.std_dev.to_bits() == bp.std_dev.to_bits();
+        }
+    }
+    model.set_intraop_workers(1);
+
     let scalar_ms = median(scalar_samples);
     let batched_ms = median(batched_samples);
+    let intraop_ms = median(intraop_samples);
     SweepPoint {
         n,
         c,
         scalar_ms,
         batched_ms,
         speedup: scalar_ms / batched_ms.max(1e-9),
+        intraop_workers,
+        intraop_ms,
+        speedup_intraop: batched_ms / intraop_ms.max(1e-9),
         max_posterior_mean_diff: max_mean_diff,
         max_posterior_std_diff: max_std_diff,
         max_bound_diff,
@@ -253,31 +301,33 @@ fn main() {
 
     section("Suggest path: batched candidate sweep vs scalar per-candidate predictions");
     println!(
-        "{:>6} {:>5} {:>12} {:>12} {:>9} {:>14} {:>14} {:>14}",
+        "{:>6} {:>5} {:>12} {:>12} {:>9} {:>12} {:>9} {:>14} {:>14}",
         "n",
         "C",
         "scalar ms",
         "batched ms",
         "speedup",
+        "intraop ms",
+        "intra x",
         "max mean diff",
-        "max std diff",
-        "max bound diff"
+        "max std diff"
     );
     let mut suggest = Vec::new();
     for &n in sizes {
-        let model = fitted_model(n);
+        let mut model = fitted_model(n);
         for &c in widths {
-            let p = measure_sweep(&model, n, c);
+            let p = measure_sweep(&mut model, n, c);
             println!(
-                "{:>6} {:>5} {:>12.3} {:>12.3} {:>8.1}x {:>14.2e} {:>14.2e} {:>14.2e}",
+                "{:>6} {:>5} {:>12.3} {:>12.3} {:>8.1}x {:>12.3} {:>8.1}x {:>14.2e} {:>14.2e}",
                 p.n,
                 p.c,
                 p.scalar_ms,
                 p.batched_ms,
                 p.speedup,
+                p.intraop_ms,
+                p.speedup_intraop,
                 p.max_posterior_mean_diff,
-                p.max_posterior_std_diff,
-                p.max_bound_diff
+                p.max_posterior_std_diff
             );
             suggest.push(p);
         }
@@ -323,10 +373,14 @@ fn main() {
     }
 
     if !exact {
-        eprintln!("FAIL: batched suggest path diverged from the scalar path (bit-identity contract violated)");
+        eprintln!(
+            "FAIL: batched suggest path diverged from the scalar path or across intra-op \
+             worker counts (bit-identity contract violated)"
+        );
         std::process::exit(1);
     }
     println!(
-        "bit-identity verified: batched == scalar on every posterior, bound and hyperparameter"
+        "bit-identity verified: batched == scalar on every posterior, bound and \
+         hyperparameter, at every intra-op worker count"
     );
 }

@@ -31,7 +31,28 @@ pub struct FleetOptions {
     /// value at admission ([`FleetService::effective_hyperopt_workers`]). Selected
     /// hyper-parameters are worker-count independent bit for bit, so the clamp affects
     /// wall-clock time only, never replay determinism.
+    ///
+    /// Deserializes to 0 from snapshots written before the field existed
+    /// (`#[serde(default)]`); 0 already means "resolve against the remaining budget",
+    /// so old snapshots restore with a valid grant instead of erroring.
+    #[serde(default)]
     pub hyperopt_workers: usize,
+    /// Intra-op worker threads granted to each tenant's model computations: threads
+    /// *inside* one Cholesky factorization's trailing-panel update and one suggest
+    /// sweep's batched prediction (see
+    /// [`gp::regression::GaussianProcess::set_intraop_workers`]; 0 = resolve against
+    /// the remaining budget).
+    ///
+    /// **Three-level budget:** tenant-, hyperopt- and intra-op-level parallelism
+    /// multiply — every tenant worker can be inside a hyperopt refit whose every
+    /// restart search factorizes with intra-op workers — so the service enforces
+    /// `tenant_workers × hyperopt_workers × intraop_workers ≤ available_parallelism`
+    /// by clamping this value at admission and on snapshot restore
+    /// ([`FleetService::effective_intraop_workers`]). Every computed value is
+    /// bit-identical at every grant, so the clamp shapes wall-clock time only.
+    /// Deserializes to 0 (= budget-resolved) from older snapshots.
+    #[serde(default)]
+    pub intraop_workers: usize,
     /// Scheduler configuration.
     pub scheduler: SchedulerOptions,
     /// Knowledge-base bounds.
@@ -59,6 +80,7 @@ impl Default for FleetOptions {
         FleetOptions {
             workers: 0,
             hyperopt_workers: 1,
+            intraop_workers: 1,
             scheduler: SchedulerOptions::default(),
             knowledge: KnowledgeBaseOptions::default(),
             warm_start_on_admit: true,
@@ -156,11 +178,24 @@ pub struct FleetService {
     knowledge: KnowledgeBase,
     scheduler: SessionScheduler,
     rounds: usize,
+    /// The machine parallelism every worker-budget clamp derives from, sampled **once**
+    /// at construction (or injected via [`FleetService::set_parallelism`]). Sampling
+    /// `available_parallelism()` independently per clamp would let admission and
+    /// restore disagree when the visible CPU count changes between calls (cgroup
+    /// resize, affinity mask); one stored sample keeps every grant mutually consistent.
+    /// Runtime-only, never serialized: a restored service re-samples on *its* machine.
+    parallelism: usize,
     /// Fleet-level observability sink (runtime-only, never serialized). Each session
     /// holds a *child* of this core so worker threads record without contention; the
     /// service merges the children at report time, in tenant order, which keeps every
     /// export deterministic.
     telemetry: TelemetryHandle,
+}
+
+/// The one place the machine's parallelism is read; everything else uses the value
+/// stored on the service.
+fn sample_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 impl FleetService {
@@ -174,7 +209,35 @@ impl FleetService {
             knowledge,
             scheduler,
             rounds: 0,
+            parallelism: sample_parallelism(),
             telemetry: TelemetryHandle::disabled(),
+        }
+    }
+
+    /// Overrides the machine-parallelism sample every worker-budget clamp derives from
+    /// (clamped to ≥ 1). For tests and operators pinning the budget below the visible
+    /// CPU count; affects grants handed out *after* the call (admission, restore-time
+    /// re-grants via [`FleetService::regrant_workers`]), and wall-clock time only —
+    /// every computed value is worker-count independent.
+    pub fn set_parallelism(&mut self, parallelism: usize) {
+        self.parallelism = parallelism.max(1);
+    }
+
+    /// The stored machine-parallelism sample (see [`FleetService::set_parallelism`]).
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Recomputes and re-applies the hyperopt and intra-op grants of every tenant from
+    /// the current options and stored parallelism. Called by restore; also useful after
+    /// [`FleetService::set_parallelism`] to propagate a changed budget to existing
+    /// sessions.
+    pub fn regrant_workers(&mut self) {
+        let hyperopt = self.effective_hyperopt_workers();
+        let intraop = self.effective_intraop_workers();
+        for session in &mut self.tenants {
+            session.set_hyperopt_workers(hyperopt);
+            session.set_intraop_workers(intraop);
         }
     }
 
@@ -221,9 +284,10 @@ impl FleetService {
     pub fn admit(&mut self, spec: TenantSpec) -> usize {
         let key = PoolKey::for_tenant(&spec.hardware, spec.family_at(0));
         let mut tuner = self.options.tuner.clone();
-        // Enforce the combined parallelism budget (see `FleetOptions::hyperopt_workers`)
+        // Enforce the three-level parallelism budget (see `FleetOptions::intraop_workers`)
         // at admission, when the session's tuner options are fixed.
         tuner.cluster.hyperopt_workers = self.effective_hyperopt_workers();
+        tuner.cluster.intraop_workers = self.effective_intraop_workers();
         let mut session = TenantSession::new(spec, tuner);
         session.set_retry_policy(self.options.retry);
         session.set_telemetry(&self.telemetry);
@@ -401,13 +465,23 @@ impl FleetService {
     /// Tenant-level worker threads actually used per round: the configured value
     /// (0 = one per CPU), clamped to `[1, n_tenants]`.
     fn effective_workers(&self) -> usize {
-        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
         let configured = if self.options.workers == 0 {
-            hw
+            self.parallelism
         } else {
             self.options.workers
         };
         configured.clamp(1, self.tenants.len().max(1))
+    }
+
+    /// The tenant-worker term of the multiplicative budget: the *configured* worker
+    /// count (not the tenant-count-clamped one) so a tenant admitted early does not get
+    /// a grant the budget cannot honor once the fleet fills up.
+    fn budget_tenant_workers(&self) -> usize {
+        if self.options.workers == 0 {
+            self.parallelism
+        } else {
+            self.options.workers.max(1)
+        }
     }
 
     /// Hyperopt-level worker threads granted to each tenant's periodic refit, clamped so
@@ -420,14 +494,23 @@ impl FleetService {
     /// hyper-parameters are worker-count independent, so this clamp only shapes
     /// wall-clock time, never results.
     pub fn effective_hyperopt_workers(&self) -> usize {
-        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let tenant_workers = if self.options.workers == 0 {
-            hw
-        } else {
-            self.options.workers.max(1)
-        };
-        let budget = (hw / tenant_workers).max(1);
+        let budget = (self.parallelism / self.budget_tenant_workers()).max(1);
         match self.options.hyperopt_workers {
+            0 => budget,
+            w => w.min(budget),
+        }
+    }
+
+    /// Intra-op worker threads granted to each tenant's factorizations and suggest
+    /// sweeps — the third level of the multiplicative budget
+    /// `tenant_workers × hyperopt_workers × intraop_workers ≤ available_parallelism`.
+    /// The remaining budget divides what the first two levels already claim; a request
+    /// of 0 resolves to all of it. Every computed value is bit-identical at every
+    /// grant, so the clamp shapes wall-clock time only.
+    pub fn effective_intraop_workers(&self) -> usize {
+        let claimed = self.budget_tenant_workers() * self.effective_hyperopt_workers();
+        let budget = (self.parallelism / claimed.max(1)).max(1);
+        match self.options.intraop_workers {
             0 => budget,
             w => w.min(budget),
         }
@@ -632,11 +715,12 @@ impl FleetService {
 
     /// Rebuilds a service from a snapshot; every session continues bit-identically.
     ///
-    /// The hyperopt worker grant is re-clamped against *this* machine's parallelism
-    /// (snapshots may have been taken on a machine with a different CPU count, and the
-    /// combined budget of [`FleetOptions::hyperopt_workers`] must hold where the fleet
-    /// actually runs). Hyperopt results are worker-count independent, so the re-grant
-    /// cannot perturb replay.
+    /// The hyperopt and intra-op worker grants are re-clamped against *this* machine's
+    /// parallelism, sampled once for the restored service (snapshots may have been
+    /// taken on a machine with a different CPU count, and the three-level budget of
+    /// [`FleetOptions::intraop_workers`] must hold where the fleet actually runs).
+    /// All worker-count-dependent computations are bit-identical across grants, so the
+    /// re-grant cannot perturb replay.
     ///
     /// Malformed per-tenant state surfaces as [`FleetError::TenantRestore`] naming the
     /// offending tenant — a damaged snapshot degrades into a typed error, not a panic.
@@ -652,12 +736,10 @@ impl FleetService {
             knowledge: snapshot.knowledge,
             scheduler: snapshot.scheduler,
             rounds: snapshot.rounds,
+            parallelism: sample_parallelism(),
             telemetry: TelemetryHandle::disabled(),
         };
-        let grant = svc.effective_hyperopt_workers();
-        for session in &mut svc.tenants {
-            session.set_hyperopt_workers(grant);
-        }
+        svc.regrant_workers();
         Ok(svc)
     }
 
@@ -755,6 +837,199 @@ mod tests {
         let mut svc = small_service(2, 2);
         svc.run_rounds(4);
         assert!(svc.knowledge().n_pools() >= 1);
+    }
+
+    #[test]
+    fn fleet_execution_is_bit_identical_across_the_three_level_worker_grid() {
+        // The full tenant × hyperopt × intraop grid of ISSUE 9: every grant combination
+        // must produce the same per-tenant trajectories bit for bit. hyperopt_period is
+        // lowered so the periodic refit (the hyperopt × intraop hot path) actually runs
+        // within the test's horizon.
+        let run = |workers: usize, hyperopt: usize, intraop: usize| {
+            let mut tuner = small_tuner_options();
+            tuner.cluster.hyperopt_period = 3;
+            let mut svc = FleetService::new(FleetOptions {
+                workers,
+                hyperopt_workers: hyperopt,
+                intraop_workers: intraop,
+                tuner,
+                ..Default::default()
+            });
+            // Decouple the grants from the machine the test runs on: with 64 injected
+            // CPUs no level is clamped below its requested value.
+            svc.set_parallelism(64);
+            for i in 0..3 {
+                let family = WorkloadFamily::ALL[i % WorkloadFamily::ALL.len()];
+                let mut spec = TenantSpec::named(format!("tenant-{i}"), family, 2000 + i as u64);
+                spec.deterministic = true;
+                svc.admit(spec);
+            }
+            svc.run_rounds(3);
+            svc.summaries()
+        };
+        let baseline = run(1, 1, 1);
+        assert!(
+            baseline.iter().all(|t| t.iterations >= 3),
+            "horizon too short to exercise the hyperopt period"
+        );
+        for w in [1usize, 2, 4] {
+            for h in [1usize, 2, 4] {
+                for i in [1usize, 2, 4] {
+                    let grid = run(w, h, i);
+                    for (x, y) in grid.iter().zip(baseline.iter()) {
+                        assert_eq!(x.iterations, y.iterations, "({w},{h},{i}) {}", x.name);
+                        assert_eq!(
+                            x.cumulative_regret.to_bits(),
+                            y.cumulative_regret.to_bits(),
+                            "({w},{h},{i}) {}",
+                            x.name
+                        );
+                        assert_eq!(
+                            x.total_score.to_bits(),
+                            y.total_score.to_bits(),
+                            "({w},{h},{i}) {}",
+                            x.name
+                        );
+                        assert_eq!(x.unsafe_count, y.unsafe_count, "({w},{h},{i}) {}", x.name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worker_budgets_derive_from_one_injected_parallelism_sample() {
+        // With an injected sample every clamp is deterministic and mutually consistent —
+        // the bug this guards against was three independent `available_parallelism()`
+        // reads that could disagree mid-flight (cgroup resize, affinity change).
+        let mut svc = FleetService::new(FleetOptions {
+            workers: 2,
+            hyperopt_workers: 0,
+            intraop_workers: 0,
+            tuner: small_tuner_options(),
+            ..Default::default()
+        });
+        svc.set_parallelism(16);
+        assert_eq!(svc.parallelism(), 16);
+        // Request 0 = full remaining budget per level: 16/2 = 8 hyperopt, then nothing
+        // left for intra-op.
+        assert_eq!(svc.effective_hyperopt_workers(), 8);
+        assert_eq!(svc.effective_intraop_workers(), 1);
+
+        let mut svc = FleetService::new(FleetOptions {
+            workers: 2,
+            hyperopt_workers: 2,
+            intraop_workers: 64,
+            tuner: small_tuner_options(),
+            ..Default::default()
+        });
+        svc.set_parallelism(16);
+        assert_eq!(svc.effective_hyperopt_workers(), 2);
+        // intraop budget = 16 / (2 × 2) = 4; the oversized request clamps down to it.
+        assert_eq!(svc.effective_intraop_workers(), 4);
+        // Both grants land in the admitted tenant's tuner options and the product holds.
+        let idx = svc.admit(TenantSpec::named(
+            "t0".to_string(),
+            WorkloadFamily::ALL[0],
+            1,
+        ));
+        let state = svc.tenants[idx].export_state();
+        assert_eq!(state.tuner.options.cluster.hyperopt_workers, 2);
+        assert_eq!(state.tuner.options.cluster.intraop_workers, 4);
+
+        // Shrinking the budget after admission and re-granting propagates to sessions.
+        svc.set_parallelism(4);
+        svc.regrant_workers();
+        let state = svc.tenants[idx].export_state();
+        assert_eq!(state.tuner.options.cluster.hyperopt_workers, 2);
+        assert_eq!(state.tuner.options.cluster.intraop_workers, 1);
+    }
+
+    #[test]
+    fn three_level_budget_product_never_exceeds_parallelism() {
+        for p in [1usize, 2, 3, 4, 6, 8, 16, 64] {
+            for workers in [0usize, 1, 2, 4, 8] {
+                for hyperopt in [0usize, 1, 2, 64] {
+                    for intraop in [0usize, 1, 2, 64] {
+                        let mut svc = FleetService::new(FleetOptions {
+                            workers,
+                            hyperopt_workers: hyperopt,
+                            intraop_workers: intraop,
+                            tuner: small_tuner_options(),
+                            ..Default::default()
+                        });
+                        svc.set_parallelism(p);
+                        let t = if workers == 0 { p } else { workers };
+                        let h = svc.effective_hyperopt_workers();
+                        let i = svc.effective_intraop_workers();
+                        assert!(h >= 1 && i >= 1, "grants must stay positive");
+                        // The budget holds except in the degenerate case where the
+                        // configured tenant workers alone already exceed the machine
+                        // (then both lower levels fold to 1).
+                        assert!(
+                            t * h * i <= p.max(t),
+                            "budget violated: {t} × {h} × {i} > {p}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deletes every `"field":<digits>` occurrence (plus one adjacent comma) from a
+    /// JSON string — shapes a current snapshot like one written before the field
+    /// existed.
+    fn strip_numeric_field(json: &str, field: &str) -> String {
+        let needle = format!("\"{field}\":");
+        let mut out = String::with_capacity(json.len());
+        let mut rest = json;
+        while let Some(pos) = rest.find(&needle) {
+            let bytes = rest.as_bytes();
+            let mut head_end = pos;
+            let mut val_end = pos + needle.len();
+            while val_end < rest.len() && bytes[val_end].is_ascii_digit() {
+                val_end += 1;
+            }
+            if val_end < rest.len() && bytes[val_end] == b',' {
+                val_end += 1; // field was not last in its object: eat the trailing comma
+            } else if head_end > 0 && bytes[head_end - 1] == b',' {
+                head_end -= 1; // field was last: eat the leading comma instead
+            }
+            out.push_str(&rest[..head_end]);
+            rest = &rest[val_end..];
+        }
+        out.push_str(rest);
+        out
+    }
+
+    #[test]
+    fn pre_worker_grant_snapshots_restore_with_default_grants() {
+        // Regression for the PR-5 schema break: snapshots written before
+        // `hyperopt_workers` / `intraop_workers` existed must restore (the fields
+        // deserialize to 0 via #[serde(default)]) and come back with valid re-clamped
+        // grants on every session instead of failing the whole restore.
+        let mut svc = small_service(2, 1);
+        svc.run_rounds(1);
+        let json = svc.snapshot_json().unwrap();
+        let stripped = strip_numeric_field(
+            &strip_numeric_field(&json, "hyperopt_workers"),
+            "intraop_workers",
+        );
+        assert!(
+            stripped.len() < json.len(),
+            "test must actually remove the fields"
+        );
+        let mut restored = FleetService::restore_json(&stripped).unwrap();
+        let h = restored.effective_hyperopt_workers();
+        let i = restored.effective_intraop_workers();
+        assert!(h >= 1 && i >= 1);
+        for t in &restored.tenants {
+            let state = t.export_state();
+            assert_eq!(state.tuner.options.cluster.hyperopt_workers, h);
+            assert_eq!(state.tuner.options.cluster.intraop_workers, i);
+        }
+        // The restored fleet keeps running.
+        assert!(restored.run_rounds(1).iterations > 0);
     }
 
     #[test]

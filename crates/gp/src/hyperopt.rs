@@ -42,6 +42,15 @@ pub struct HyperOptOptions {
     /// index order with a strict `<` — exactly the fold the serial loop performs.
     /// Property-tested across `workers ∈ {1, 2, 4}`.
     pub workers: usize,
+    /// Intra-op worker threads *inside* each likelihood trial's Cholesky factorization
+    /// (the trailing-panel worker pool of
+    /// [`Cholesky::decompose_with_jitter_scratch_workers`]). Multiplies with `workers`:
+    /// the optimizer may run up to `workers × intraop_workers` threads at once, so
+    /// callers under a parallelism budget should grant accordingly (the fleet's
+    /// three-level budget does). `0` is treated as `1`. Bit-identity contract: the
+    /// selected hyper-parameters are identical at every value — the parallel trailing
+    /// update reproduces the serial factorization exactly.
+    pub intraop_workers: usize,
     /// Equivalence/benchmark switch: run each likelihood trial through the *reference*
     /// fit path — full Gram rebuild into a fresh allocation, the retained unblocked
     /// [`Cholesky::decompose_reference`], allocating solves — i.e. the trial loop as it
@@ -61,6 +70,7 @@ impl Default for HyperOptOptions {
             optimize_noise: true,
             use_distance_cache: true,
             workers: 1,
+            intraop_workers: 1,
             use_reference_factorization: false,
         }
     }
@@ -88,6 +98,7 @@ fn lml_from_stats(
     y_std: &[f64],
     arena: &mut FitArena,
     reference_factorization: bool,
+    intraop_workers: usize,
 ) -> Option<f64> {
     if reference_factorization {
         // The pre-blocking trial loop, verbatim: full Gram rebuild into a fresh
@@ -119,8 +130,13 @@ fn lml_from_stats(
         }
     }
     arena.gram.add_diagonal(noise_variance).ok()?;
-    let chol =
-        Cholesky::decompose_with_jitter_scratch(&arena.gram, 1e-3, &mut arena.factor).ok()?;
+    let chol = Cholesky::decompose_with_jitter_scratch_workers(
+        &arena.gram,
+        1e-3,
+        &mut arena.factor,
+        intraop_workers,
+    )
+    .ok()?;
     let mut alpha = std::mem::take(&mut arena.alpha_spare);
     let solved = chol.solve_into(y_std, &mut alpha);
     let result = solved.ok().map(|()| {
@@ -356,6 +372,7 @@ pub fn optimize_hyperparameters<R: Rng>(
                     y_std,
                     &mut arena,
                     options.use_reference_factorization,
+                    options.intraop_workers.max(1),
                 ) {
                     Some(lml) => -lml,
                     None => f64::MAX / 4.0,
@@ -582,10 +599,11 @@ mod tests {
         }
     }
 
-    /// Runs one optimization with the given worker count on a fixed problem and returns
-    /// everything the determinism contract covers.
+    /// Runs one optimization with the given restart-worker and intra-op grants on a
+    /// fixed problem and returns everything the determinism contract covers.
     fn run_with_workers(
         workers: usize,
+        intraop: usize,
         restarts: usize,
         seed: u64,
         data: &[(Vec<f64>, f64)],
@@ -596,6 +614,7 @@ mod tests {
             Box::new(ScaledKernel::new(Box::new(Matern52Kernel::new(0.3)), 1.0)),
             1e-3,
         );
+        gp.set_intraop_workers(intraop);
         let mut rng = StdRng::seed_from_u64(seed);
         let report = optimize_hyperparameters(
             &mut gp,
@@ -605,6 +624,7 @@ mod tests {
                 restarts,
                 max_iters: 40,
                 workers,
+                intraop_workers: intraop,
                 ..Default::default()
             },
             &mut rng,
@@ -620,9 +640,9 @@ mod tests {
                 (vec![t, (4.0 * t).cos()], (3.0 * t).sin() * 5.0 + t)
             })
             .collect();
-        let (params_serial, noise_serial, report_serial) = run_with_workers(1, 5, 13, &data);
-        for workers in [2usize, 4, 0] {
-            let (params, noise, report) = run_with_workers(workers, 5, 13, &data);
+        let (params_serial, noise_serial, report_serial) = run_with_workers(1, 1, 5, 13, &data);
+        for (workers, intraop) in [(2usize, 1usize), (4, 2), (0, 4), (1, 4), (2, 0)] {
+            let (params, noise, report) = run_with_workers(workers, intraop, 5, 13, &data);
             assert_eq!(params.len(), params_serial.len());
             for (a, b) in params.iter().zip(params_serial.iter()) {
                 assert_eq!(a.to_bits(), b.to_bits(), "workers={workers}");
@@ -678,9 +698,10 @@ mod tests {
 
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(8))]
-            /// The determinism contract of `HyperOptOptions::workers`: on random data,
-            /// restart counts and seeds, the selected hyper-parameters, noise, reported
-            /// likelihood and evaluation count are bit-identical for 1, 2 and 4 workers.
+            /// The determinism contract of `HyperOptOptions::{workers, intraop_workers}`:
+            /// on random data, restart counts and seeds, the selected hyper-parameters,
+            /// noise, reported likelihood and evaluation count are bit-identical across
+            /// the restart-worker × intra-op grid {1,2,4} × {1,2,4}.
             #[test]
             fn prop_hyperopt_bit_identical_across_worker_counts(
                 raw in proptest::collection::vec(
@@ -688,9 +709,9 @@ mod tests {
                 restarts in 1usize..5,
                 seed in 0u64..500,
             ) {
-                let serial = run_with_workers(1, restarts, seed, &raw);
-                for workers in [2usize, 4] {
-                    let parallel = run_with_workers(workers, restarts, seed, &raw);
+                let serial = run_with_workers(1, 1, restarts, seed, &raw);
+                for (workers, intraop) in [(2usize, 1usize), (4, 1), (1, 2), (2, 2), (4, 4), (1, 4)] {
+                    let parallel = run_with_workers(workers, intraop, restarts, seed, &raw);
                     prop_assert_eq!(parallel.0.len(), serial.0.len());
                     for (a, b) in parallel.0.iter().zip(serial.0.iter()) {
                         prop_assert_eq!(a.to_bits(), b.to_bits());

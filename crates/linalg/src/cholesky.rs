@@ -43,6 +43,113 @@ use crate::{LinalgError, Matrix, Result};
 /// full-length rows as the textbook recurrence does. Matches [`Matrix::matmul`]'s tile.
 const BLOCK: usize = 64;
 
+/// Minimum trailing-block height (rows) for the trailing-update worker pool to engage.
+/// Below one panel of trailing rows the whole update is a few tens of microseconds —
+/// cheaper than spawning scoped threads — so small factorizations stay strictly serial
+/// regardless of the worker grant.
+const PAR_MIN_TRAILING: usize = 64;
+
+/// Minimum trailing rows a worker must own before it is worth its spawn cost; the
+/// worker count is clamped to `tw / PAR_MIN_ROWS_PER_WORKER` so late (short) panels run
+/// on fewer threads than early (tall) ones.
+const PAR_MIN_ROWS_PER_WORKER: usize = 32;
+
+/// Workers actually used for one panel's trailing update: the grant clamped by the
+/// trailing-block height. Depends only on `(workers, tw)`, so the panel→worker schedule
+/// is fixed — and the factor is bit-identical at every worker count anyway (see
+/// [`trailing_update_rows`]), so the clamp shapes wall-clock time, never results.
+fn trailing_workers(workers: usize, tw: usize) -> usize {
+    if workers <= 1 || tw < PAR_MIN_TRAILING {
+        1
+    } else {
+        workers.min(tw / PAR_MIN_ROWS_PER_WORKER).max(1)
+    }
+}
+
+/// Chunk boundaries of the fixed row→worker schedule: `w + 1` nondecreasing offsets
+/// into the trailing block (`bounds[0] = 0`, `bounds[w] = tw`). Row `r` of the block
+/// updates `r + 1` elements, so boundaries equalize cumulative *area* rather than row
+/// count — the last worker would otherwise own half the flops. Depends only on
+/// `(tw, w)`.
+fn trailing_chunk_bounds(tw: usize, w: usize) -> Vec<usize> {
+    let total = tw * (tw + 1) / 2;
+    let mut bounds = Vec::with_capacity(w + 1);
+    bounds.push(0);
+    let mut m = 0usize;
+    for c in 1..w {
+        let target = total * c / w;
+        while m < tw && m * (m + 1) / 2 < target {
+            m += 1;
+        }
+        bounds.push(m);
+    }
+    bounds.push(tw);
+    bounds
+}
+
+/// Applies one panel's trailing (SYRK) update to the contiguous row range `lo..hi` of
+/// the factor (`ke ≤ lo ≤ hi ≤ n`). `rows` is exactly that range's storage —
+/// `rows[0]` is the first element of row `lo` — and `syrk` is the shared transposed
+/// panel (read-only).
+///
+/// Trailing rows are mutually independent: row `i` reads its own panel block
+/// (`L[i][kb..ke]`, inside its own storage) and the shared `syrk` transpose, and writes
+/// only `L[i][ke..=i]`. Every element still accumulates its ascending-k subtraction
+/// chain in its own memory cell, so splitting the row range across workers — at *any*
+/// boundary — produces the same bits as the serial sweep. This is what makes the
+/// parallel trailing update bit-identical to [`Cholesky::decompose_reference`] by
+/// construction rather than by tolerance.
+fn trailing_update_rows(
+    rows: &mut [f64],
+    lo: usize,
+    hi: usize,
+    n: usize,
+    kb: usize,
+    ke: usize,
+    syrk: &[f64],
+) {
+    let pw = ke - kb;
+    let tw = n - ke;
+    let base = lo * n;
+    let mut panel = [0.0f64; BLOCK];
+    let mut panel2 = [0.0f64; BLOCK];
+    // Two output rows per pass share each lane load (rows are independent; every
+    // element still accumulates its own ascending-k chain). A chunk-straddling pair
+    // simply falls to the scalar remainder — pairing never changes per-element order.
+    let mut i = lo;
+    while i + 2 <= hi {
+        panel[..pw].copy_from_slice(&rows[i * n + kb - base..i * n + ke - base]);
+        panel2[..pw].copy_from_slice(&rows[(i + 1) * n + kb - base..(i + 1) * n + ke - base]);
+        let len0 = i - ke + 1;
+        let (row_i, rest) = rows[i * n + ke - base..].split_at_mut(n);
+        let row_i = &mut row_i[..len0];
+        let row_j = &mut rest[..len0 + 1];
+        for k in 0..pw {
+            let p0 = panel[k];
+            let p1 = panel2[k];
+            let lane = &syrk[k * tw..k * tw + len0 + 1];
+            for ((o0, o1), &t) in row_i.iter_mut().zip(row_j.iter_mut()).zip(lane.iter()) {
+                *o0 -= p0 * t;
+                *o1 -= p1 * t;
+            }
+            row_j[len0] -= p1 * lane[len0];
+        }
+        i += 2;
+    }
+    while i < hi {
+        panel[..pw].copy_from_slice(&rows[i * n + kb - base..i * n + ke - base]);
+        let row_i = &mut rows[i * n + ke - base..i * n + i + 1 - base];
+        let len = i - ke + 1;
+        for (k, &pik) in panel[..pw].iter().enumerate() {
+            let lane = &syrk[k * tw..k * tw + len];
+            for (o, &t) in row_i.iter_mut().zip(lane.iter()) {
+                *o -= pik * t;
+            }
+        }
+        i += 1;
+    }
+}
+
 /// Reusable storage for Cholesky factorizations.
 ///
 /// Holds the backing buffer of a previously retired factor so the next
@@ -88,9 +195,18 @@ impl Cholesky {
     /// Bit-identical to [`Cholesky::decompose_reference`] (see the module docs for why);
     /// `O(n³)` with cache-blocked memory traffic.
     pub fn decompose(a: &Matrix) -> Result<Self> {
+        Self::decompose_with_workers(a, 1)
+    }
+
+    /// [`Cholesky::decompose`] with `workers` threads applying each panel's trailing
+    /// (SYRK) update to disjoint contiguous row ranges under the fixed
+    /// area-balanced schedule of [`trailing_chunk_bounds`]. The factor is
+    /// **bit-identical at every worker count** — see [`trailing_update_rows`] — so
+    /// `workers` shapes wall-clock time only. A grant of 0 is treated as 1.
+    pub fn decompose_with_workers(a: &Matrix, workers: usize) -> Result<Self> {
         let mut l = Matrix::default();
         let mut syrk = Vec::new();
-        Self::factorize_into(a, 0.0, &mut l, &mut syrk)?;
+        Self::factorize_into(a, 0.0, &mut l, &mut syrk, workers)?;
         Ok(Cholesky { l, jitter: 0.0 })
     }
 
@@ -141,16 +257,31 @@ impl Cholesky {
         max_jitter: f64,
         scratch: &mut FactorScratch,
     ) -> Result<Self> {
+        Self::decompose_with_jitter_scratch_workers(a, max_jitter, scratch, 1)
+    }
+
+    /// [`Cholesky::decompose_with_jitter_scratch`] with the trailing-update worker pool
+    /// of [`Cholesky::decompose_with_workers`]. Bit-identical at every worker count; the
+    /// serial hot path (`workers ≤ 1`, or matrices below the [`PAR_MIN_TRAILING`] gate)
+    /// stays allocation-free in steady state — parallel trailing updates spawn scoped
+    /// threads per panel, trading the allocation-free property for wall-clock time on
+    /// large factorizations.
+    pub fn decompose_with_jitter_scratch_workers(
+        a: &Matrix,
+        max_jitter: f64,
+        scratch: &mut FactorScratch,
+        workers: usize,
+    ) -> Result<Self> {
         let mut spare = std::mem::take(&mut scratch.spare);
         spare.clear(); // keep the capacity, drop stale contents so `from_vec(0, 0, …)` accepts it
         let mut l = Matrix::from_vec(0, 0, spare).expect("cleared buffer has length 0");
         let syrk = &mut scratch.syrk;
-        if Self::factorize_into(a, 0.0, &mut l, syrk).is_ok() {
+        if Self::factorize_into(a, 0.0, &mut l, syrk, workers).is_ok() {
             return Ok(Cholesky { l, jitter: 0.0 });
         }
         let mut jitter = 1e-10;
         while jitter <= max_jitter {
-            if Self::factorize_into(a, jitter, &mut l, syrk).is_ok() {
+            if Self::factorize_into(a, jitter, &mut l, syrk, workers).is_ok() {
                 return Ok(Cholesky { l, jitter });
             }
             jitter *= 10.0;
@@ -218,7 +349,17 @@ impl Cholesky {
     /// updates land before the panel factorization finishes the column), never the
     /// per-element order, and each element accumulates in a single scalar so no
     /// reassociation occurs.
-    fn factorize_into(a: &Matrix, jitter: f64, l: &mut Matrix, syrk: &mut Vec<f64>) -> Result<()> {
+    ///
+    /// `workers > 1` parallelizes each panel's trailing update across scoped threads
+    /// under the fixed schedule of [`trailing_chunk_bounds`]; the panel factorization
+    /// itself (latency-bound, `O(n·BLOCK²)` per panel) stays serial.
+    fn factorize_into(
+        a: &Matrix,
+        jitter: f64,
+        l: &mut Matrix,
+        syrk: &mut Vec<f64>,
+        workers: usize,
+    ) -> Result<()> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare {
                 rows: a.rows(),
@@ -237,7 +378,6 @@ impl Cholesky {
         }
 
         let mut panel = [0.0f64; BLOCK];
-        let mut panel2 = [0.0f64; BLOCK];
         let mut kb = 0;
         while kb < n {
             let ke = (kb + BLOCK).min(n);
@@ -319,41 +459,34 @@ impl Cholesky {
                         syrk[k * tw + jj] = v;
                     }
                 }
-                // Two output rows per pass share each lane load (rows are independent;
-                // every element still accumulates its own ascending-k chain).
-                let mut i = ke;
-                while i + 2 <= n {
-                    panel[..pw].copy_from_slice(&dst[i * n + kb..i * n + ke]);
-                    panel2[..pw].copy_from_slice(&dst[(i + 1) * n + kb..(i + 1) * n + ke]);
-                    let len0 = i - ke + 1;
-                    let (row_i, rest) = dst[i * n + ke..].split_at_mut(n);
-                    let row_i = &mut row_i[..len0];
-                    let row_j = &mut rest[..len0 + 1];
-                    for k in 0..pw {
-                        let p0 = panel[k];
-                        let p1 = panel2[k];
-                        let lane = &syrk[k * tw..k * tw + len0 + 1];
-                        for ((o0, o1), &t) in
-                            row_i.iter_mut().zip(row_j.iter_mut()).zip(lane.iter())
-                        {
-                            *o0 -= p0 * t;
-                            *o1 -= p1 * t;
+                let w = trailing_workers(workers, tw);
+                if w > 1 {
+                    // Fixed panel→worker schedule: carve the trailing rows into `w`
+                    // contiguous, area-balanced chunks and hand each worker its own
+                    // disjoint storage slice. Rows never move between workers and the
+                    // chunks are carved in ascending row order (the index-ordered
+                    // combine is the carving itself — results land in place, in order).
+                    let bounds = trailing_chunk_bounds(tw, w);
+                    let syrk_ro: &[f64] = syrk;
+                    std::thread::scope(|scope| {
+                        let mut rows: &mut [f64] = &mut dst[ke * n..];
+                        let mut lo = ke;
+                        for &b in &bounds[1..] {
+                            let hi = ke + b;
+                            if hi == lo {
+                                continue;
+                            }
+                            let (chunk, rest) = rows.split_at_mut((hi - lo) * n);
+                            rows = rest;
+                            let start = lo;
+                            scope.spawn(move || {
+                                trailing_update_rows(chunk, start, hi, n, kb, ke, syrk_ro);
+                            });
+                            lo = hi;
                         }
-                        row_j[len0] -= p1 * lane[len0];
-                    }
-                    i += 2;
-                }
-                while i < n {
-                    panel[..pw].copy_from_slice(&dst[i * n + kb..i * n + ke]);
-                    let row_i = &mut dst[i * n + ke..i * n + i + 1];
-                    let len = i - ke + 1;
-                    for (k, &pik) in panel[..pw].iter().enumerate() {
-                        let lane = &syrk[k * tw..k * tw + len];
-                        for (o, &t) in row_i.iter_mut().zip(lane.iter()) {
-                            *o -= pik * t;
-                        }
-                    }
-                    i += 1;
+                    });
+                } else {
+                    trailing_update_rows(&mut dst[ke * n..], ke, n, n, kb, ke, syrk);
                 }
             }
             kb = ke;
@@ -958,6 +1091,72 @@ mod tests {
                         blocked.factor().get(i, j).to_bits(),
                         reference.factor().get(i, j).to_bits(),
                         "n={n} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decompose_with_workers_is_bit_identical_at_every_worker_count() {
+        // Sizes span the serial gate (tw < PAR_MIN_TRAILING stays serial even with a
+        // grant), the engagement point, and multi-panel factors where several panels
+        // run parallel trailing updates (n = 200: tw = 136 then 72; n = 256: three
+        // panels tall enough to split). Worker grants of 0 and 1 must also agree.
+        for &n in &[1usize, 63, 64, 65, 100, 150, 200, 256] {
+            let a = spd_n(n, n as u64 + 17);
+            let reference = Cholesky::decompose_reference(&a).unwrap();
+            for &w in &[0usize, 1, 2, 3, 4, 8] {
+                let par = Cholesky::decompose_with_workers(&a, w).unwrap();
+                for i in 0..n {
+                    for j in 0..=i {
+                        assert_eq!(
+                            par.factor().get(i, j).to_bits(),
+                            reference.factor().get(i, j).to_bits(),
+                            "n={n} workers={w} ({i},{j})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worker_scratch_decompose_matches_serial_scratch_path() {
+        // The jitter-escalating scratch path must select the same jitter and produce
+        // the same bits at every worker count, including with a recycled buffer.
+        let a = spd_n(200, 7);
+        let serial = Cholesky::decompose_with_jitter(&a, 1e-3).unwrap();
+        let mut scratch = FactorScratch::default();
+        for &w in &[2usize, 4] {
+            let par =
+                Cholesky::decompose_with_jitter_scratch_workers(&a, 1e-3, &mut scratch, w).unwrap();
+            assert_eq!(par.jitter().to_bits(), serial.jitter().to_bits());
+            assert!(par.factor().max_abs_diff(serial.factor()).unwrap() == 0.0);
+            par.into_scratch(&mut scratch);
+        }
+    }
+
+    #[test]
+    fn trailing_chunk_bounds_form_a_fixed_balanced_partition() {
+        for &tw in &[64usize, 65, 100, 136, 500] {
+            for w in 1..=8 {
+                let bounds = trailing_chunk_bounds(tw, w);
+                assert_eq!(bounds.len(), w + 1);
+                assert_eq!(bounds[0], 0);
+                assert_eq!(bounds[w], tw);
+                for c in 0..w {
+                    assert!(bounds[c] <= bounds[c + 1], "tw={tw} w={w}");
+                }
+                // The schedule is a pure function of (tw, w).
+                assert_eq!(bounds, trailing_chunk_bounds(tw, w));
+                // Area-balanced: no chunk owns more than an ideal share plus one row.
+                let total = tw * (tw + 1) / 2;
+                for c in 0..w {
+                    let area: usize = (bounds[c]..bounds[c + 1]).map(|r| r + 1).sum();
+                    assert!(
+                        area <= total / w + tw + 1,
+                        "tw={tw} w={w} chunk {c} area {area}"
                     );
                 }
             }

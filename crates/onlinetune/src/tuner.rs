@@ -248,6 +248,17 @@ impl OnlineTune {
         self.clusters.set_hyperopt_workers(workers);
     }
 
+    /// Re-grants the intra-op worker budget of every cluster model (see
+    /// [`ClusterOptions::intraop_workers`](crate::clustering::ClusterOptions::intraop_workers)):
+    /// threads inside one refit's Cholesky factorization and one suggest sweep's
+    /// batched prediction. Runtime-only and bit-identical at every grant, exactly like
+    /// [`OnlineTune::set_hyperopt_workers`]; the fleet service calls both at admission
+    /// and after snapshot restore.
+    pub fn set_intraop_workers(&mut self, workers: usize) {
+        self.options.cluster.intraop_workers = workers;
+        self.clusters.set_intraop_workers(workers);
+    }
+
     /// Updates the hardware the white-box rules reason about (a mid-session instance
     /// resize). The black-box models are *not* reset: performance shifts caused by the
     /// resize surface as ordinary observations, and a sustained context-distribution
