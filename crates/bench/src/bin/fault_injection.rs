@@ -52,7 +52,7 @@ fn small_fleet(n: usize) -> FleetService {
         let family = WorkloadFamily::ALL[i % WorkloadFamily::ALL.len()];
         let mut spec = TenantSpec::named(format!("tenant-{i}"), family, 7000 + i as u64);
         spec.deterministic = true;
-        svc.admit(spec);
+        svc.admit(spec).expect("admission");
     }
     svc
 }

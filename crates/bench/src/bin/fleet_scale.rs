@@ -25,7 +25,7 @@ fn build_fleet(n_tenants: usize) -> FleetService {
     for i in 0..n_tenants {
         let family = WorkloadFamily::ALL[i % WorkloadFamily::ALL.len()];
         let spec = TenantSpec::named(format!("tenant-{i:03}"), family, 9000 + i as u64);
-        svc.admit(spec);
+        svc.admit(spec).expect("admission");
     }
     svc
 }
@@ -113,7 +113,7 @@ fn main() {
                     family,
                     9000 + next_id as u64,
                 );
-                svc.admit(spec);
+                svc.admit(spec).expect("admission");
                 next_id += 1;
             }
         }

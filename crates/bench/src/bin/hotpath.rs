@@ -124,7 +124,8 @@ fn measure_fleet(rounds: usize) -> FleetPoint {
             format!("tenant-{i:02}"),
             family,
             100 + i as u64,
-        ));
+        ))
+        .expect("admission");
     }
     let start = Instant::now();
     let report = svc.run_rounds(rounds);

@@ -148,7 +148,7 @@ fn main() {
     {
         let mut spec = TenantSpec::named(format!("perf-{i}"), *family, 40 + i as u64);
         spec.deterministic = true;
-        svc.admit(spec);
+        svc.admit(spec).expect("admission");
     }
     svc.run_rounds(12);
     let metrics = svc.metrics_snapshot();

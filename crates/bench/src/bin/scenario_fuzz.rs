@@ -22,7 +22,7 @@
 
 use bench::report::section;
 use fleet::fuzz::{
-    run_fuzz_case, shrink_case, FuzzCase, PropertyRegistry, ScenarioDistribution,
+    run_fuzz_case, shrink_case, EventWeights, FuzzCase, PropertyRegistry, ScenarioDistribution,
     ScenarioGenerator, Violation,
 };
 use fleet::scenario::ScenarioEvent;
@@ -132,10 +132,21 @@ fn main() {
     } else {
         FULL_CASES_PER_SEED
     };
-    // Nightly sweeps the fault-enabled distribution; the committed bench artifact and
-    // the CI smoke gate stay on the default streams.
+    // Nightly sweeps the fault-enabled distribution with the overload weights switched
+    // on too (every timeline additionally drives the serving front end through
+    // admission bursts and queue storms); the committed bench artifact and the CI
+    // smoke gate stay on the default streams.
     let dist = if nightly {
-        ScenarioDistribution::with_faults()
+        let faults = ScenarioDistribution::with_faults();
+        let overload = ScenarioDistribution::with_overload().event_weights;
+        ScenarioDistribution {
+            event_weights: EventWeights {
+                admission_burst: overload.admission_burst,
+                queue_storm: overload.queue_storm,
+                ..faults.event_weights.clone()
+            },
+            ..faults
+        }
     } else {
         ScenarioDistribution::default()
     };

@@ -44,10 +44,14 @@ fn build_fleet() -> FleetService {
         tuner: small_tuner_options(),
         ..Default::default()
     });
-    svc.admit(tenant("shift", WorkloadFamily::Ycsb, 4001));
-    svc.admit(tenant("writer", WorkloadFamily::Tpcc, 4002));
-    svc.admit(tenant("churner", WorkloadFamily::Twitter, 4003));
-    svc.admit(tenant("steady", WorkloadFamily::Job, 4004));
+    svc.admit(tenant("shift", WorkloadFamily::Ycsb, 4001))
+        .expect("admission");
+    svc.admit(tenant("writer", WorkloadFamily::Tpcc, 4002))
+        .expect("admission");
+    svc.admit(tenant("churner", WorkloadFamily::Twitter, 4003))
+        .expect("admission");
+    svc.admit(tenant("steady", WorkloadFamily::Job, 4004))
+        .expect("admission");
     svc
 }
 

@@ -257,7 +257,8 @@ fn measure_fleet_once(rounds: usize) -> FleetPoint {
             format!("tenant-{i:02}"),
             family,
             100 + i as u64,
-        ));
+        ))
+        .expect("admission");
     }
     let start = Instant::now();
     let report = svc.run_rounds(rounds);

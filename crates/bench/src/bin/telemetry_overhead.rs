@@ -66,7 +66,7 @@ fn build_fleet(telemetry: TelemetryHandle) -> FleetService {
         let family = WorkloadFamily::ALL[i % WorkloadFamily::ALL.len()];
         let mut spec = TenantSpec::named(format!("tenant-{i}"), family, 7000 + i as u64);
         spec.deterministic = true;
-        svc.admit(spec);
+        svc.admit(spec).expect("admission");
     }
     svc
 }

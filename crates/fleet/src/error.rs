@@ -44,6 +44,22 @@ pub enum FleetError {
     },
     /// A scenario step could not be applied during recovery replay.
     Scenario(String),
+    /// Admission control rejected a tenant: the worker budget or the live-tenant
+    /// ceiling has no room, or the tenant could not start a healthy session.
+    AdmissionDenied {
+        /// Name of the tenant that was turned away.
+        tenant: String,
+        /// Why admission was denied.
+        reason: String,
+    },
+    /// The serving front end's bounded request queue is full and the request was not
+    /// sheddable (nor could enough lower-priority work be shed to make room).
+    QueueFull {
+        /// Configured queue capacity.
+        capacity: usize,
+        /// What was being enqueued.
+        request: String,
+    },
 }
 
 impl std::fmt::Display for FleetError {
@@ -66,6 +82,12 @@ impl std::fmt::Display for FleetError {
                 "recovery replay diverged at round {round}: digest {actual:#018x} != WAL {expected:#018x}"
             ),
             FleetError::Scenario(reason) => write!(f, "scenario step failed: {reason}"),
+            FleetError::AdmissionDenied { tenant, reason } => {
+                write!(f, "admission denied for tenant `{tenant}`: {reason}")
+            }
+            FleetError::QueueFull { capacity, request } => {
+                write!(f, "request queue full (capacity {capacity}): rejected {request}")
+            }
         }
     }
 }

@@ -25,7 +25,14 @@
 //!   (with a torn WAL tail) and recovered from its surviving storage finishes the
 //!   horizon with byte-identical snapshot JSON;
 //! * **quarantine liveness** — a quarantined tenant is never left unprobed past its
-//!   probation interval (the scheduler cannot forget a sick tenant).
+//!   probation interval (the scheduler cannot forget a sick tenant);
+//! * **no silent shed loss** — when a case carries an [`OverloadPlan`], the serving
+//!   front end's backpressure may only ever shed reconstructible or untrusted work
+//!   (telemetry reads, quarantined suggests) — never an admission or removal — and
+//!   every tenant the front end admitted is still in the fleet when the leg ends;
+//! * **degradation monotone + recovery** — under the same overload leg, degradation
+//!   tiers only descend while a pressure window persists, and the quiet tail after the
+//!   storm always walks every tenant back to full service.
 //!
 //! On violation, [`shrink_case`] minimizes the timeline — truncating the horizon,
 //! dropping events, evicting initial tenants — to a minimal failing [`FuzzCase`] that is
@@ -40,8 +47,9 @@
 use crate::knowledge::PoolKey;
 use crate::recovery::{DurableFleet, DurableOptions};
 use crate::scenario::{FaultSchedule, Scenario, ScenarioEvent, ScenarioRound, ScenarioStep};
+use crate::serve::{FleetServer, Request, Response, ServeOptions, TrafficScript};
 use crate::service::{small_tuner_options, FleetOptions, FleetService, SloReport};
-use crate::tenant::{SessionHealth, TenantSpec, WorkloadDrift, WorkloadFamily};
+use crate::tenant::{DegradationTier, SessionHealth, TenantSpec, WorkloadDrift, WorkloadFamily};
 use crate::wal::FRAME_LEN;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -71,6 +79,19 @@ pub struct EventWeights {
     /// regenerate unchanged.
     #[serde(default)]
     pub inject_fault: f64,
+    /// Weight of an *admission burst* in the generated overload traffic (a clump of
+    /// fresh-tenant admissions thrown at the serving front end in one round). Defaults
+    /// to 0.0 — overload plans are opt-in (see
+    /// [`ScenarioDistribution::with_overload`]); a zero weight (together with a zero
+    /// [`EventWeights::queue_storm`]) skips overload sampling entirely, leaving older
+    /// generator streams byte-identical.
+    #[serde(default)]
+    pub admission_burst: f64,
+    /// Weight of a *queue storm* in the generated overload traffic (a flood of suggest
+    /// requests plus a telemetry read, sized past the queue capacity). Defaults to 0.0
+    /// for the same stream-stability reason as [`EventWeights::admission_burst`].
+    #[serde(default)]
+    pub queue_storm: f64,
 }
 
 impl Default for EventWeights {
@@ -83,6 +104,8 @@ impl Default for EventWeights {
             scale_data: 1.0,
             drift: 2.0,
             inject_fault: 0.0,
+            admission_burst: 0.0,
+            queue_storm: 0.0,
         }
     }
 }
@@ -169,6 +192,22 @@ impl ScenarioDistribution {
         }
     }
 
+    /// The default distribution with overload traffic switched on: every generated case
+    /// carries an [`OverloadPlan`] — a tightly-budgeted serving front end plus a traffic
+    /// script of admission bursts and queue storms — and the overload properties
+    /// (`no_silent_shed_loss`, `degradation_monotone_and_recovers`) get real work to
+    /// check instead of passing vacuously.
+    pub fn with_overload() -> Self {
+        ScenarioDistribution {
+            event_weights: EventWeights {
+                admission_burst: 1.0,
+                queue_storm: 2.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
     /// Serializes the distribution to JSON.
     pub fn to_json(&self) -> Result<String, String> {
         serde_json::to_string(self).map_err(|e| e.to_string())
@@ -178,6 +217,21 @@ impl ScenarioDistribution {
     pub fn from_json(json: &str) -> Result<Self, String> {
         serde_json::from_str(json).map_err(|e| e.to_string())
     }
+}
+
+/// A generated overload schedule for the serving front end: a (deliberately tight)
+/// [`ServeOptions`] budget, a [`TrafficScript`] of admission bursts and queue storms
+/// over the case's horizon, and a quiet tail long enough for every degradation window
+/// to unwind — the overload properties assert the fleet is back at full service by the
+/// end of it.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OverloadPlan {
+    /// Serving options the overload leg runs under.
+    pub options: ServeOptions,
+    /// The generated request timeline.
+    pub traffic: TrafficScript,
+    /// Total rounds the overload leg runs (the storm horizon plus the quiet tail).
+    pub horizon: usize,
 }
 
 /// One generated fuzzing input: a fleet, a timeline, a horizon and a snapshot cut.
@@ -205,6 +259,11 @@ pub struct FuzzCase {
     pub initial_tenants: Vec<TenantSpec>,
     /// The generated timeline.
     pub scenario: Scenario,
+    /// Overload traffic for the serving front end. `None` unless the distribution
+    /// carries overload weights; the serde default lets pre-overload corpus entries
+    /// (which omit the field) keep parsing.
+    #[serde(default)]
+    pub overload: Option<OverloadPlan>,
 }
 
 impl FuzzCase {
@@ -316,6 +375,61 @@ impl ScenarioGenerator {
                 to_skew: self.rng.gen_range(0.0..1.0),
                 data_factor: self.rng.gen_range(0.5..4.0),
             },
+        }
+    }
+
+    /// Samples an overload plan: tight serving budgets, then per-round either an
+    /// admission burst (fresh tenants clumped into one round) or a queue storm (a
+    /// telemetry read followed by a suggest flood sized past the queue capacity),
+    /// weighted by [`EventWeights::admission_burst`] / [`EventWeights::queue_storm`].
+    /// The leg's horizon appends a quiet tail long enough for the deepest degradation
+    /// to unwind: queue drain plus three full recovery windows plus slack.
+    fn sample_overload(&mut self, initial: &[TenantSpec], rounds: usize) -> OverloadPlan {
+        let options = ServeOptions {
+            max_tenants: initial.len() + self.rng.gen_range(1..3usize),
+            max_tenants_per_worker: 8,
+            queue_capacity: self.rng.gen_range(2..5usize),
+            dispatch_per_round: self.rng.gen_range(1..3usize),
+            deadline_rounds: self.rng.gen_range(1..4usize),
+            pressure_window: self.rng.gen_range(2..4usize),
+            recovery_window: self.rng.gen_range(2..4usize),
+            snapshot_interval: 3,
+        };
+        let w = self.dist.event_weights.clone();
+        let burst_w = w.admission_burst.max(0.0);
+        let storm_w = w.queue_storm.max(0.0);
+        let total = (burst_w + storm_w).max(f64::MIN_POSITIVE);
+        let mut traffic = TrafficScript::new(format!("overload-{}-{}", self.seed, self.produced));
+        let mut fresh = 0usize;
+        for round in 0..rounds {
+            if self.rng.gen_range(0.0..total) < burst_w {
+                for _ in 0..self.rng.gen_range(2..4usize) {
+                    fresh += 1;
+                    let spec = self.sample_tenant(format!("o{fresh}"));
+                    traffic = traffic.at(round, Request::Admit { spec });
+                }
+            } else {
+                traffic = traffic.at(round, Request::TelemetryRead);
+                let flood = options.queue_capacity + self.rng.gen_range(1..4usize);
+                for _ in 0..flood {
+                    let target = &initial[self.rng.gen_range(0..initial.len())];
+                    traffic = traffic.at(
+                        round,
+                        Request::Suggest {
+                            tenant: target.name.clone(),
+                        },
+                    );
+                }
+            }
+        }
+        let tail = options.queue_capacity
+            + options.deadline_rounds
+            + options.recovery_window * (DegradationTier::ALL.len() - 1)
+            + 3;
+        OverloadPlan {
+            options,
+            traffic,
+            horizon: rounds + tail,
         }
     }
 
@@ -464,6 +578,13 @@ impl ScenarioGenerator {
         // Derived without touching the RNG (see `FuzzCase::kill_round`): mixing the seed
         // with the case index spreads kills across the horizon deterministically.
         let kill_round = 1 + (self.seed as usize).wrapping_add(self.produced * 7) % (rounds - 1);
+        // Sampled last, and only when the overload weights are live, so older
+        // distributions draw the exact RNG stream they always did.
+        let overload = if w.admission_burst > 0.0 || w.queue_storm > 0.0 {
+            Some(self.sample_overload(&initial_tenants, rounds))
+        } else {
+            None
+        };
         let case = FuzzCase {
             name: scenario.name.clone(),
             seed: self.seed,
@@ -472,6 +593,7 @@ impl ScenarioGenerator {
             kill_round,
             initial_tenants,
             scenario,
+            overload,
         };
         self.produced += 1;
         debug_assert_eq!(case.scenario.validate(&case.initial_names()), Ok(()));
@@ -520,6 +642,19 @@ pub struct RunArtifacts {
     /// Probation interval quarantined tenants are held against by the liveness
     /// property (a quarantined tenant must be probed at least this often, in rounds).
     pub probation_interval: usize,
+    /// Per-round saturation flags of the overload leg (empty when the case carries no
+    /// [`OverloadPlan`], which makes the overload properties pass vacuously).
+    pub overload_saturated: Vec<bool>,
+    /// Per-round degradation-tier vectors (one tier per live tenant, fleet order) of
+    /// the overload leg.
+    pub overload_tiers: Vec<Vec<DegradationTier>>,
+    /// Labels of every request the overload leg shed.
+    pub overload_shed: Vec<String>,
+    /// Every tenant the serving leg accepted: the initial fleet plus each
+    /// [`Response::Admitted`].
+    pub overload_admitted: Vec<String>,
+    /// Tenants alive in the fleet when the overload leg finished.
+    pub overload_final_tenants: Vec<String>,
 }
 
 /// One failed property check.
@@ -556,7 +691,7 @@ impl PropertyRegistry {
         self.properties.push(Property { name, check });
     }
 
-    /// The seven standard fleet-wide properties (see the module docs).
+    /// The nine standard fleet-wide properties (see the module docs).
     pub fn standard() -> Self {
         let mut registry = PropertyRegistry::new();
         registry.push("replay_bit_identity", |a| {
@@ -663,6 +798,60 @@ impl PropertyRegistry {
             }
             None
         });
+        registry.push("no_silent_shed_loss", |a| {
+            // Shedding may only ever drop reconstructible work (telemetry reads) or
+            // untrusted work (quarantined suggests) — never an admission or removal.
+            for label in &a.overload_shed {
+                if label.starts_with("admit") || label.starts_with("remove") {
+                    return Some(format!(
+                        "backpressure shed a non-sheddable request: `{label}`"
+                    ));
+                }
+            }
+            // And every tenant the front end said yes to is still in the fleet at the
+            // end (the generated traffic never removes tenants).
+            for name in &a.overload_admitted {
+                if !a.overload_final_tenants.contains(name) {
+                    return Some(format!(
+                        "tenant `{name}` was admitted but silently vanished under load"
+                    ));
+                }
+            }
+            None
+        });
+        registry.push("degradation_monotone_and_recovers", |a| {
+            // Within a run of saturated rounds the fleet may only descend the ladder;
+            // and once the storm is over, the quiet tail must walk everyone back to
+            // full service.
+            let mut prev: Option<(bool, DegradationTier)> = None;
+            for (i, (saturated, tiers)) in a
+                .overload_saturated
+                .iter()
+                .zip(&a.overload_tiers)
+                .enumerate()
+            {
+                let fleet_max = tiers.iter().copied().max().unwrap_or(DegradationTier::Full);
+                if let Some((prev_saturated, prev_max)) = prev {
+                    if prev_saturated && *saturated && fleet_max < prev_max {
+                        return Some(format!(
+                            "round {i}: fleet tier rose {} -> {} inside a pressure window",
+                            prev_max.label(),
+                            fleet_max.label()
+                        ));
+                    }
+                }
+                prev = Some((*saturated, fleet_max));
+            }
+            if let Some(last) = a.overload_tiers.last() {
+                if let Some(stuck) = last.iter().find(|t| **t != DegradationTier::Full) {
+                    return Some(format!(
+                        "a tenant is still at tier {} after the quiet tail",
+                        stuck.label()
+                    ));
+                }
+            }
+            None
+        });
         registry
     }
 
@@ -744,7 +933,7 @@ fn run_leg(
     let mut svc = FleetService::new(fuzz_fleet_options());
     svc.set_telemetry(telemetry);
     for spec in &case.initial_tenants {
-        svc.admit(spec.clone());
+        svc.admit(spec.clone()).map_err(|e| e.to_string())?;
     }
     let outcome = continue_leg(&mut svc, case, rounds_to_run, audit)?;
     Ok((svc, outcome))
@@ -878,6 +1067,14 @@ pub fn run_fuzz_case(case: &FuzzCase, dist: &ScenarioDistribution) -> Result<Run
         (true, format!("skipped (kill_round {})", case.kill_round))
     };
 
+    // Overload leg: the case's initial fleet behind the serving front end, hammered by
+    // the generated admission bursts and queue storms, then left alone for the quiet
+    // tail. Feeds the shed-loss and degradation properties.
+    let overload = match &case.overload {
+        Some(plan) => run_overload_leg(case, plan)?,
+        None => OverloadAudit::default(),
+    };
+
     let replay_identical = reference_snapshot == replay_snapshot;
     let replay_detail = if replay_identical {
         format!("snapshots identical ({} bytes)", reference_snapshot.len())
@@ -917,7 +1114,70 @@ pub fn run_fuzz_case(case: &FuzzCase, dist: &ScenarioDistribution) -> Result<Run
         crash_identical,
         crash_detail,
         probation_interval: fuzz_fleet_options().retry.probation_interval,
+        overload_saturated: overload.saturated,
+        overload_tiers: overload.tiers,
+        overload_shed: overload.shed,
+        overload_admitted: overload.admitted,
+        overload_final_tenants: overload.final_tenants,
     })
+}
+
+/// What the overload leg recorded.
+#[derive(Default)]
+struct OverloadAudit {
+    saturated: Vec<bool>,
+    tiers: Vec<Vec<DegradationTier>>,
+    shed: Vec<String>,
+    admitted: Vec<String>,
+    final_tenants: Vec<String>,
+}
+
+/// Runs the overload leg: the case's initial tenants behind a [`FleetServer`] under the
+/// plan's traffic for the plan's horizon (storm plus quiet tail). Telemetry is enabled
+/// so shed requests can be audited by label from the [`EventKind::RequestShed`] journal
+/// entries; the no-feedback contract keeps that observation-free.
+fn run_overload_leg(case: &FuzzCase, plan: &OverloadPlan) -> Result<OverloadAudit, String> {
+    let mut svc = FleetService::new(fuzz_fleet_options());
+    svc.set_telemetry(TelemetryHandle::enabled());
+    for spec in &case.initial_tenants {
+        svc.admit(spec.clone()).map_err(|e| e.to_string())?;
+    }
+    let mut server = FleetServer::new(svc, plan.options);
+    let mut audit = OverloadAudit {
+        admitted: case.initial_names(),
+        ..Default::default()
+    };
+    for _ in 0..plan.horizon {
+        let report = server.run_round(&plan.traffic);
+        audit.saturated.push(report.saturated);
+        audit.tiers.push(
+            server
+                .service()
+                .sessions()
+                .iter()
+                .map(|s| s.degradation())
+                .collect(),
+        );
+        for (_, response) in &report.responses {
+            if let Response::Admitted { tenant, .. } = response {
+                audit.admitted.push(tenant.clone());
+            }
+        }
+    }
+    audit.shed = server
+        .service()
+        .telemetry_events()
+        .into_iter()
+        .filter(|e| e.kind == telemetry::EventKind::RequestShed)
+        .map(|e| e.subject)
+        .collect();
+    audit.final_tenants = server
+        .service()
+        .sessions()
+        .iter()
+        .map(|s| s.spec().name.clone())
+        .collect();
+    Ok(audit)
 }
 
 /// Runs the crash leg: a [`DurableFleet`] killed after [`FuzzCase::kill_round`] rounds,
@@ -927,7 +1187,7 @@ pub fn run_fuzz_case(case: &FuzzCase, dist: &ScenarioDistribution) -> Result<Run
 fn run_crash_leg(case: &FuzzCase, reference_snapshot: &str) -> Result<(bool, String), String> {
     let mut svc = FleetService::new(fuzz_fleet_options());
     for spec in &case.initial_tenants {
-        svc.admit(spec.clone());
+        svc.admit(spec.clone()).map_err(|e| e.to_string())?;
     }
     let mut durable = DurableFleet::new(svc, case.scenario.clone(), DurableOptions::default());
     durable
@@ -1201,7 +1461,87 @@ mod tests {
                 "bounded_budget",
                 "crash_recovery_bit_identity",
                 "quarantine_liveness",
+                "no_silent_shed_loss",
+                "degradation_monotone_and_recovers",
             ]
+        );
+    }
+
+    #[test]
+    fn overload_free_distributions_sample_no_overload_plan() {
+        // Zero overload weights (every pre-existing distribution) must neither attach a
+        // plan nor perturb the generator stream relative to the historical draws.
+        let mut generator = ScenarioGenerator::new(ScenarioDistribution::default(), 101);
+        for _ in 0..10 {
+            assert!(generator.next_case().overload.is_none());
+        }
+        let mut faulted = ScenarioGenerator::new(ScenarioDistribution::with_faults(), 101);
+        for _ in 0..10 {
+            assert!(faulted.next_case().overload.is_none());
+        }
+    }
+
+    #[test]
+    fn overload_distribution_schedules_bursts_and_storms() {
+        let dist = ScenarioDistribution::with_overload();
+        let mut generator = ScenarioGenerator::new(dist, 31);
+        let mut bursts = 0usize;
+        let mut storms = 0usize;
+        for _ in 0..20 {
+            let case = generator.next_case();
+            let plan = case.overload.expect("overload weights must attach a plan");
+            assert!(
+                plan.horizon > case.rounds,
+                "the plan must have a quiet tail"
+            );
+            assert!(
+                plan.traffic.steps.iter().all(|s| s.at_round < case.rounds),
+                "no traffic may land in the quiet tail"
+            );
+            bursts += plan
+                .traffic
+                .steps
+                .iter()
+                .filter(|s| matches!(s.request, Request::Admit { .. }))
+                .count();
+            storms += plan
+                .traffic
+                .steps
+                .iter()
+                .filter(|s| matches!(s.request, Request::Suggest { .. }))
+                .count();
+        }
+        assert!(bursts >= 5, "admission bursts should occur (got {bursts})");
+        assert!(storms >= 5, "queue storms should occur (got {storms})");
+    }
+
+    #[test]
+    fn fuzzed_overload_case_passes_all_standard_properties() {
+        let dist = ScenarioDistribution {
+            max_rounds: 6,
+            max_initial_tenants: 2,
+            max_events: 3,
+            ..ScenarioDistribution::with_overload()
+        };
+        let mut generator = ScenarioGenerator::new(dist.clone(), 13);
+        let case = (0..20)
+            .map(|_| generator.next_case())
+            .find(|c| {
+                c.overload
+                    .as_ref()
+                    .is_some_and(|p| !p.traffic.steps.is_empty())
+            })
+            .expect("the overload distribution produces traffic");
+        let artifacts = run_fuzz_case(&case, &dist).unwrap();
+        let violations = PropertyRegistry::standard().check_all(&artifacts);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+        assert!(
+            !artifacts.overload_saturated.is_empty(),
+            "the overload leg must have run"
+        );
+        assert_eq!(
+            artifacts.overload_saturated.len(),
+            case.overload.as_ref().unwrap().horizon
         );
     }
 

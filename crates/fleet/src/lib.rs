@@ -43,8 +43,8 @@
 //! use fleet::tenant::{TenantSpec, WorkloadFamily};
 //!
 //! let mut svc = FleetService::new(FleetOptions::default());
-//! svc.admit(TenantSpec::named("tenant-a", WorkloadFamily::Ycsb, 1));
-//! svc.admit(TenantSpec::named("tenant-b", WorkloadFamily::Tpcc, 2));
+//! svc.admit(TenantSpec::named("tenant-a", WorkloadFamily::Ycsb, 1)).unwrap();
+//! svc.admit(TenantSpec::named("tenant-b", WorkloadFamily::Tpcc, 2)).unwrap();
 //! let report = svc.run_rounds(10);
 //! println!("{} iterations, unsafe rate {:.3}", report.iterations, report.unsafe_rate());
 //! let json = svc.snapshot_json().unwrap();
@@ -61,6 +61,7 @@ pub mod knowledge;
 pub mod recovery;
 pub mod scenario;
 pub mod scheduler;
+pub mod serve;
 pub mod service;
 pub mod tenant;
 pub mod wal;
@@ -77,9 +78,13 @@ pub use scenario::{
     ScenarioStep,
 };
 pub use scheduler::{HealthClass, RoundPlan, SchedulerOptions, SessionScheduler, TenantStatus};
+pub use serve::{
+    FleetServer, Request, Response, ServeOptions, ServeRoundReport, ServerRecoveryReport,
+    ServerSnapshot, ServerStorage, TrafficScript,
+};
 pub use service::{FleetOptions, FleetReport, FleetService, FleetSnapshot, SloReport};
 pub use tenant::{
-    RetryPolicy, SessionHealth, TenantSession, TenantSessionState, TenantSpec, TenantSummary,
-    WorkloadDrift, WorkloadFamily,
+    DegradationTier, RetryPolicy, SessionHealth, TenantSession, TenantSessionState, TenantSpec,
+    TenantSummary, WorkloadDrift, WorkloadFamily,
 };
 pub use wal::{WalEntry, WalScan, WriteAheadLog};

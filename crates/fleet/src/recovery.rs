@@ -265,7 +265,7 @@ mod tests {
             let family = WorkloadFamily::ALL[i % WorkloadFamily::ALL.len()];
             let mut spec = TenantSpec::named(format!("t{i}"), family, 4000 + i as u64);
             spec.deterministic = true;
-            svc.admit(spec);
+            svc.admit(spec).unwrap();
         }
         svc
     }
@@ -398,5 +398,75 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, FleetError::WalCorrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_genesis_snapshot_with_an_intact_wal_is_a_typed_error() {
+        let mut fleet = DurableFleet::new(
+            small_service(2),
+            faulty_scenario(),
+            DurableOptions::default(),
+        );
+        fleet.run_rounds(3).unwrap();
+        let mut storage = fleet.storage();
+        assert!(
+            !storage.wal_bytes.is_empty(),
+            "the WAL must hold committed rounds for this test to bite"
+        );
+        // Simulate losing the snapshot file while the WAL survives: recovery must
+        // refuse with a parse error naming the problem — never panic, never replay a
+        // WAL against a fleet it doesn't belong to.
+        storage.snapshot_json = String::new();
+        let err = DurableFleet::recover(
+            &storage,
+            faulty_scenario(),
+            DurableOptions::default(),
+            TelemetryHandle::disabled(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, FleetError::SnapshotParse(_)), "{err}");
+    }
+
+    #[test]
+    fn kill_between_truncation_and_first_append_recovers_bit_identically() {
+        // A crash landing exactly in the gap between a periodic snapshot's WAL
+        // truncation and the first post-truncation append leaves storage holding a
+        // fresh snapshot and an *empty* WAL. Recovery must treat that as a clean
+        // anchor (zero replayed rounds) and continue bit-identically.
+        let interval = DurableOptions::default().snapshot_interval;
+        let horizon = interval * 3;
+        let reference = reference_snapshot(horizon);
+
+        let mut fleet = DurableFleet::new(
+            small_service(2),
+            faulty_scenario(),
+            DurableOptions::default(),
+        );
+        // Stop right on the interval boundary: the snapshot was just taken and the
+        // WAL truncated; nothing has been appended since.
+        fleet.run_rounds(interval).unwrap();
+        let storage = fleet.crash(0);
+        assert_eq!(storage.snapshot_round, interval);
+        assert!(
+            storage.wal_bytes.is_empty(),
+            "the truncation gap must leave an empty WAL"
+        );
+
+        let (mut recovered, report) = DurableFleet::recover(
+            &storage,
+            faulty_scenario(),
+            DurableOptions::default(),
+            TelemetryHandle::disabled(),
+        )
+        .unwrap();
+        assert_eq!(report.replayed_rounds, 0);
+        assert_eq!(report.torn_bytes, 0);
+        assert_eq!(recovered.service().rounds(), interval);
+        recovered.run_rounds(horizon - interval).unwrap();
+        assert_eq!(
+            recovered.service().canonical_snapshot_json(),
+            reference,
+            "a truncation-gap kill must recover bit-identically"
+        );
     }
 }

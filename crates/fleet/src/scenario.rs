@@ -129,15 +129,16 @@ impl ScenarioEvent {
                         spec.name
                     ));
                 }
-                svc.admit(spec.clone());
+                svc.admit(spec.clone()).map_err(|e| e.to_string())?;
                 Ok(format!("admit {} ({})", spec.name, spec.family.label()))
             }
             ScenarioEvent::Remove { tenant } => {
-                svc.remove_tenant(tenant)?;
+                svc.remove_tenant(tenant).map_err(|e| e.to_string())?;
                 Ok(format!("remove {tenant}"))
             }
             ScenarioEvent::Migrate { tenant, hardware } => {
-                svc.migrate_tenant(tenant, *hardware)?;
+                svc.migrate_tenant(tenant, *hardware)
+                    .map_err(|e| e.to_string())?;
                 Ok(format!(
                     "migrate {tenant} -> {}",
                     crate::knowledge::PoolKey::hardware_class(hardware)
@@ -455,7 +456,7 @@ mod tests {
             ..Default::default()
         });
         for (i, (name, family)) in names.iter().enumerate() {
-            svc.admit(spec(name, *family, 9000 + i as u64));
+            svc.admit(spec(name, *family, 9000 + i as u64)).unwrap();
         }
         svc
     }

@@ -281,14 +281,31 @@ impl FleetService {
     /// Admits a tenant: builds its session and (when enabled and knowledge exists for its
     /// hardware class + workload family) warm-starts it from the knowledge base. Returns
     /// the tenant's index.
-    pub fn admit(&mut self, spec: TenantSpec) -> usize {
+    ///
+    /// Admission is fallible: a workload spec whose reference measurement cannot seed a
+    /// healthy session (non-finite scores or contexts) is turned away with
+    /// [`FleetError::AdmissionDenied`] naming the tenant, instead of admitting a session
+    /// that would panic or poison the fleet on its first step.
+    pub fn admit(&mut self, spec: TenantSpec) -> Result<usize, FleetError> {
         let key = PoolKey::for_tenant(&spec.hardware, spec.family_at(0));
         let mut tuner = self.options.tuner.clone();
         // Enforce the three-level parallelism budget (see `FleetOptions::intraop_workers`)
         // at admission, when the session's tuner options are fixed.
         tuner.cluster.hyperopt_workers = self.effective_hyperopt_workers();
         tuner.cluster.intraop_workers = self.effective_intraop_workers();
-        let mut session = TenantSession::new(spec, tuner);
+        let mut session = match TenantSession::new(spec, tuner) {
+            Ok(session) => session,
+            Err(err) => {
+                self.telemetry.incr(CounterId::AdmissionRejections);
+                if self.telemetry.is_enabled() {
+                    if let FleetError::AdmissionDenied { tenant, reason } = &err {
+                        self.telemetry
+                            .event(EventKind::AdmissionDenied, tenant, reason);
+                    }
+                }
+                return Err(err);
+            }
+        };
         session.set_retry_policy(self.options.retry);
         session.set_telemetry(&self.telemetry);
         if self.options.warm_start_on_admit {
@@ -344,7 +361,7 @@ impl FleetService {
             );
         }
         self.tenants.push(session);
-        self.tenants.len() - 1
+        Ok(self.tenants.len() - 1)
     }
 
     /// Per-tenant summaries.
@@ -368,14 +385,36 @@ impl FleetService {
         self.tenant_index(name).map(|i| &mut self.tenants[i])
     }
 
+    /// All sessions in tenant order (the serving layer inspects degradation tiers and
+    /// health across the fleet).
+    pub fn sessions(&self) -> &[TenantSession] {
+        &self.tenants
+    }
+
+    /// Mutable access to all sessions in tenant order (the serving layer applies
+    /// fleet-wide degradation-tier transitions through this).
+    pub fn sessions_mut(&mut self) -> &mut [TenantSession] {
+        &mut self.tenants
+    }
+
+    /// Number of tenants currently running below [`DegradationTier::Full`].
+    ///
+    /// [`DegradationTier::Full`]: crate::tenant::DegradationTier::Full
+    pub fn degraded_tenants(&self) -> usize {
+        self.tenants
+            .iter()
+            .filter(|t| t.degradation() != crate::tenant::DegradationTier::Full)
+            .count()
+    }
+
     /// Removes the tenant named `name` (a leave/churn event) and returns its spec (so a
     /// migration can re-admit it with modifications). The session's pending knowledge is
     /// merged into the knowledge base first: what a leaving tenant learned stays with the
     /// fleet and warm-starts the tenant if it later rejoins.
-    pub fn remove_tenant(&mut self, name: &str) -> Result<TenantSpec, String> {
+    pub fn remove_tenant(&mut self, name: &str) -> Result<TenantSpec, FleetError> {
         let idx = self
             .tenant_index(name)
-            .ok_or_else(|| format!("no tenant named `{name}`"))?;
+            .ok_or_else(|| FleetError::UnknownTenant(name.to_string()))?;
         self.merge_contribution(idx);
         let session = self.tenants.remove(idx);
         self.scheduler.remove(idx);
@@ -436,11 +475,11 @@ impl FleetService {
         &mut self,
         name: &str,
         hardware: simdb::HardwareSpec,
-    ) -> Result<usize, String> {
+    ) -> Result<usize, FleetError> {
         let (iteration, data_size) = {
             let session = self
                 .session(name)
-                .ok_or_else(|| format!("no tenant named `{name}`"))?;
+                .ok_or_else(|| FleetError::UnknownTenant(name.to_string()))?;
             (session.iteration(), session.data_size_gib())
         };
         let mut spec = self.remove_tenant(name)?;
@@ -455,7 +494,7 @@ impl FleetService {
                 &format!("to={}", PoolKey::hardware_class(&hardware)),
             );
         }
-        let idx = self.admit(spec);
+        let idx = self.admit(spec)?;
         if let Some(gib) = data_size {
             self.tenants[idx].set_data_size(gib);
         }
@@ -482,6 +521,14 @@ impl FleetService {
         } else {
             self.options.workers.max(1)
         }
+    }
+
+    /// The tenant-worker term of the three-level budget (the configured worker count,
+    /// with 0 resolved against the stored parallelism sample) — the quantity the
+    /// serving layer's admission control sizes the fleet against (see
+    /// [`crate::serve::FleetServer`]).
+    pub fn tenant_worker_budget(&self) -> usize {
+        self.budget_tenant_workers()
     }
 
     /// Hyperopt-level worker threads granted to each tenant's periodic refit, clamped so
@@ -788,7 +835,7 @@ mod tests {
             let family = WorkloadFamily::ALL[i % WorkloadFamily::ALL.len()];
             let mut spec = TenantSpec::named(format!("tenant-{i}"), family, 1000 + i as u64);
             spec.deterministic = true;
-            svc.admit(spec);
+            svc.admit(spec).unwrap();
         }
         svc
     }
@@ -862,7 +909,7 @@ mod tests {
                 let family = WorkloadFamily::ALL[i % WorkloadFamily::ALL.len()];
                 let mut spec = TenantSpec::named(format!("tenant-{i}"), family, 2000 + i as u64);
                 spec.deterministic = true;
-                svc.admit(spec);
+                svc.admit(spec).unwrap();
             }
             svc.run_rounds(3);
             svc.summaries()
@@ -928,11 +975,13 @@ mod tests {
         // intraop budget = 16 / (2 × 2) = 4; the oversized request clamps down to it.
         assert_eq!(svc.effective_intraop_workers(), 4);
         // Both grants land in the admitted tenant's tuner options and the product holds.
-        let idx = svc.admit(TenantSpec::named(
-            "t0".to_string(),
-            WorkloadFamily::ALL[0],
-            1,
-        ));
+        let idx = svc
+            .admit(TenantSpec::named(
+                "t0".to_string(),
+                WorkloadFamily::ALL[0],
+                1,
+            ))
+            .unwrap();
         let state = svc.tenants[idx].export_state();
         assert_eq!(state.tuner.options.cluster.hyperopt_workers, 2);
         assert_eq!(state.tuner.options.cluster.intraop_workers, 4);
@@ -1065,11 +1114,13 @@ mod tests {
             tuner: small_tuner_options(),
             ..Default::default()
         });
-        let idx = svc.admit(TenantSpec::named(
-            "t0".to_string(),
-            WorkloadFamily::ALL[0],
-            1,
-        ));
+        let idx = svc
+            .admit(TenantSpec::named(
+                "t0".to_string(),
+                WorkloadFamily::ALL[0],
+                1,
+            ))
+            .unwrap();
         let granted = svc.effective_hyperopt_workers();
         let snapshot = svc.tenants[idx].export_state();
         assert_eq!(snapshot.tuner.options.cluster.hyperopt_workers, granted);
@@ -1112,7 +1163,7 @@ mod tests {
                 let family = WorkloadFamily::ALL[i % WorkloadFamily::ALL.len()];
                 let mut spec = TenantSpec::named(format!("tenant-{i}"), family, 1000 + i as u64);
                 spec.deterministic = true;
-                svc.admit(spec);
+                svc.admit(spec).unwrap();
             }
             svc
         };
@@ -1202,7 +1253,7 @@ mod tests {
         svc.set_telemetry(TelemetryHandle::enabled());
         svc.run_rounds(4); // builds knowledge for the pools the two tenants occupy
         let spec = TenantSpec::named("newcomer", WorkloadFamily::ALL[0], 99);
-        svc.admit(spec);
+        svc.admit(spec).unwrap();
         let snap = svc.metrics_snapshot();
         assert_eq!(
             snap.counter(CounterId::WarmStartHits) + snap.counter(CounterId::WarmStartMisses),

@@ -386,6 +386,90 @@ pub struct TenantSummary {
     /// slot without advancing `iterations` — fairness accounting sums both).
     #[serde(default)]
     pub faulted_count: usize,
+    /// Degradation tier at the time of the summary.
+    #[serde(default)]
+    pub tier: DegradationTier,
+}
+
+/// How much tuning work the serving layer currently allows this tenant per iteration.
+///
+/// The ladder is strictly ordered — each tier sheds more work than the one above it —
+/// and the serving front end only ever moves a tenant one rung at a time, so tier
+/// trajectories are monotone within one pressure window. The tier is part of the
+/// session snapshot: a restored fleet resumes in the same degradation state.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub enum DegradationTier {
+    /// Normal operation: suggest, measure, observe, periodic hyperopt refits.
+    #[default]
+    Full,
+    /// Periodic hyper-parameter refits are suppressed (the one O(n³) step of the
+    /// observe path); incremental observes continue.
+    NoRefit,
+    /// The posterior is frozen: suggest from the cached models and measure, but feed
+    /// nothing back to the tuner.
+    CachedPosterior,
+    /// The tenant re-applies its last known-safe configuration (falling back to the
+    /// reference) and only measures it; the tuner is bypassed entirely.
+    Pinned,
+}
+
+impl DegradationTier {
+    /// All tiers, from full service to deepest degradation.
+    pub const ALL: [DegradationTier; 4] = [
+        DegradationTier::Full,
+        DegradationTier::NoRefit,
+        DegradationTier::CachedPosterior,
+        DegradationTier::Pinned,
+    ];
+
+    /// Stable export label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradationTier::Full => "full",
+            DegradationTier::NoRefit => "no_refit",
+            DegradationTier::CachedPosterior => "cached_posterior",
+            DegradationTier::Pinned => "pinned",
+        }
+    }
+
+    /// Position on the ladder (0 = full service).
+    pub fn rank(self) -> usize {
+        match self {
+            DegradationTier::Full => 0,
+            DegradationTier::NoRefit => 1,
+            DegradationTier::CachedPosterior => 2,
+            DegradationTier::Pinned => 3,
+        }
+    }
+
+    /// One rung further down the ladder (saturating at [`DegradationTier::Pinned`]).
+    pub fn downgraded(self) -> DegradationTier {
+        match self {
+            DegradationTier::Full => DegradationTier::NoRefit,
+            DegradationTier::NoRefit => DegradationTier::CachedPosterior,
+            DegradationTier::CachedPosterior | DegradationTier::Pinned => DegradationTier::Pinned,
+        }
+    }
+
+    /// One rung back toward full service (saturating at [`DegradationTier::Full`]).
+    pub fn upgraded(self) -> DegradationTier {
+        match self {
+            DegradationTier::Full | DegradationTier::NoRefit => DegradationTier::Full,
+            DegradationTier::CachedPosterior => DegradationTier::NoRefit,
+            DegradationTier::Pinned => DegradationTier::CachedPosterior,
+        }
+    }
 }
 
 /// Where a session stands in the fault-handling state machine.
@@ -499,6 +583,9 @@ pub struct TenantSession {
     /// Last configuration measured safe; quarantined probes pin this (falling back to
     /// the reference configuration before the first safe measurement).
     last_safe_config: Option<Configuration>,
+    /// Serving-layer degradation tier; [`TenantSession::set_degradation`] keeps the
+    /// tuner's hyperopt suppression in sync with it.
+    tier: DegradationTier,
     /// Observability sink (runtime-only, never serialized): a child of the fleet's
     /// telemetry core, so the session can record from its worker thread without
     /// contending with other tenants. Read-only w.r.t. tuning state.
@@ -546,14 +633,24 @@ pub struct TenantSessionState {
     /// Pinned last known-safe configuration.
     #[serde(default)]
     pub last_safe_config: Option<Configuration>,
+    /// Serving-layer degradation tier (`default` keeps pre-serving snapshots readable;
+    /// restore re-applies the tuner's hyperopt suppression from it).
+    #[serde(default)]
+    pub tier: DegradationTier,
 }
 
 impl TenantSession {
     /// Builds a fresh (cold) session for `spec` with the given tuner options.
     ///
     /// The tuner is seeded with one observation of the reference (DBA default)
-    /// configuration, matching the paper's session harness.
-    pub fn new(spec: TenantSpec, tuner_options: OnlineTuneOptions) -> Self {
+    /// configuration, matching the paper's session harness. A spec whose workload
+    /// produces a non-finite reference measurement or context (e.g. a drift stack with
+    /// NaN parameters) cannot seed a session and yields a typed
+    /// [`crate::error::FleetError::AdmissionDenied`] naming the tenant — never a panic.
+    pub fn new(
+        spec: TenantSpec,
+        tuner_options: OnlineTuneOptions,
+    ) -> Result<Self, crate::error::FleetError> {
         let catalogue = simdb::KnobCatalogue::mysql57();
         let featurizer = ContextFeaturizer::with_defaults();
         let generator = spec.build_generator();
@@ -579,11 +676,23 @@ impl TenantSession {
         let context0 = featurizer.featurize(&queries0, spec0.arrival_rate_qps, &stats0);
         let objective = generator.objective_at(0);
         let score0 = objective.score(&db.peek(&reference, &spec0));
+        if !score0.is_finite() || context0.iter().any(|v| !v.is_finite()) {
+            return Err(crate::error::FleetError::AdmissionDenied {
+                tenant: spec.name.clone(),
+                reason: format!(
+                    "reference measurement is non-finite at admission (score {score0}); \
+                     the workload spec cannot seed a session"
+                ),
+            });
+        }
         tuner
             .observe(&context0, &reference, score0, None, true)
-            .expect("the reference peek is noise-free and finite");
+            .map_err(|e| crate::error::FleetError::AdmissionDenied {
+                tenant: spec.name.clone(),
+                reason: format!("seeding the tuner with the reference observation failed: {e}"),
+            })?;
 
-        TenantSession {
+        Ok(TenantSession {
             spec,
             tuner,
             db,
@@ -603,8 +712,9 @@ impl TenantSession {
             fault_attempts: 0,
             faulted_count: 0,
             last_safe_config: None,
+            tier: DegradationTier::Full,
             telemetry: TelemetryHandle::disabled(),
-        }
+        })
     }
 
     /// The tenant's static description.
@@ -773,6 +883,9 @@ impl TenantSession {
             SessionHealth::Backoff { .. } => return 0.0,
             SessionHealth::Quarantined { .. } => return self.probe_step(),
         }
+        if self.tier == DegradationTier::Pinned {
+            return self.pinned_step();
+        }
         let span = self.telemetry.begin_span();
         let it = self.iteration;
         let spec = self.generator.spec_at(it);
@@ -789,26 +902,49 @@ impl TenantSession {
         // workload and data size.
         let threshold = objective.score(&self.db.peek(&self.reference, &spec));
 
+        // A drift stack with pathological parameters (NaN amplitudes, infinite scales)
+        // can poison the workload position itself; the tuner must never see a non-finite
+        // context or threshold. Treat it like any other faulted measurement — backoff,
+        // then quarantine — so the session degrades instead of panicking.
+        if !threshold.is_finite() || context.iter().any(|v| !v.is_finite()) {
+            let kind = if threshold.is_finite() {
+                "non_finite_context"
+            } else {
+                "non_finite_reference"
+            };
+            self.note_fault(kind, threshold);
+            self.telemetry.end_span(SpanId::Iteration, span);
+            return 0.0;
+        }
+
         let suggestion = self.tuner.suggest(&context, threshold, spec.clients);
         self.db.apply_config(&suggestion.config);
         let eval = self.db.run_interval(&spec, self.spec.interval_s);
         let score = objective.score(&eval.outcome);
         if eval.fault.is_some() || !score.is_finite() {
-            self.note_fault(eval.fault, score);
+            let kind = eval.fault.map(|f| f.name()).unwrap_or("non_finite_score");
+            self.note_fault(kind, score);
             self.telemetry.end_span(SpanId::Iteration, span);
             return 0.0;
         }
         self.fault_attempts = 0;
         let was_safe = score >= threshold - 0.05 * threshold.abs();
-        self.tuner
-            .observe(
+        if self.tier < DegradationTier::CachedPosterior {
+            // Score and context were validated finite above, so a rejection here is a
+            // contract break in the tuner — degrade like a faulted measurement rather
+            // than panicking the worker thread.
+            if let Err(e) = self.tuner.observe(
                 &context,
                 &suggestion.config,
                 score,
                 Some(&eval.metrics),
                 was_safe,
-            )
-            .expect("score and context were validated finite above");
+            ) {
+                self.note_fault(&format!("observe_rejected: {e}"), score);
+                self.telemetry.end_span(SpanId::Iteration, span);
+                return 0.0;
+            }
+        }
         if was_safe {
             self.last_safe_config = Some(suggestion.config.clone());
         }
@@ -848,13 +984,14 @@ impl TenantSession {
     }
 
     /// Accounts one faulted measurement attempt and advances the health machine:
-    /// backoff while attempts remain, quarantine once the budget is exhausted.
-    fn note_fault(&mut self, fault: Option<simdb::FaultKind>, score: f64) {
+    /// backoff while attempts remain, quarantine once the budget is exhausted. `kind`
+    /// names what faulted (an injected fault kind, a non-finite score/context, or a
+    /// tuner rejection).
+    fn note_fault(&mut self, kind: &str, score: f64) {
         self.faulted_count += 1;
         self.fault_attempts += 1;
         self.telemetry.incr(CounterId::MeasurementFaults);
         if self.telemetry.is_enabled() {
-            let kind = fault.map(|f| f.name()).unwrap_or("non_finite_score");
             self.telemetry.event(
                 EventKind::MeasurementFault,
                 &self.spec.name,
@@ -898,6 +1035,53 @@ impl TenantSession {
                 );
             }
         }
+    }
+
+    /// One iteration at the [`DegradationTier::Pinned`] tier: re-measure the last
+    /// known-safe configuration (falling back to the reference) without consulting the
+    /// tuner at all. Unlike a quarantine probe this is a normal scheduled iteration —
+    /// faults feed the ordinary backoff machine and no probation bookkeeping runs.
+    fn pinned_step(&mut self) -> f64 {
+        let span = self.telemetry.begin_span();
+        let it = self.iteration;
+        let spec = self.generator.spec_at(it);
+        let objective = self.generator.objective_at(it);
+        let threshold = objective.score(&self.db.peek(&self.reference, &spec));
+        let config = self
+            .last_safe_config
+            .clone()
+            .unwrap_or_else(|| self.reference.clone());
+        self.db.apply_config(&config);
+        let eval = self.db.run_interval(&spec, self.spec.interval_s);
+        let score = objective.score(&eval.outcome);
+        if eval.fault.is_some() || !score.is_finite() || !threshold.is_finite() {
+            let kind = eval.fault.map(|f| f.name()).unwrap_or("non_finite_score");
+            self.note_fault(kind, score);
+            self.telemetry.end_span(SpanId::Iteration, span);
+            return 0.0;
+        }
+        self.fault_attempts = 0;
+        let was_safe = score >= threshold - 0.05 * threshold.abs();
+        if was_safe {
+            self.last_safe_config = Some(config);
+        }
+        let regret = (threshold - score).max(0.0);
+        self.iteration += 1;
+        self.cumulative_regret += regret;
+        self.total_score += score;
+        if !was_safe {
+            self.unsafe_count += 1;
+        }
+        if self.recent_regret.len() == REGRET_WINDOW {
+            self.recent_regret.pop_front();
+        }
+        self.recent_regret.push_back(regret);
+        self.telemetry.incr(CounterId::Iterations);
+        if !was_safe {
+            self.telemetry.incr(CounterId::UnsafeIterations);
+        }
+        self.telemetry.end_span(SpanId::Iteration, span);
+        regret
     }
 
     /// One probation iteration of a quarantined session: measure the pinned last-safe
@@ -1048,6 +1232,42 @@ impl TenantSession {
         self.retry = retry;
     }
 
+    /// The current degradation tier.
+    pub fn degradation(&self) -> DegradationTier {
+        self.tier
+    }
+
+    /// Moves the session to a degradation tier (serving-layer driven). Keeps the
+    /// tuner's hyperopt suppression in sync and records the transition; setting the
+    /// current tier is a no-op. Deterministic: the tier is part of the snapshot and
+    /// restore re-applies the same suppression, so degraded fleets replay bit-identically.
+    pub fn set_degradation(&mut self, tier: DegradationTier) {
+        if tier == self.tier {
+            return;
+        }
+        let from = self.tier;
+        self.tier = tier;
+        self.tuner
+            .set_hyperopt_suppressed(tier >= DegradationTier::NoRefit);
+        if tier > from {
+            self.telemetry.incr(CounterId::TierDowngrades);
+        } else {
+            self.telemetry.incr(CounterId::TierUpgrades);
+        }
+        if self.telemetry.is_enabled() {
+            self.telemetry.event(
+                EventKind::TierChanged,
+                &self.spec.name,
+                &format!(
+                    "iteration={} {} -> {}",
+                    self.iteration,
+                    from.label(),
+                    tier.label()
+                ),
+            );
+        }
+    }
+
     /// Schedules `count` injected measurement faults of `kind` starting with the next
     /// measurement (scenario-scripted).
     pub fn inject_faults(&mut self, kind: simdb::FaultKind, count: usize) {
@@ -1086,6 +1306,7 @@ impl TenantSession {
             warm_start_observations: self.warm_start_observations,
             health: self.health,
             faulted_count: self.faulted_count,
+            tier: self.tier,
         }
     }
 
@@ -1109,6 +1330,7 @@ impl TenantSession {
             fault_attempts: self.fault_attempts,
             faulted_count: self.faulted_count,
             last_safe_config: self.last_safe_config.clone(),
+            tier: self.tier,
         }
     }
 
@@ -1122,7 +1344,10 @@ impl TenantSession {
             tenant: name.clone(),
             reason,
         };
-        let tuner = OnlineTune::restore(state.tuner).map_err(&tenant_err)?;
+        let mut tuner = OnlineTune::restore(state.tuner).map_err(&tenant_err)?;
+        // The suppression flag is runtime-only; re-derive it from the serialized tier
+        // so a restored degraded session sheds exactly the same work.
+        tuner.set_hyperopt_suppressed(state.tier >= DegradationTier::NoRefit);
         let db = SimDatabase::restore(state.db).map_err(&tenant_err)?;
         let featurizer = ContextFeaturizer::with_defaults();
         let generator = state.spec.build_generator();
@@ -1147,6 +1372,7 @@ impl TenantSession {
             fault_attempts: state.fault_attempts,
             faulted_count: state.faulted_count,
             last_safe_config: state.last_safe_config,
+            tier: state.tier,
             telemetry: TelemetryHandle::disabled(),
         })
     }
@@ -1161,7 +1387,7 @@ mod tests {
     fn session_steps_and_accumulates_stats() {
         let mut spec = TenantSpec::named("t0", WorkloadFamily::Ycsb, 7);
         spec.deterministic = true;
-        let mut s = TenantSession::new(spec, small_tuner_options());
+        let mut s = TenantSession::new(spec, small_tuner_options()).unwrap();
         for _ in 0..5 {
             let r = s.step();
             assert!(r >= 0.0);
@@ -1177,7 +1403,7 @@ mod tests {
     fn snapshot_restore_continues_bit_identically() {
         let mut spec = TenantSpec::named("t0", WorkloadFamily::Tpcc, 11);
         spec.deterministic = false; // noise on: the instance RNG stream must survive too
-        let mut original = TenantSession::new(spec, small_tuner_options());
+        let mut original = TenantSession::new(spec, small_tuner_options()).unwrap();
         for _ in 0..6 {
             original.step();
         }
@@ -1201,7 +1427,7 @@ mod tests {
     fn applied_drift_is_anchored_and_survives_snapshot_restore() {
         let mut spec = TenantSpec::named("drifter", WorkloadFamily::Ycsb, 21);
         spec.deterministic = true;
-        let mut original = TenantSession::new(spec, small_tuner_options());
+        let mut original = TenantSession::new(spec, small_tuner_options()).unwrap();
         for _ in 0..4 {
             original.step();
         }
@@ -1231,7 +1457,7 @@ mod tests {
     fn hardware_resize_applies_to_db_tuner_and_spec() {
         let mut spec = TenantSpec::named("resizer", WorkloadFamily::Twitter, 31);
         spec.deterministic = true;
-        let mut s = TenantSession::new(spec, small_tuner_options());
+        let mut s = TenantSession::new(spec, small_tuner_options()).unwrap();
         s.step();
         let big = simdb::HardwareSpec::default().scaled(2.0);
         s.resize_hardware(big);
@@ -1250,7 +1476,7 @@ mod tests {
     fn retry_backoff_quarantine_and_probation_readmission() {
         let mut spec = TenantSpec::named("q", WorkloadFamily::Ycsb, 11);
         spec.deterministic = true;
-        let mut s = TenantSession::new(spec, small_tuner_options());
+        let mut s = TenantSession::new(spec, small_tuner_options()).unwrap();
         for _ in 0..2 {
             s.step();
         }
@@ -1345,7 +1571,7 @@ mod tests {
     fn seeded_fault_session() -> TenantSession {
         let mut spec = TenantSpec::named("f", WorkloadFamily::Twitter, 23);
         spec.deterministic = true;
-        let mut s = TenantSession::new(spec, small_tuner_options());
+        let mut s = TenantSession::new(spec, small_tuner_options()).unwrap();
         s.inject_seeded_faults(simdb::FaultKind::CorruptNan, 0.5, 30, 9);
         s
     }
@@ -1387,9 +1613,195 @@ mod tests {
         for (i, family) in WorkloadFamily::ALL.iter().enumerate() {
             let mut spec = TenantSpec::named(format!("t{i}"), *family, 100 + i as u64);
             spec.deterministic = true;
-            let mut s = TenantSession::new(spec, small_tuner_options());
+            let mut s = TenantSession::new(spec, small_tuner_options()).unwrap();
             s.step();
             assert_eq!(s.iteration(), 1, "{}", family.label());
         }
+    }
+
+    #[test]
+    fn nan_drift_parameters_degrade_into_backoff_not_panic() {
+        // A NaN amplitude survives the combinator's clamp (NaN.clamp is NaN) and poisons
+        // the arrival rate, hence the tenant's context vector. The session must route
+        // that through the fault machine — backoff, then quarantine — and never hand the
+        // tuner a non-finite value or panic the worker. Probes of the pinned reference
+        // config may still succeed (the performance model's `min` against the offered
+        // rate swallows the NaN), which is exactly the graceful path: the tenant keeps
+        // being measured on its last safe config while the tuner is protected.
+        let mut spec = TenantSpec::named("poisoned", WorkloadFamily::Job, 5);
+        spec.deterministic = true;
+        let mut s = TenantSession::new(spec, small_tuner_options()).unwrap();
+        s.set_telemetry(&TelemetryHandle::enabled());
+        for _ in 0..2 {
+            s.step();
+        }
+        let observations = s.model_observation_counts().iter().sum::<usize>();
+        s.apply_drift(WorkloadDrift::Diurnal {
+            period: 4,
+            amplitude: f64::NAN,
+            anchor: 0,
+        });
+        for _ in 0..12 {
+            let regret = s.step();
+            assert!(
+                regret.is_finite(),
+                "regret must stay finite under NaN drift"
+            );
+            s.tick_round();
+        }
+        assert_eq!(
+            s.model_observation_counts().iter().sum::<usize>(),
+            observations,
+            "the tuner must never observe a poisoned measurement"
+        );
+        assert!(s.faulted_count() >= s.retry_policy().max_attempts);
+        assert!(
+            s.telemetry().counter(CounterId::Quarantines) >= 1,
+            "repeated non-finite contexts must exhaust the retry budget"
+        );
+    }
+
+    #[test]
+    fn non_finite_spec_at_admission_is_a_typed_error() {
+        let mut spec = TenantSpec::named("dead-on-arrival", WorkloadFamily::Job, 5);
+        spec.deterministic = true;
+        spec.drift.push(WorkloadDrift::Diurnal {
+            period: 4,
+            amplitude: f64::NAN,
+            anchor: 0,
+        });
+        match TenantSession::new(spec, small_tuner_options()) {
+            Err(crate::error::FleetError::AdmissionDenied { tenant, reason }) => {
+                assert_eq!(tenant, "dead-on-arrival");
+                assert!(reason.contains("non-finite"), "{reason}");
+            }
+            Err(other) => panic!("expected AdmissionDenied, got {other}"),
+            Ok(_) => panic!("a non-finite spec must not admit"),
+        }
+    }
+
+    #[test]
+    fn degradation_ladder_is_ordered_and_saturates() {
+        assert!(DegradationTier::Full < DegradationTier::NoRefit);
+        assert!(DegradationTier::NoRefit < DegradationTier::CachedPosterior);
+        assert!(DegradationTier::CachedPosterior < DegradationTier::Pinned);
+        assert_eq!(
+            DegradationTier::Pinned.downgraded(),
+            DegradationTier::Pinned
+        );
+        assert_eq!(DegradationTier::Full.upgraded(), DegradationTier::Full);
+        for tier in DegradationTier::ALL {
+            assert_eq!(tier.downgraded().upgraded(), tier.downgraded().upgraded());
+            assert!(tier.downgraded() >= tier);
+            assert!(tier.upgraded() <= tier);
+        }
+    }
+
+    #[test]
+    fn cached_posterior_tier_freezes_the_model_but_keeps_measuring() {
+        let mut spec = TenantSpec::named("frozen", WorkloadFamily::Ycsb, 17);
+        spec.deterministic = true;
+        let mut s = TenantSession::new(spec, small_tuner_options()).unwrap();
+        for _ in 0..3 {
+            s.step();
+        }
+        let observations_before: usize = s.model_observation_counts().iter().sum();
+        s.set_degradation(DegradationTier::CachedPosterior);
+        for _ in 0..3 {
+            s.step();
+        }
+        assert_eq!(
+            s.iteration(),
+            6,
+            "measurements continue under the frozen tier"
+        );
+        assert_eq!(
+            s.model_observation_counts().iter().sum::<usize>(),
+            observations_before,
+            "the posterior must not move at CachedPosterior"
+        );
+        s.set_degradation(DegradationTier::Full);
+        s.step();
+        assert!(
+            s.model_observation_counts().iter().sum::<usize>() > observations_before,
+            "recovery resumes observes"
+        );
+    }
+
+    #[test]
+    fn pinned_tier_bypasses_the_tuner_entirely() {
+        let mut spec = TenantSpec::named("pinned", WorkloadFamily::Twitter, 19);
+        spec.deterministic = true;
+        let mut s = TenantSession::new(spec, small_tuner_options()).unwrap();
+        for _ in 0..4 {
+            s.step();
+        }
+        let observations_before: usize = s.model_observation_counts().iter().sum();
+        s.set_degradation(DegradationTier::Pinned);
+        for _ in 0..3 {
+            let regret = s.step();
+            assert!(regret >= 0.0);
+        }
+        assert_eq!(s.iteration(), 7, "pinned iterations still advance");
+        assert_eq!(
+            s.model_observation_counts().iter().sum::<usize>(),
+            observations_before,
+            "the tuner is bypassed at Pinned"
+        );
+        assert_eq!(s.summary().tier, DegradationTier::Pinned);
+    }
+
+    #[test]
+    fn degraded_sessions_snapshot_restore_bit_identically() {
+        for tier in DegradationTier::ALL {
+            let mut spec = TenantSpec::named("t", WorkloadFamily::Tpcc, 29);
+            spec.deterministic = false;
+            let mut original = TenantSession::new(spec, small_tuner_options()).unwrap();
+            for _ in 0..3 {
+                original.step();
+            }
+            original.set_degradation(tier);
+            original.step();
+            original.drain_contribution();
+            let mut restored = TenantSession::restore(original.export_state()).unwrap();
+            assert_eq!(restored.degradation(), tier);
+            for i in 0..4 {
+                let a = original.step();
+                let b = restored.step();
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "tier {} diverged at step {i}",
+                    tier.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_refit_tier_suppresses_hyperopt_runs() {
+        let run_with = |tier: DegradationTier| -> u64 {
+            let mut options = small_tuner_options();
+            options.cluster.hyperopt_period = 2;
+            let mut spec = TenantSpec::named("h", WorkloadFamily::Ycsb, 41);
+            spec.deterministic = true;
+            let mut s = TenantSession::new(spec, options).unwrap();
+            let telemetry = TelemetryHandle::enabled();
+            s.set_telemetry(&telemetry);
+            s.set_degradation(tier);
+            for _ in 0..6 {
+                s.step();
+            }
+            s.telemetry().counter(CounterId::HyperoptRuns)
+        };
+        assert!(
+            run_with(DegradationTier::Full) > 0,
+            "a 2-observation hyperopt period must trigger refits at Full"
+        );
+        assert_eq!(
+            run_with(DegradationTier::NoRefit),
+            0,
+            "NoRefit must suppress every periodic hyperopt refit"
+        );
     }
 }

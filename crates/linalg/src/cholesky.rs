@@ -200,8 +200,8 @@ impl Cholesky {
 
     /// [`Cholesky::decompose`] with `workers` threads applying each panel's trailing
     /// (SYRK) update to disjoint contiguous row ranges under the fixed
-    /// area-balanced schedule of [`trailing_chunk_bounds`]. The factor is
-    /// **bit-identical at every worker count** — see [`trailing_update_rows`] — so
+    /// area-balanced schedule of `trailing_chunk_bounds`. The factor is
+    /// **bit-identical at every worker count** — see `trailing_update_rows` — so
     /// `workers` shapes wall-clock time only. A grant of 0 is treated as 1.
     pub fn decompose_with_workers(a: &Matrix, workers: usize) -> Result<Self> {
         let mut l = Matrix::default();
@@ -262,7 +262,7 @@ impl Cholesky {
 
     /// [`Cholesky::decompose_with_jitter_scratch`] with the trailing-update worker pool
     /// of [`Cholesky::decompose_with_workers`]. Bit-identical at every worker count; the
-    /// serial hot path (`workers ≤ 1`, or matrices below the [`PAR_MIN_TRAILING`] gate)
+    /// serial hot path (`workers ≤ 1`, or matrices below the `PAR_MIN_TRAILING` gate)
     /// stays allocation-free in steady state — parallel trailing updates spawn scoped
     /// threads per panel, trading the allocation-free property for wall-clock time on
     /// large factorizations.

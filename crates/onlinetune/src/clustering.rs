@@ -90,6 +90,9 @@ pub struct ClusterManager {
     updates_since_hyperopt: Vec<usize>,
     observations_since_recluster_check: usize,
     recluster_count: usize,
+    /// Suppresses periodic hyper-parameter refits (runtime-only, never serialized: the
+    /// fleet re-applies it from the tenant's serialized degradation tier on restore).
+    hyperopt_suppressed: bool,
     /// Observability sink (runtime-only, never serialized, no-op by default);
     /// re-installed on every model the manager builds or rebuilds.
     telemetry: telemetry::TelemetryHandle,
@@ -122,6 +125,7 @@ impl ClusterManager {
             updates_since_hyperopt: vec![0],
             observations_since_recluster_check: 0,
             recluster_count: 0,
+            hyperopt_suppressed: false,
             telemetry: telemetry::TelemetryHandle::disabled(),
         }
     }
@@ -174,6 +178,16 @@ impl ClusterManager {
         }
     }
 
+    /// Suppresses (or re-enables) the periodic hyper-parameter refit — the degraded
+    /// serving tiers shed the one O(n³) step of the observe path this way. While
+    /// suppressed, `updates_since_hyperopt` keeps counting, so the deferred refit fires
+    /// on the first observation after suppression lifts. Runtime-only: the flag is not
+    /// part of the exported state; restore paths re-apply it from the tenant's
+    /// serialized degradation tier.
+    pub fn set_hyperopt_suppressed(&mut self, suppressed: bool) {
+        self.hyperopt_suppressed = suppressed;
+    }
+
     /// All observations (immutable view).
     pub fn observations(&self) -> &[ContextObservation] {
         &self.observations
@@ -215,7 +229,9 @@ impl ClusterManager {
 
         let model = &mut self.models[cluster];
         self.updates_since_hyperopt[cluster] += 1;
-        if self.updates_since_hyperopt[cluster] >= self.options.hyperopt_period {
+        if !self.hyperopt_suppressed
+            && self.updates_since_hyperopt[cluster] >= self.options.hyperopt_period
+        {
             // Hyper-parameter re-optimization invalidates the cached factorization
             // anyway, so skip the incremental update on this iteration: add the raw
             // observation and let the hyperopt's internal refit (which also enforces the
@@ -450,6 +466,7 @@ impl ClusterManager {
             updates_since_hyperopt: updates,
             observations_since_recluster_check: state.observations_since_recluster_check,
             recluster_count: state.recluster_count,
+            hyperopt_suppressed: false,
             telemetry: telemetry::TelemetryHandle::disabled(),
         }
     }

@@ -259,6 +259,16 @@ impl OnlineTune {
         self.clusters.set_intraop_workers(workers);
     }
 
+    /// Suppresses (or re-enables) the periodic hyper-parameter refit of every cluster
+    /// model — the serving layer's degraded tiers shed the O(n³) step of the observe
+    /// path this way (see
+    /// [`ClusterManager::set_hyperopt_suppressed`](crate::clustering::ClusterManager::set_hyperopt_suppressed)).
+    /// Runtime-only: never serialized; restore paths re-apply it from the tenant's
+    /// degradation tier.
+    pub fn set_hyperopt_suppressed(&mut self, suppressed: bool) {
+        self.clusters.set_hyperopt_suppressed(suppressed);
+    }
+
     /// Updates the hardware the white-box rules reason about (a mid-session instance
     /// resize). The black-box models are *not* reset: performance shifts caused by the
     /// resize surface as ordinary observations, and a sustained context-distribution

@@ -61,6 +61,14 @@ pub enum EventKind {
     TenantReadmitted,
     /// A fleet was recovered from a snapshot plus WAL replay after a simulated crash.
     WalRecovered,
+    /// The serving front end shed a queued request under backpressure.
+    RequestShed,
+    /// Admission control rejected a tenant (budget or live-tenant ceiling).
+    AdmissionDenied,
+    /// A queued request's round deadline expired before dispatch.
+    DeadlineMissed,
+    /// A tenant's degradation tier changed (downgrade under pressure or recovery).
+    TierChanged,
 }
 
 impl EventKind {
@@ -90,6 +98,10 @@ impl EventKind {
             EventKind::TenantQuarantined => "tenant_quarantined",
             EventKind::TenantReadmitted => "tenant_readmitted",
             EventKind::WalRecovered => "wal_recovered",
+            EventKind::RequestShed => "request_shed",
+            EventKind::AdmissionDenied => "admission_denied",
+            EventKind::DeadlineMissed => "deadline_missed",
+            EventKind::TierChanged => "tier_changed",
         }
     }
 }

@@ -95,11 +95,25 @@ pub enum CounterId {
     WalTornEntriesDropped,
     /// Rounds re-executed from the WAL during crash recovery.
     RecoveryReplays,
+    /// Requests accepted into the serving front end's bounded queue.
+    RequestsEnqueued,
+    /// Queued requests dispatched to the fleet by the serving loop.
+    RequestsDispatched,
+    /// Queued requests shed under backpressure (in the fixed priority order).
+    RequestsShed,
+    /// Tenant admissions rejected by admission control (budget or ceiling).
+    AdmissionRejections,
+    /// Requests answered `DeadlineMissed` because their round budget expired.
+    DeadlineMisses,
+    /// Per-tenant degradation-tier downgrades under sustained pressure.
+    TierDowngrades,
+    /// Per-tenant degradation-tier upgrades after pressure lifted.
+    TierUpgrades,
 }
 
 impl CounterId {
     /// Number of counters in the registry.
-    pub const COUNT: usize = 37;
+    pub const COUNT: usize = 44;
 
     /// All counters, in export order.
     pub const ALL: [CounterId; CounterId::COUNT] = [
@@ -140,6 +154,13 @@ impl CounterId {
         CounterId::WalAppends,
         CounterId::WalTornEntriesDropped,
         CounterId::RecoveryReplays,
+        CounterId::RequestsEnqueued,
+        CounterId::RequestsDispatched,
+        CounterId::RequestsShed,
+        CounterId::AdmissionRejections,
+        CounterId::DeadlineMisses,
+        CounterId::TierDowngrades,
+        CounterId::TierUpgrades,
     ];
 
     /// Stable export name (`snake_case`, used as the JSON key).
@@ -182,6 +203,13 @@ impl CounterId {
             CounterId::WalAppends => "wal_appends",
             CounterId::WalTornEntriesDropped => "wal_torn_entries_dropped",
             CounterId::RecoveryReplays => "recovery_replays",
+            CounterId::RequestsEnqueued => "requests_enqueued",
+            CounterId::RequestsDispatched => "requests_dispatched",
+            CounterId::RequestsShed => "requests_shed",
+            CounterId::AdmissionRejections => "admission_rejections",
+            CounterId::DeadlineMisses => "deadline_misses",
+            CounterId::TierDowngrades => "tier_downgrades",
+            CounterId::TierUpgrades => "tier_upgrades",
         }
     }
 }
@@ -202,11 +230,15 @@ pub enum GaugeId {
     ClusterModels,
     /// Observation count of the latest-updated model.
     ModelObservations,
+    /// Requests currently waiting in the serving front end's bounded queue.
+    QueueDepth,
+    /// Tenants currently running below the `Full` degradation tier.
+    DegradedTenants,
 }
 
 impl GaugeId {
     /// Number of gauges in the registry.
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 8;
 
     /// All gauges, in export order.
     pub const ALL: [GaugeId; GaugeId::COUNT] = [
@@ -216,6 +248,8 @@ impl GaugeId {
         GaugeId::SafetySetSize,
         GaugeId::ClusterModels,
         GaugeId::ModelObservations,
+        GaugeId::QueueDepth,
+        GaugeId::DegradedTenants,
     ];
 
     /// Stable export name.
@@ -227,6 +261,8 @@ impl GaugeId {
             GaugeId::SafetySetSize => "safety_set_size",
             GaugeId::ClusterModels => "cluster_models",
             GaugeId::ModelObservations => "model_observations",
+            GaugeId::QueueDepth => "queue_depth",
+            GaugeId::DegradedTenants => "degraded_tenants",
         }
     }
 }

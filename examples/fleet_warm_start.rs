@@ -20,7 +20,7 @@ fn main() {
     });
     let mut teacher = TenantSpec::named("teacher", WorkloadFamily::Ycsb, 51);
     teacher.deterministic = true;
-    svc.admit(teacher);
+    svc.admit(teacher).unwrap();
     let report = svc.run_rounds(12);
     println!(
         "teacher ran {} iterations (unsafe rate {:.3}); knowledge pools: {}",
@@ -40,8 +40,8 @@ fn main() {
 
     let mut student = TenantSpec::named("student", WorkloadFamily::Ycsb, 77);
     student.deterministic = true;
-    let mut cold = TenantSession::new(student.clone(), small_tuner_options());
-    let mut warm = TenantSession::new(student, small_tuner_options());
+    let mut cold = TenantSession::new(student.clone(), small_tuner_options()).unwrap();
+    let mut warm = TenantSession::new(student, small_tuner_options()).unwrap();
     warm.warm_start(&warm_payload);
 
     for _ in 0..15 {

@@ -23,7 +23,8 @@ fn mixed_service(n_tenants: usize, deterministic: bool) -> FleetService {
             family,
             4000 + i as u64,
             deterministic,
-        ));
+        ))
+        .unwrap();
     }
     svc
 }
@@ -79,7 +80,9 @@ fn warm_start_beats_cold_start_on_early_regret() {
         tuner: small_tuner_options(),
         ..Default::default()
     });
-    teacher_fleet.admit(spec("teacher", WorkloadFamily::Ycsb, 51, true));
+    teacher_fleet
+        .admit(spec("teacher", WorkloadFamily::Ycsb, 51, true))
+        .unwrap();
     teacher_fleet.run_rounds(12);
     let key = PoolKey::for_tenant(&simdb::HardwareSpec::default(), WorkloadFamily::Ycsb);
     let warm = teacher_fleet.knowledge().warm_start(&key);
@@ -87,8 +90,8 @@ fn warm_start_beats_cold_start_on_early_regret() {
 
     // Two identical students; one receives the warm start.
     let student_spec = spec("student", WorkloadFamily::Ycsb, 77, true);
-    let mut cold = TenantSession::new(student_spec.clone(), small_tuner_options());
-    let mut warm_student = TenantSession::new(student_spec, small_tuner_options());
+    let mut cold = TenantSession::new(student_spec.clone(), small_tuner_options()).unwrap();
+    let mut warm_student = TenantSession::new(student_spec, small_tuner_options()).unwrap();
     warm_student.warm_start(&warm);
 
     let steps = 15;
@@ -148,8 +151,8 @@ fn knowledge_pools_are_isolated_by_coordinate() {
         tuner: small_tuner_options(),
         ..Default::default()
     });
-    svc.admit(spec("a", WorkloadFamily::Ycsb, 1, true));
-    svc.admit(spec("b", WorkloadFamily::Job, 2, true));
+    svc.admit(spec("a", WorkloadFamily::Ycsb, 1, true)).unwrap();
+    svc.admit(spec("b", WorkloadFamily::Job, 2, true)).unwrap();
     svc.run_rounds(3);
 
     let hw = simdb::HardwareSpec::default();

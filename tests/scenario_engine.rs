@@ -33,7 +33,8 @@ fn service(workers: usize, seed: u64, deterministic: bool) -> FleetService {
             *family,
             seed * 100 + i as u64,
             deterministic,
-        ));
+        ))
+        .unwrap();
     }
     svc
 }

@@ -34,7 +34,8 @@ fn service(seed: u64, telemetry: TelemetryHandle) -> FleetService {
     .iter()
     .enumerate()
     {
-        svc.admit(spec(&format!("t{i}"), *family, seed * 100 + i as u64));
+        svc.admit(spec(&format!("t{i}"), *family, seed * 100 + i as u64))
+            .unwrap();
     }
     svc
 }
@@ -284,7 +285,7 @@ fn run_fuzzed_churn(seed: u64, journal_capacity: usize) -> ChurnOutcome {
         let mut spec = TenantSpec::named(format!("c{next_id}"), family, seed + next_id as u64);
         spec.deterministic = true;
         next_id += 1;
-        svc.admit(spec);
+        svc.admit(spec).unwrap();
     };
     admit(&mut svc, &mut rng);
     admit(&mut svc, &mut rng);
